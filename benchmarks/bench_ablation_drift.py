@@ -1,0 +1,63 @@
+"""Ablation — who wins as the drift rate varies.
+
+DESIGN.md's predicted crossover: with **no drift** the full-history BML
+should be at least as good as DREAM (more data, no staleness); under the
+**paper** scenario and harsher drift, full history accumulates expired
+information and DREAM wins by a growing factor.
+"""
+
+import statistics
+
+from conftest import record_result
+
+from repro.common.text import render_table
+from repro.experiments.mre import evaluate_history
+from repro.workloads.tpch_runner import TpchFederationConfig, TpchFederationWorkload
+
+SCENARIOS = ("none", "mild", "paper", "harsh")
+SEEDS = (7, 11, 23)
+
+
+def run_drift_ablation():
+    by_scenario = {}
+    for scenario in SCENARIOS:
+        dream_values, full_values = [], []
+        for seed in SEEDS:
+            workload = TpchFederationWorkload(
+                TpchFederationConfig(
+                    scale_mib=100, queries=("q12",), drift=scenario, seed=seed
+                )
+            )
+            history = workload.build_history("q12", 130)
+            mre, _ = evaluate_history(history, 20)
+            dream_values.append(mre["DREAM"])
+            full_values.append(mre["BML"])
+        by_scenario[scenario] = (
+            statistics.fmean(dream_values),
+            statistics.fmean(full_values),
+        )
+    return by_scenario
+
+
+def test_ablation_drift(benchmark):
+    by_scenario = benchmark.pedantic(run_drift_ablation, rounds=1, iterations=1)
+    rows = [
+        (name, f"{dream:.3f}", f"{full:.3f}", f"{full / dream:.2f}x")
+        for name, (dream, full) in by_scenario.items()
+    ]
+    text = render_table(
+        ["drift", "DREAM MRE", "BML (full) MRE", "full/DREAM"],
+        rows,
+        title="Ablation: DREAM vs full-history BML across drift scenarios (Q12).",
+    )
+    record_result("ablation_drift", text)
+    none_dream, none_full = by_scenario["none"]
+    paper_dream, paper_full = by_scenario["paper"]
+    harsh_dream, harsh_full = by_scenario["harsh"]
+    # Without drift, full history is competitive (no staleness penalty).
+    assert none_full <= none_dream * 1.5
+    # Under drift, expired information hurts the full history model.
+    assert paper_full > 1.5 * paper_dream
+    assert harsh_full > 1.5 * harsh_dream
+    # The crossover: drift flips the ranking.
+    assert (paper_full / paper_dream) > (none_full / none_dream)

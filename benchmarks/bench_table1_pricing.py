@@ -1,0 +1,12 @@
+"""Table 1 — example of instances pricing (verbatim catalog check)."""
+
+from conftest import record_result
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_pricing(benchmark):
+    result = benchmark(run_table1)
+    record_result("table1_pricing", format_table1(result))
+    assert result.matches_paper, "catalog deviates from the paper's Table 1"
+    assert len(result.rows) == 11

@@ -1,0 +1,25 @@
+"""Table 4 — MRE of DREAM vs BML windows, TPC-H 1 GiB.
+
+At the larger scale the size features dominate the cost structure and
+the paper's full shape reproduces: DREAM's MRE is the smallest value in
+every row.
+"""
+
+from conftest import record_result
+
+from repro.experiments import PAPER_TABLE4, format_mre_table, run_mre_experiment
+from repro.experiments.mre import MreExperimentConfig
+
+
+def test_table4_mre_1gib(benchmark):
+    config = MreExperimentConfig(scale_mib=1024.0)
+    result = benchmark.pedantic(run_mre_experiment, args=(config,), rounds=1, iterations=1)
+    record_result(
+        "table4_mre_1gib",
+        format_mre_table(result, PAPER_TABLE4, "Table 4: MRE, TPC-H 1 GiB (paper values in parentheses)"),
+    )
+    assert result.dream_wins_everywhere(), result.mre
+    for query, row in result.mre.items():
+        assert row["DREAM"] < 0.66 * row["BML"], (query, row)
+    for query, mean_window in result.dream_window_mean.items():
+        assert mean_window <= 4 * result.minimum_window, (query, mean_window)

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module reproduces one table or figure of the paper:
+it runs the experiment once under pytest-benchmark timing, prints the
+paper-shaped output, writes it to ``benchmarks/results/`` and asserts the
+*shape* of the result (who wins, by roughly what factor) — absolute
+numbers differ from the paper because the substrate is a simulator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

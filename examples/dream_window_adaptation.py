@@ -1,0 +1,70 @@
+"""DREAM's dynamic window on a synthetic regime shift.
+
+Strips away the query engines and shows Algorithm 1's core behaviour on
+a controlled stream: linear cost data whose coefficients jump at t=120
+(a co-tenant arrives).  Right after the shift DREAM's stopping rule
+refuses to grow the window past the regime boundary, so its predictions
+recover within a handful of observations while the full-history model
+stays biased for the remaining stream.
+
+Run:  python examples/dream_window_adaptation.py
+"""
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.core.dream import DreamEstimator
+from repro.ml.dataset import Dataset
+from repro.ml.linear import MultipleLinearRegression
+
+
+def make_stream(n: int = 200, shift_at: int = 120, seed: int = 3) -> Dataset:
+    rng = RngStream(seed, "stream")
+    features = rng.uniform(1.0, 10.0, size=(n, 2))
+    targets = np.empty(n)
+    for i in range(n):
+        # Before the shift the system runs at nominal speed; afterwards a
+        # co-tenant doubles the per-unit cost and adds overhead.
+        slope = 2.0 if i < shift_at else 4.0
+        intercept = 5.0 if i < shift_at else 12.0
+        targets[i] = intercept + slope * features[i].sum() + float(rng.normal(0, 1.0))
+    return Dataset(features, targets, ("size_a", "size_b"))
+
+
+def main() -> None:
+    shift_at = 120
+    data = make_stream(shift_at=shift_at)
+    dream = DreamEstimator(r2_required=0.8, max_window=60)
+
+    print("t    | actual | DREAM  (window) | full-history MLR")
+    print("-----+--------+-----------------+-----------------")
+    dream_errors, full_errors = [], []
+    for t in range(110, 150):
+        past = data.head(t)
+        x = data.features[t]
+        actual = float(data.targets[t])
+
+        result = dream.fit({"cost": past})
+        dream_prediction = result.predict_metric("cost", x)
+
+        full = MultipleLinearRegression().fit(past.features, past.targets)
+        full_prediction = full.predict_one(x)
+
+        dream_errors.append(abs(dream_prediction - actual) / actual)
+        full_errors.append(abs(full_prediction - actual) / actual)
+        marker = "  <-- regime shift" if t == shift_at else ""
+        print(
+            f"{t:4d} | {actual:6.1f} | {dream_prediction:6.1f}  ({result.window_size:2d})     "
+            f"| {full_prediction:6.1f}{marker}"
+        )
+
+    print()
+    print(f"MRE over the window shown: DREAM {np.mean(dream_errors):.3f}, "
+          f"full-history MLR {np.mean(full_errors):.3f}")
+    post = slice(shift_at - 110 + 5, None)
+    print(f"MRE five+ steps after the shift: DREAM {np.mean(dream_errors[post]):.3f}, "
+          f"full-history MLR {np.mean(full_errors[post]):.3f}")
+
+
+if __name__ == "__main__":
+    main()

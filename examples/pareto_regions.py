@@ -1,0 +1,86 @@
+"""Pareto plan regions (paper §2.3, Eq. 2-4) on real QEPs.
+
+The paper defines ``Dom(p1, p2)``, ``StriDom(p1, p2)`` and the Pareto
+region ``PaReg(p)`` over a *parameter space* X: which plan is best
+depends on parameters unknown at optimisation time.  Here X is the
+selectivity of the query's filter (how much lineitem data survives),
+and the plans are three concrete QEPs for TPC-H Q12 — execute at Hive
+with a big cluster, at Hive with a small cluster, or at PostgreSQL.
+
+For each sampled selectivity the plans are costed by the engine
+simulators; the printed regions show where each plan is unbeaten —
+small inputs favour PostgreSQL, large inputs the big Hive cluster,
+and the small Hive cluster is dominated almost everywhere.
+
+Run:  python examples/pareto_regions.py
+"""
+
+from repro.moqp.dominance import pareto_region, strict_dominance_region
+from repro.plans.binder import plan_sql
+from repro.plans.optimizer import optimize
+from repro.tpch.queries import TPCH_QUERIES
+from repro.workloads.tpch_runner import TpchFederationConfig, TpchFederationWorkload
+
+
+def main() -> None:
+    workload = TpchFederationWorkload(
+        TpchFederationConfig(scale_mib=300, queries=("q12",), fixed_execution=None)
+    )
+    template = TPCH_QUERIES["q12"]
+    sql = template.render({"shipmode1": "MAIL", "shipmode2": "SHIP", "year": 1994})
+    plan = optimize(plan_sql(sql, workload.dataset.catalog))
+
+    candidates = workload.enumerator.enumerate(
+        "q12", plan, workload.dataset.logical_stats, template.tables
+    )
+    by_key = {
+        (c.execution.engine, c.clusters["cloud-a"].node_count,
+         c.clusters["cloud-b"].node_count): c
+        for c in candidates
+    }
+    plans = {
+        "hive-big": by_key[("hive", 8, 4)],
+        "hive-small": by_key[("hive", 2, 2)],
+        "postgres": by_key[("postgresql", 2, 2)],
+    }
+
+    def cost(named_plan, fraction: float):
+        """(time, money) of a QEP at one sampled parameter point."""
+        stats = {
+            name: table_stats.sampled(fraction)
+            for name, table_stats in workload.dataset.logical_stats.items()
+        }
+        metrics = workload.simulator.base_metrics(
+            __import__("repro.plans.physical", fromlist=["profile_plan"]).profile_plan(
+                plan, stats, named_plan.placement
+            ),
+            named_plan.clusters,
+        )
+        return (metrics.execution_time_s, metrics.monetary_cost_usd)
+
+    samples = [round(0.1 * i, 1) for i in range(1, 11)]
+    print("Parameter space X: dataset fraction in", samples)
+    print()
+    print("fraction | " + " | ".join(f"{name:>22}" for name in plans))
+    for x in samples:
+        row = []
+        for name, candidate in plans.items():
+            t, m = cost(candidate, x)
+            row.append(f"{t:7.1f} s  ${m:8.5f}")
+        print(f"   {x:4.1f}  | " + " | ".join(f"{cell:>22}" for cell in row))
+
+    plan_list = list(plans.values())
+    print()
+    for name, candidate in plans.items():
+        region = pareto_region(candidate, plan_list, samples, cost)
+        print(f"PaReg({name:10s}) = {region}")
+
+    stridom = strict_dominance_region(
+        plans["postgres"], plans["hive-small"], samples, cost
+    )
+    print(f"\nStriDom(postgres, hive-small) = {stridom}")
+    print("(the paper's Eq. 3: where PostgreSQL strictly beats the small Hive plan)")
+
+
+if __name__ == "__main__":
+    main()

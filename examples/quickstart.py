@@ -1,0 +1,65 @@
+"""Quickstart: the paper's Example 2.1 end to end.
+
+Builds MIDAS on the two-cloud federation (Patient in Hive on an Amazon
+cloud, GeneralInfo in PostgreSQL on an Azure cloud), lets IReS profile a
+few executions, then submits the Example 2.1 query under a balanced
+time/money policy.  DREAM estimates the cost vector of every candidate
+QEP, the multi-objective optimizer builds a Pareto plan set, and
+Algorithm 2 picks the final plan.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.ires.policy import UserPolicy
+from repro.midas import MidasSystem
+
+
+def main() -> None:
+    print("Building MIDAS (federation + engines + IReS + DREAM)...")
+    midas = MidasSystem(patient_count=1500, seed=7)
+
+    print("Profiling 30 exploratory executions of Example 2.1...")
+    midas.warm_up("medical-demographics", runs=30)
+
+    policy = UserPolicy(metrics=("time", "money"), weights=(0.6, 0.4))
+    result = midas.query("medical-demographics", {"min_age": 40}, policy)
+
+    print()
+    print("Query (Example 2.1):")
+    print("  SELECT p.patientsex, i.generalnames")
+    print("  FROM patient p, generalinfo i")
+    print("  WHERE p.uid = i.uid AND p.patientage >= 40")
+    print()
+    print(f"QEP space: {result.candidate_count} candidate plans")
+    print(f"Pareto set: {len(result.pareto_set)} non-dominated plans")
+    print(f"Chosen QEP: {result.chosen_candidate.describe()}")
+    predicted_time, predicted_money = result.predicted
+    measured = result.execution.metrics
+    print(f"Predicted:  {predicted_time:6.2f} s   ${predicted_money:.4f}")
+    print(
+        f"Measured:   {measured.execution_time_s:6.2f} s   "
+        f"${measured.monetary_cost_usd:.4f}"
+    )
+    errors = result.prediction_error(("time", "money"))
+    print(
+        "Relative prediction error: "
+        + ", ".join(f"{metric}={value:.1%}" for metric, value in errors.items())
+    )
+    print()
+    print(
+        f"DREAM trained on {result.cost_model.training_size} recent "
+        f"observations (R^2: "
+        + ", ".join(f"{m}={v:.2f}" for m, v in result.cost_model.r_squared.items())
+        + ")"
+    )
+
+    print()
+    print("Ground-truth result sample (local executor):")
+    table = midas.execute_locally("medical-demographics", {"min_age": 40})
+    for row in table.head(5).rows():
+        print("  ", row)
+    print(f"  ... {table.num_rows} rows total")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Mini Tables 3 & 4: DREAM vs BML on the TPC-H federation.
+
+A scaled-down version of the paper's evaluation (fewer runs and seeds
+than the benchmark harness, so it finishes in ~20 s): builds drifting
+execution histories for the two-table TPC-H queries and reports the Mean
+Relative Error of DREAM against the stock-IReS Best-ML baselines.
+
+Run:  python examples/tpch_federation_mre.py
+"""
+
+from repro.experiments import PAPER_TABLE3, format_mre_table, run_mre_experiment
+from repro.experiments.mre import MreExperimentConfig
+
+
+def main() -> None:
+    config = MreExperimentConfig(
+        scale_mib=100.0,
+        train_runs=80,
+        test_runs=15,
+        seeds=(7,),
+        queries=("q12", "q17"),
+    )
+    print(
+        "Running a reduced Table 3: TPC-H "
+        f"{config.scale_mib:.0f} MiB, queries {', '.join(config.queries)}, "
+        f"{config.train_runs}+{config.test_runs} runs ..."
+    )
+    result = run_mre_experiment(config)
+    print()
+    print(
+        format_mre_table(
+            result,
+            {q: PAPER_TABLE3[q] for q in config.queries},
+            "Reduced Table 3 (paper values in parentheses)",
+        )
+    )
+    print()
+    print(
+        "DREAM beats the full-history baseline by "
+        + ", ".join(
+            f"{query}: {row['BML'] / row['DREAM']:.1f}x"
+            for query, row in result.mre.items()
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

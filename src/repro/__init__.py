@@ -1,0 +1,29 @@
+"""repro — reproduction of "Dynamic estimation for medical data management
+in a cloud federation" (Le, Kantere, d'Orazio; DARLI-AP @ EDBT/ICDT 2019).
+
+Public API, top-down:
+
+* :class:`repro.midas.MidasSystem` — the full system of Figure 1.
+* :class:`repro.ires.IReSPlatform` — the multi-engine platform pipeline.
+* :class:`repro.core.DreamEstimator` — DREAM, Algorithm 1.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from repro.core import DreamEstimator, DreamResult, ExecutionHistory, MultiCostModel
+from repro.ires import IReSPlatform, UserPolicy
+from repro.midas import MidasSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DreamEstimator",
+    "DreamResult",
+    "ExecutionHistory",
+    "MultiCostModel",
+    "IReSPlatform",
+    "UserPolicy",
+    "MidasSystem",
+    "__version__",
+]

@@ -1,0 +1,91 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro list                 # what can be reproduced
+    python -m repro table1               # instance pricing (verbatim)
+    python -m repro table2               # MLR R^2 vs window size
+    python -m repro table3 [--quick]     # MRE, TPC-H 100 MiB
+    python -m repro table4 [--quick]     # MRE, TPC-H 1 GiB
+    python -m repro figure3              # GA+Pareto vs WSM pipelines
+    python -m repro example31            # 18,200-configuration space
+
+``--quick`` shrinks the MRE experiments (1 seed, 2 queries) to ~15 s.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    format_example31,
+    format_figure3,
+    format_mre_table,
+    format_table1,
+    format_table2,
+    run_example31,
+    run_figure3,
+    run_mre_experiment,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.mre import MreExperimentConfig
+
+ARTIFACTS = ("table1", "table2", "table3", "table4", "figure3", "example31")
+
+
+def _mre_config(scale_mib: float, quick: bool) -> MreExperimentConfig:
+    if quick:
+        return MreExperimentConfig(
+            scale_mib=scale_mib,
+            train_runs=70,
+            test_runs=12,
+            seeds=(7,),
+            queries=("q12", "q17"),
+        )
+    return MreExperimentConfig(scale_mib=scale_mib)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("artifact", choices=("list", *ARTIFACTS))
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller configuration for table3/table4 (~15 s)",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.artifact == "list":
+        print("Reproducible artifacts:", ", ".join(ARTIFACTS))
+        print("See EXPERIMENTS.md for paper-vs-measured discussion.")
+        return 0
+    if arguments.artifact == "table1":
+        print(format_table1(run_table1()))
+        return 0
+    if arguments.artifact == "table2":
+        print(format_table2(run_table2()))
+        return 0
+    if arguments.artifact == "table3":
+        result = run_mre_experiment(_mre_config(100.0, arguments.quick))
+        print(format_mre_table(result, PAPER_TABLE3, "Table 3: MRE, TPC-H 100 MiB"))
+        return 0
+    if arguments.artifact == "table4":
+        result = run_mre_experiment(_mre_config(1024.0, arguments.quick))
+        print(format_mre_table(result, PAPER_TABLE4, "Table 4: MRE, TPC-H 1 GiB"))
+        return 0
+    if arguments.artifact == "figure3":
+        print(format_figure3(run_figure3()))
+        return 0
+    print(format_example31(run_example31()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

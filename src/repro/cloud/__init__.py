@@ -1,0 +1,56 @@
+"""Cloud federation substrate.
+
+Models what the paper's experiments run *on*: cloud service providers with
+pay-as-you-go instance catalogs (the paper's Table 1 prices, verbatim),
+wide-area networking between clouds, provisioned clusters, and the load
+variability that makes cost estimation in a federation hard.
+"""
+
+from repro.cloud.provider import CloudProvider, Region
+from repro.cloud.instances import (
+    InstanceType,
+    AMAZON_INSTANCES,
+    MICROSOFT_INSTANCES,
+    GOOGLE_INSTANCES,
+    PAPER_TABLE1_CATALOG,
+    instance_catalog,
+    find_instance,
+)
+from repro.cloud.pricing import BillingPolicy, PricingModel
+from repro.cloud.network import NetworkModel, LinkSpec
+from repro.cloud.vm import Cluster, VirtualMachine
+from repro.cloud.federation import CloudFederation, CloudSite
+from repro.cloud.variability import (
+    Ar1LoadProcess,
+    CompositeLoadProcess,
+    ConstantLoad,
+    DiurnalLoadProcess,
+    LoadProcess,
+    RegimeShiftProcess,
+)
+
+__all__ = [
+    "CloudProvider",
+    "Region",
+    "InstanceType",
+    "AMAZON_INSTANCES",
+    "MICROSOFT_INSTANCES",
+    "GOOGLE_INSTANCES",
+    "PAPER_TABLE1_CATALOG",
+    "instance_catalog",
+    "find_instance",
+    "BillingPolicy",
+    "PricingModel",
+    "NetworkModel",
+    "LinkSpec",
+    "Cluster",
+    "VirtualMachine",
+    "CloudFederation",
+    "CloudSite",
+    "Ar1LoadProcess",
+    "CompositeLoadProcess",
+    "ConstantLoad",
+    "DiurnalLoadProcess",
+    "LoadProcess",
+    "RegimeShiftProcess",
+]

@@ -1,0 +1,102 @@
+"""Instance catalogs with the paper's Table 1 prices.
+
+The Amazon ``a1.*`` and Microsoft ``B*`` rows reproduce Table 1 of the
+paper **verbatim** (vCPU, memory, storage, hourly price).  Amazon prices
+exclude storage (EBS-only); Microsoft prices include local storage — the
+asymmetry the paper calls out ("the price of Amazon is without storage").
+A Google catalog is included for the three-provider federation of Figure 1;
+it is not part of Table 1 and is flagged as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.provider import CloudProvider
+from repro.common.errors import CloudError
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One virtual-machine offering of a provider."""
+
+    provider: CloudProvider
+    name: str
+    vcpus: int
+    memory_gib: float
+    storage_gib: float | None  # None => remote/EBS-only storage
+    price_per_hour: float
+
+    @property
+    def storage_description(self) -> str:
+        return "EBS-Only" if self.storage_gib is None else f"{self.storage_gib:g}"
+
+    @property
+    def includes_storage(self) -> bool:
+        return self.storage_gib is not None
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.provider.value}:{self.name}"
+
+
+def _amazon(name: str, vcpus: int, memory: float, price: float) -> InstanceType:
+    return InstanceType(CloudProvider.AMAZON, name, vcpus, memory, None, price)
+
+
+def _microsoft(name: str, vcpus: int, memory: float, storage: float, price: float) -> InstanceType:
+    return InstanceType(CloudProvider.MICROSOFT, name, vcpus, memory, storage, price)
+
+
+def _google(name: str, vcpus: int, memory: float, storage: float, price: float) -> InstanceType:
+    return InstanceType(CloudProvider.GOOGLE, name, vcpus, memory, storage, price)
+
+
+#: Paper Table 1, Amazon block (prices exclude storage).
+AMAZON_INSTANCES: tuple[InstanceType, ...] = (
+    _amazon("a1.medium", 1, 2, 0.0049),
+    _amazon("a1.large", 2, 4, 0.0098),
+    _amazon("a1.xlarge", 4, 8, 0.0197),
+    _amazon("a1.2xlarge", 8, 16, 0.0394),
+    _amazon("a1.4xlarge", 16, 32, 0.0788),
+)
+
+#: Paper Table 1, Microsoft block (prices include local storage).
+MICROSOFT_INSTANCES: tuple[InstanceType, ...] = (
+    _microsoft("B1S", 1, 1, 2, 0.011),
+    _microsoft("B1MS", 1, 2, 4, 0.021),
+    _microsoft("B2S", 2, 4, 8, 0.042),
+    _microsoft("B2MS", 2, 8, 16, 0.084),
+    _microsoft("B4MS", 4, 16, 32, 0.166),
+    _microsoft("B8MS", 8, 32, 64, 0.333),
+)
+
+#: Google catalog for the Figure 1 federation (NOT part of Table 1).
+GOOGLE_INSTANCES: tuple[InstanceType, ...] = (
+    _google("n1-standard-1", 1, 3.75, 10, 0.0475),
+    _google("n1-standard-2", 2, 7.5, 20, 0.0950),
+    _google("n1-standard-4", 4, 15, 40, 0.1900),
+    _google("n1-standard-8", 8, 30, 80, 0.3800),
+)
+
+#: Exactly the rows of the paper's Table 1, in its order.
+PAPER_TABLE1_CATALOG: tuple[InstanceType, ...] = AMAZON_INSTANCES + MICROSOFT_INSTANCES
+
+_ALL = {
+    CloudProvider.AMAZON: AMAZON_INSTANCES,
+    CloudProvider.MICROSOFT: MICROSOFT_INSTANCES,
+    CloudProvider.GOOGLE: GOOGLE_INSTANCES,
+}
+
+
+def instance_catalog(provider: CloudProvider) -> tuple[InstanceType, ...]:
+    """All instance types offered by ``provider``."""
+    return _ALL[provider]
+
+
+def find_instance(provider: CloudProvider, name: str) -> InstanceType:
+    """Look up one instance type by provider and name."""
+    for instance in _ALL[provider]:
+        if instance.name.lower() == name.lower():
+            return instance
+    known = ", ".join(i.name for i in _ALL[provider])
+    raise CloudError(f"{provider.value} has no instance {name!r}; known: {known}")

@@ -1,0 +1,86 @@
+"""Networking between federation sites.
+
+The paper repeatedly stresses "wide-range communications" as a source of
+cost and variance.  The model here is a link matrix: every ordered pair of
+sites has a bandwidth and a round-trip latency, defaulting to LAN numbers
+inside a site, fast-WAN inside a provider, and slow-WAN across providers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.provider import Region
+from repro.common.errors import CloudError
+from repro.common.units import MIB
+from repro.common.validation import require_positive
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One directed link: sustainable bandwidth and round-trip latency."""
+
+    bandwidth_bytes_per_s: float
+    rtt_s: float
+
+    def transfer_time(self, payload_bytes: float) -> float:
+        """Seconds to push ``payload_bytes`` over this link."""
+        if payload_bytes <= 0:
+            return 0.0
+        return self.rtt_s + payload_bytes / self.bandwidth_bytes_per_s
+
+
+#: Defaults, loosely calibrated to public cloud measurements.
+LOCAL_LINK = LinkSpec(bandwidth_bytes_per_s=1200 * MIB, rtt_s=0.0002)
+INTRA_PROVIDER_LINK = LinkSpec(bandwidth_bytes_per_s=250 * MIB, rtt_s=0.012)
+INTER_PROVIDER_LINK = LinkSpec(bandwidth_bytes_per_s=40 * MIB, rtt_s=0.080)
+
+
+class NetworkModel:
+    """Resolves the link between two sites.
+
+    Custom links can be installed per ordered site pair; otherwise the
+    class falls back to defaults based on whether the two sites share a
+    site name (local), a provider (intra-provider WAN) or nothing
+    (inter-provider WAN).  Distance between regions adds latency.
+    """
+
+    def __init__(self):
+        self._overrides: dict[tuple[str, str], LinkSpec] = {}
+
+    def set_link(self, from_site: str, to_site: str, link: LinkSpec) -> None:
+        self._overrides[(from_site.lower(), to_site.lower())] = link
+
+    def link(
+        self,
+        from_site: str,
+        to_site: str,
+        from_region: Region | None = None,
+        to_region: Region | None = None,
+    ) -> LinkSpec:
+        override = self._overrides.get((from_site.lower(), to_site.lower()))
+        if override is not None:
+            return override
+        if from_site.lower() == to_site.lower():
+            return LOCAL_LINK
+        if from_region is not None and to_region is not None:
+            base = (
+                INTRA_PROVIDER_LINK
+                if from_region.provider == to_region.provider
+                else INTER_PROVIDER_LINK
+            )
+            distance_s = abs(from_region.position_ms - to_region.position_ms) / 1000.0
+            return LinkSpec(base.bandwidth_bytes_per_s, base.rtt_s + 2 * distance_s)
+        return INTER_PROVIDER_LINK
+
+    def transfer_time(
+        self,
+        payload_bytes: float,
+        from_site: str,
+        to_site: str,
+        from_region: Region | None = None,
+        to_region: Region | None = None,
+    ) -> float:
+        return self.link(from_site, to_site, from_region, to_region).transfer_time(
+            payload_bytes
+        )

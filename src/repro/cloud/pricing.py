@@ -1,0 +1,76 @@
+"""Pay-as-you-go pricing.
+
+Computes the monetary cost of running a cluster for a duration, plus data
+charges.  Two billing policies are modelled: classic **per-hour** rounding
+(every started hour is billed — what the paper's Table 1 prices imply) and
+modern **per-second** billing with a minimum charge.  Egress between
+providers is billed per GiB; intra-provider traffic is billed at a reduced
+rate; storage is billed per GiB-month and pro-rated.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.cloud.vm import Cluster
+from repro.common.units import GIB, HOURS
+from repro.common.validation import require, require_positive
+
+
+class BillingPolicy(enum.Enum):
+    PER_HOUR = "per-hour"
+    PER_SECOND = "per-second"
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Provider-independent price computation over catalog prices."""
+
+    billing: BillingPolicy = BillingPolicy.PER_SECOND
+    minimum_billed_seconds: float = 60.0
+    inter_cloud_egress_per_gib: float = 0.09
+    intra_cloud_egress_per_gib: float = 0.01
+    storage_per_gib_month: float = 0.10
+
+    def compute_cost(self, cluster: Cluster, duration_s: float) -> float:
+        """Cost of holding ``cluster`` for ``duration_s`` seconds."""
+        require(duration_s >= 0, f"duration_s must be >= 0, got {duration_s}")
+        if self.billing is BillingPolicy.PER_HOUR:
+            hours = math.ceil(duration_s / HOURS) if duration_s > 0 else 0
+            return cluster.price_per_hour * hours
+        billed = max(duration_s, self.minimum_billed_seconds) if duration_s > 0 else 0.0
+        return cluster.price_per_hour * billed / HOURS
+
+    def egress_cost(self, transferred_bytes: float, crosses_provider: bool) -> float:
+        """Cost of moving ``transferred_bytes`` out of a cloud."""
+        rate = (
+            self.inter_cloud_egress_per_gib
+            if crosses_provider
+            else self.intra_cloud_egress_per_gib
+        )
+        return max(0.0, transferred_bytes) / GIB * rate
+
+    def storage_cost(self, stored_bytes: float, duration_s: float) -> float:
+        """Pro-rated object/block storage cost."""
+        months = duration_s / (30 * 24 * HOURS)
+        return max(0.0, stored_bytes) / GIB * self.storage_per_gib_month * months
+
+    def query_cost(
+        self,
+        clusters: list[Cluster],
+        duration_s: float,
+        inter_cloud_bytes: float = 0.0,
+        intra_cloud_bytes: float = 0.0,
+    ) -> float:
+        """Total monetary cost of one query execution.
+
+        Every participating cluster is held for the query's duration (the
+        engines are provisioned together, as IReS does), plus egress for
+        the data moved between engines.
+        """
+        compute = sum(self.compute_cost(c, duration_s) for c in clusters)
+        egress = self.egress_cost(inter_cloud_bytes, crosses_provider=True)
+        egress += self.egress_cost(intra_cloud_bytes, crosses_provider=False)
+        return compute + egress

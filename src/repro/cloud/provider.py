@@ -1,0 +1,38 @@
+"""Cloud service providers and regions.
+
+The federation in the paper spans Amazon Web Services, Microsoft Azure and
+Google Cloud Platform (Figure 1).  Providers are plain value objects; their
+catalogs live in :mod:`repro.cloud.instances` and their connectivity in
+:mod:`repro.cloud.network`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CloudProvider(enum.Enum):
+    """The providers in the paper's federation (Figure 1 / Table 1)."""
+
+    AMAZON = "Amazon"
+    MICROSOFT = "Microsoft"
+    GOOGLE = "Google"
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.value
+
+
+@dataclass(frozen=True)
+class Region:
+    """A provider region (used to scale WAN distance between sites)."""
+
+    provider: CloudProvider
+    name: str
+    #: Abstract geographic coordinate used to derive WAN latency; not a
+    #: real lat/long, just a 1-D position on a ring (milliseconds of
+    #: one-way latency to the origin).
+    position_ms: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.provider.value}/{self.name}"

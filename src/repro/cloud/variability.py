@@ -1,0 +1,142 @@
+"""Load-variability processes.
+
+The premise of DREAM is that a cloud federation's performance drifts:
+machine load evolves, networks congest, co-tenants come and go.  Each
+process here produces a multiplicative *load factor* as a function of a
+discrete time index (one tick per executed query); a factor of 1.0 is the
+nominal environment and 2.0 means everything takes twice as long.
+
+Old observations become "expired information" precisely because the
+factor at training time differs from the factor at prediction time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.rng import RngStream
+from repro.common.validation import require, require_positive
+
+
+class LoadProcess:
+    """Base class: a deterministic-under-seed sequence of load factors."""
+
+    def factor(self, tick: int) -> float:
+        """The load multiplier at ``tick`` (>= some floor > 0)."""
+        raise NotImplementedError
+
+    def series(self, ticks: int) -> list[float]:
+        return [self.factor(t) for t in range(ticks)]
+
+
+class ConstantLoad(LoadProcess):
+    """No drift: the environment never changes (ablation baseline)."""
+
+    def __init__(self, value: float = 1.0):
+        self._value = require_positive(value, "value")
+
+    def factor(self, tick: int) -> float:
+        return self._value
+
+
+class Ar1LoadProcess(LoadProcess):
+    """Mean-reverting AR(1) random walk in log space.
+
+    ``log L(t) = phi * log L(t-1) + e_t`` with ``e_t ~ N(0, sigma^2)``.
+    ``phi`` close to 1 gives slowly wandering load — the regime where a
+    window of recent history is informative but old history misleads.
+    """
+
+    def __init__(self, rng: RngStream, phi: float = 0.98, sigma: float = 0.06,
+                 floor: float = 0.25):
+        require(0.0 <= phi < 1.0, f"phi must be in [0, 1), got {phi}")
+        self._phi = phi
+        self._sigma = require_positive(sigma, "sigma")
+        self._floor = floor
+        self._values: list[float] = []
+        self._rng = rng
+
+    def factor(self, tick: int) -> float:
+        while len(self._values) <= tick:
+            previous = self._values[-1] if self._values else 0.0
+            shock = float(self._rng.normal(0.0, self._sigma))
+            self._values.append(self._phi * previous + shock)
+        return max(self._floor, math.exp(self._values[tick]))
+
+
+class DiurnalLoadProcess(LoadProcess):
+    """Sinusoidal day/night load: peak-hour contention, quiet nights."""
+
+    def __init__(self, period_ticks: int = 200, amplitude: float = 0.3,
+                 phase: float = 0.0):
+        self._period = require_positive(period_ticks, "period_ticks")
+        require(0 <= amplitude < 1, f"amplitude must be in [0, 1), got {amplitude}")
+        self._amplitude = amplitude
+        self._phase = phase
+
+    def factor(self, tick: int) -> float:
+        angle = 2 * math.pi * (tick / self._period) + self._phase
+        return 1.0 + self._amplitude * math.sin(angle)
+
+
+class RegimeShiftProcess(LoadProcess):
+    """Occasional abrupt regime changes (e.g. a co-tenant arrives).
+
+    Holds a level for a geometric-distributed number of ticks, then jumps
+    to a new level.  This is the harshest case for long observation
+    windows: everything before the last shift is expired.
+    """
+
+    def __init__(self, rng: RngStream, mean_regime_length: int = 150,
+                 low: float = 0.7, high: float = 2.2):
+        self._rng = rng
+        self._mean_length = require_positive(mean_regime_length, "mean_regime_length")
+        self._low = low
+        self._high = high
+        self._levels: list[float] = []
+
+    def factor(self, tick: int) -> float:
+        while len(self._levels) <= tick:
+            if not self._levels or self._rng.random() < 1.0 / self._mean_length:
+                level = float(self._rng.uniform(self._low, self._high))
+            else:
+                level = self._levels[-1]
+            self._levels.append(level)
+        return self._levels[tick]
+
+
+class CompositeLoadProcess(LoadProcess):
+    """Product of component processes (drift x diurnal x shifts)."""
+
+    def __init__(self, components: list[LoadProcess]):
+        require(len(components) > 0, "CompositeLoadProcess needs components")
+        self._components = list(components)
+
+    def factor(self, tick: int) -> float:
+        product = 1.0
+        for component in self._components:
+            product *= component.factor(tick)
+        return product
+
+
+def default_federation_load(rng: RngStream) -> LoadProcess:
+    """The drift scenario used by the paper-shaped experiments.
+
+    A slowly wandering AR(1) load with a mild diurnal cycle and occasional
+    regime shifts — enough variance that full-history models mislead while
+    a recent window stays informative.
+    """
+    return CompositeLoadProcess(
+        [
+            # Within a fresh window the environment is near-constant
+            # (mild AR(1) wander, gentle diurnal slope); across a longer
+            # history, co-tenant regime shifts make old observations
+            # outright misleading — the paper's "expired information".
+            Ar1LoadProcess(rng.child("ar1"), phi=0.97, sigma=0.03),
+            DiurnalLoadProcess(period_ticks=120, amplitude=0.10),
+            RegimeShiftProcess(
+                rng.child("regime"), mean_regime_length=50, low=0.55, high=2.4
+            ),
+        ]
+    )

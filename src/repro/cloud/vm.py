@@ -1,0 +1,53 @@
+"""Virtual machines and clusters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instances import InstanceType
+from repro.common.errors import CloudError
+from repro.common.validation import require_positive
+
+
+@dataclass(frozen=True)
+class VirtualMachine:
+    """One provisioned VM."""
+
+    instance_type: InstanceType
+    vm_id: str
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous group of VMs at one site.
+
+    The QEP decision space of the paper's Example 3.1 is exactly the space
+    of (vcpus, memory) configurations a cluster can take; in our model that
+    is (instance type, node count).
+    """
+
+    site_name: str
+    instance_type: InstanceType
+    node_count: int
+
+    def __post_init__(self):
+        if self.node_count < 1:
+            raise CloudError(f"cluster needs >= 1 node, got {self.node_count}")
+
+    @property
+    def total_vcpus(self) -> int:
+        return self.instance_type.vcpus * self.node_count
+
+    @property
+    def total_memory_gib(self) -> float:
+        return self.instance_type.memory_gib * self.node_count
+
+    @property
+    def price_per_hour(self) -> float:
+        return self.instance_type.price_per_hour * self.node_count
+
+    def resized(self, node_count: int) -> "Cluster":
+        return Cluster(self.site_name, self.instance_type, node_count)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.node_count}x {self.instance_type} @ {self.site_name}"

@@ -1,0 +1,57 @@
+"""Shared utilities used by every subsystem.
+
+This package deliberately stays dependency-light: exceptions, seeded
+random-number streams, unit helpers, validation guards and ASCII table
+rendering.  Nothing in here knows about queries, clouds or regression.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    SchemaError,
+    SqlError,
+    PlanError,
+    ExecutionError,
+    EstimationError,
+    CloudError,
+    ValidationError,
+)
+from repro.common.rng import RngStream, derive_seed
+from repro.common.units import (
+    MIB,
+    GIB,
+    HOURS,
+    mib,
+    gib,
+    bytes_to_mib,
+    bytes_to_gib,
+    seconds_to_hours,
+    usd,
+)
+from repro.common.validation import require, require_positive, require_in_range
+from repro.common.text import render_table
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "SqlError",
+    "PlanError",
+    "ExecutionError",
+    "EstimationError",
+    "CloudError",
+    "ValidationError",
+    "RngStream",
+    "derive_seed",
+    "MIB",
+    "GIB",
+    "HOURS",
+    "mib",
+    "gib",
+    "bytes_to_mib",
+    "bytes_to_gib",
+    "seconds_to_hours",
+    "usd",
+    "require",
+    "require_positive",
+    "require_in_range",
+    "render_table",
+]

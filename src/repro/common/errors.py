@@ -1,0 +1,42 @@
+"""Exception hierarchy for the whole library.
+
+Every error raised by ``repro`` derives from :class:`ReproError`, so callers
+can catch one base class at the API boundary.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed a precondition check."""
+
+
+class SchemaError(ReproError):
+    """A table schema is inconsistent or a column reference cannot bind."""
+
+
+class SqlError(ReproError):
+    """SQL text could not be lexed, parsed or bound to a catalog."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ReproError):
+    """A logical or physical query plan is malformed."""
+
+
+class ExecutionError(ReproError):
+    """A plan failed while being executed or simulated."""
+
+
+class EstimationError(ReproError):
+    """A cost model could not be fitted or queried."""
+
+
+class CloudError(ReproError):
+    """A cloud-federation object (provider, instance, link) is misused."""

@@ -1,0 +1,44 @@
+"""Unit helpers.
+
+Internally the library uses **bytes** for data sizes, **seconds** for
+durations and **US dollars** for money.  These helpers convert at the
+boundaries and keep magic numbers out of the code.
+"""
+
+from __future__ import annotations
+
+MIB: int = 1024 * 1024
+GIB: int = 1024 * MIB
+HOURS: float = 3600.0
+
+
+def mib(value: float) -> float:
+    """Convert mebibytes to bytes."""
+    return float(value) * MIB
+
+
+def gib(value: float) -> float:
+    """Convert gibibytes to bytes."""
+    return float(value) * GIB
+
+
+def bytes_to_mib(value: float) -> float:
+    """Convert bytes to mebibytes."""
+    return float(value) / MIB
+
+
+def bytes_to_gib(value: float) -> float:
+    """Convert bytes to gibibytes."""
+    return float(value) / GIB
+
+
+def seconds_to_hours(value: float) -> float:
+    """Convert seconds to hours."""
+    return float(value) / HOURS
+
+
+def usd(value: float) -> str:
+    """Format a dollar amount the way the paper's Table 1 does."""
+    if value < 0.1:
+        return f"${value:.4f}"
+    return f"${value:.2f}"

@@ -1,0 +1,32 @@
+"""Precondition guards.
+
+Small helpers that raise :class:`~repro.common.errors.ValidationError` with a
+readable message.  Used at public API boundaries; internal code trusts its
+callers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import ValidationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Ensure ``value`` is strictly positive; return it for chaining."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Ensure ``low <= value <= high``; return it for chaining."""
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value

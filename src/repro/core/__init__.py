@@ -1,0 +1,21 @@
+"""The paper's primary contribution: DREAM.
+
+DREAM (Dynamic REgression AlgorithM) provides accurate multi-metric cost
+estimation with *limited* historical data: it grows its training window
+from the statistical minimum ``N = L + 2`` until the coefficient of
+determination of every per-metric linear model reaches a required
+threshold (Algorithm 1 of the paper), so in a drifting cloud federation
+it trains on fresh observations only.
+"""
+
+from repro.core.history import ExecutionHistory, Observation
+from repro.core.dream import DreamEstimator, DreamResult
+from repro.core.cost_model import MultiCostModel
+
+__all__ = [
+    "ExecutionHistory",
+    "Observation",
+    "DreamEstimator",
+    "DreamResult",
+    "MultiCostModel",
+]

@@ -1,0 +1,60 @@
+"""Multi-metric cost model facade.
+
+Wraps *any* per-metric fitted regressors (DREAM's MLRs, a BML winner, or
+a mix) behind one ``predict -> cost vector`` interface, which is what the
+multi-objective optimizer consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.common.errors import EstimationError
+from repro.ml.base import Regressor
+
+
+class MultiCostModel:
+    """metric name -> fitted regressor, with vector prediction."""
+
+    def __init__(self, models: Mapping[str, Regressor], feature_names: tuple[str, ...]):
+        if not models:
+            raise EstimationError("MultiCostModel needs at least one metric model")
+        for metric, model in models.items():
+            if not model.is_fitted:
+                raise EstimationError(f"model for metric {metric!r} is not fitted")
+        self._models = dict(models)
+        self.feature_names = tuple(feature_names)
+
+    @property
+    def metrics(self) -> tuple[str, ...]:
+        return tuple(self._models)
+
+    def model(self, metric: str) -> Regressor:
+        try:
+            return self._models[metric]
+        except KeyError:
+            raise EstimationError(
+                f"unknown metric {metric!r}; have {sorted(self._models)}"
+            ) from None
+
+    def predict(self, features) -> dict[str, float]:
+        x = np.asarray(features, dtype=float).reshape(-1)
+        if x.shape[0] != len(self.feature_names):
+            raise EstimationError(
+                f"expected {len(self.feature_names)} features "
+                f"({', '.join(self.feature_names)}), got {x.shape[0]}"
+            )
+        return {metric: model.predict_one(x) for metric, model in self._models.items()}
+
+    def predict_vector(self, features, order: tuple[str, ...]) -> tuple[float, ...]:
+        """Prediction as a tuple in a fixed metric order (for Pareto work)."""
+        predictions = self.predict(features)
+        return tuple(predictions[metric] for metric in order)
+
+    def features_dict_to_vector(self, features: dict[str, float]) -> np.ndarray:
+        try:
+            return np.array([features[name] for name in self.feature_names], dtype=float)
+        except KeyError as exc:
+            raise EstimationError(f"missing feature {exc.args[0]!r}") from None

@@ -1,0 +1,187 @@
+"""DREAM — Dynamic REgression AlgorithM (paper §3, Algorithm 1).
+
+The estimation problem: predict the cost vector ``c_hat_N(p)`` of a query
+plan from system features (data sizes, node counts) using Multiple Linear
+Regression, choosing *how much* history to train on dynamically.
+
+Algorithm 1, verbatim mapping::
+
+    function EstimateCostValue(R2_require, X, Mmax):
+        for n in 1..N: R2_n <- 0                 # one per cost metric
+        m = L + 2                                # minimum training size
+        while (any R2_n < R2_require_n) and m < Mmax:
+            for each cost function c_n:
+                fit c_hat_n on the last m observations   # Eq. 6/12
+                R2_n = 1 - SSE/SST                        # Eq. 14
+            m = m + 1
+        return c_hat_N(p)
+
+Because the window grows *backwards from the most recent observation*,
+DREAM stops as soon as a small, fresh window already explains the data —
+under drift that is typically near ``N = L + 2``, which is both the
+accuracy mechanism (stale points never enter) and the speed mechanism
+(each of the thousands of equivalent QEPs in Example 3.1 is estimated
+from a tiny design matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import EstimationError
+from repro.common.validation import require, require_in_range
+from repro.ml.dataset import Dataset
+from repro.ml.linear import MultipleLinearRegression, minimum_observations
+
+
+@dataclass(frozen=True)
+class DreamResult:
+    """The outcome of one DREAM fit."""
+
+    models: dict[str, MultipleLinearRegression]
+    window_size: int
+    r_squared: dict[str, float]
+    converged: bool
+    feature_names: tuple[str, ...]
+    #: Per metric: (min, max) of the training window's targets.  Linear
+    #: models extrapolate without bound outside the window's feature
+    #: hull; predictions are clamped to a guard band around the observed
+    #: cost range (costs are physical quantities — they cannot be
+    #: negative, nor orders of magnitude outside recent observations).
+    target_ranges: dict[str, tuple[float, float]] = None
+    #: Allowed extrapolation beyond the observed range (factor).
+    guard_factor: float = 2.0
+
+    def predict(self, features) -> dict[str, float]:
+        """Predicted cost vector ``c_hat_N(p)`` for one feature vector."""
+        x = np.asarray(features, dtype=float).reshape(-1)
+        return {metric: self._clamped(metric, x) for metric in self.models}
+
+    def predict_metric(self, metric: str, features) -> float:
+        if metric not in self.models:
+            raise EstimationError(
+                f"unknown metric {metric!r}; fitted: {sorted(self.models)}"
+            )
+        return self._clamped(metric, np.asarray(features, dtype=float).reshape(-1))
+
+    def _clamped(self, metric: str, x: np.ndarray) -> float:
+        raw = self.models[metric].predict_one(x)
+        if not self.target_ranges or metric not in self.target_ranges:
+            return raw
+        low, high = self.target_ranges[metric]
+        lower = low / self.guard_factor if low > 0 else low * self.guard_factor
+        upper = high * self.guard_factor if high > 0 else high / self.guard_factor
+        return float(min(max(raw, lower), upper))
+
+
+class DreamEstimator:
+    """Implements Algorithm 1 over per-metric datasets.
+
+    Parameters
+    ----------
+    r2_required:
+        The quality threshold ``R^2_require``; either one float for every
+        metric or a per-metric mapping.  The paper recommends 0.8 (§3).
+    max_window:
+        ``Mmax``.  ``None`` allows growth up to the full history.
+    """
+
+    def __init__(
+        self,
+        r2_required: float | dict[str, float] = 0.8,
+        max_window: int | None = None,
+        r2_mode: str = "press",
+    ):
+        if isinstance(r2_required, dict):
+            for metric, value in r2_required.items():
+                require_in_range(value, 0.0, 1.0, f"r2_required[{metric}]")
+        else:
+            require_in_range(r2_required, 0.0, 1.0, "r2_required")
+        self.r2_required = r2_required
+        if max_window is not None:
+            require(max_window >= 3, f"max_window must be >= 3, got {max_window}")
+        self.max_window = max_window
+        require(
+            r2_mode in ("press", "training"),
+            f"r2_mode must be 'press' or 'training', got {r2_mode!r}",
+        )
+        # "training" is the paper's literal Eq. 14; "press" (default) is
+        # its leave-one-out form, which does not saturate at m = L + 2
+        # where OLS interpolates (see MultipleLinearRegression docs).
+        self.r2_mode = r2_mode
+
+    def _required(self, metric: str) -> float:
+        if isinstance(self.r2_required, dict):
+            try:
+                return self.r2_required[metric]
+            except KeyError:
+                raise EstimationError(
+                    f"no R^2 requirement for metric {metric!r}"
+                ) from None
+        return self.r2_required
+
+    def fit(self, datasets: dict[str, Dataset]) -> DreamResult:
+        """Run Algorithm 1 on time-ordered per-metric datasets.
+
+        All datasets must share the feature matrix shape (they come from
+        one :class:`~repro.core.history.ExecutionHistory`).
+        """
+        if not datasets:
+            raise EstimationError("DREAM needs at least one cost metric")
+        sizes = {data.size for data in datasets.values()}
+        dims = {data.dimension for data in datasets.values()}
+        names = {data.feature_names for data in datasets.values()}
+        if len(sizes) != 1 or len(dims) != 1 or len(names) != 1:
+            raise EstimationError("per-metric datasets must share their feature matrix")
+        total = sizes.pop()
+        dimension = dims.pop()
+
+        m = minimum_observations(dimension)  # m = L + 2
+        if total < m:
+            raise EstimationError(
+                f"DREAM needs at least {m} observations (L + 2), history has {total}"
+            )
+        m_max = total if self.max_window is None else min(self.max_window, total)
+
+        models: dict[str, MultipleLinearRegression] = {}
+        r2: dict[str, float] = {metric: 0.0 for metric in datasets}
+
+        while True:
+            for metric, data in datasets.items():
+                model = MultipleLinearRegression()
+                window = data.last_window(m)
+                model.fit(window.features, window.targets)
+                models[metric] = model
+                r2[metric] = (
+                    model.press_r_squared_
+                    if self.r2_mode == "press"
+                    else model.r_squared_
+                )
+            converged = all(
+                r2[metric] >= self._required(metric) for metric in datasets
+            )
+            if converged or m >= m_max:
+                ranges = {}
+                for metric, data in datasets.items():
+                    window_targets = data.last_window(m).targets
+                    ranges[metric] = (
+                        float(window_targets.min()),
+                        float(window_targets.max()),
+                    )
+                return DreamResult(
+                    models=models,
+                    window_size=m,
+                    r_squared=dict(r2),
+                    converged=converged,
+                    feature_names=next(iter(datasets.values())).feature_names,
+                    target_ranges=ranges,
+                )
+            m += 1
+
+    def estimate_cost_values(
+        self, datasets: dict[str, Dataset], features
+    ) -> dict[str, float]:
+        """Fit-and-predict in one call (the Algorithm 1 signature)."""
+        return self.fit(datasets).predict(features)

@@ -1,0 +1,111 @@
+"""Execution history: the time-ordered observation store.
+
+Every query execution logged by IReS becomes an :class:`Observation`:
+a feature vector (the x of the paper's Eq. 5 — data sizes, node counts)
+plus one measured value per cost metric.  DREAM and the BML baselines
+draw their training windows from here; order is the append order, which
+is time order, so "the last m observations" are the freshest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import EstimationError
+from repro.ml.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One logged execution."""
+
+    tick: int
+    features: dict[str, float]
+    costs: dict[str, float]
+
+
+class ExecutionHistory:
+    """Append-only, time-ordered log of executions for one workload unit.
+
+    The paper keeps per-query-template histories (Tables 3-4 report one
+    model per TPC-H query); instantiate one history per template.
+    """
+
+    def __init__(self, feature_names: tuple[str, ...], metric_names: tuple[str, ...]):
+        if not feature_names:
+            raise EstimationError("history needs at least one feature")
+        if not metric_names:
+            raise EstimationError("history needs at least one metric")
+        self.feature_names = tuple(feature_names)
+        self.metric_names = tuple(metric_names)
+        self._observations: list[Observation] = []
+
+    # Mutation ------------------------------------------------------------
+
+    def append(self, tick: int, features: dict[str, float], costs: dict[str, float]) -> None:
+        missing_features = set(self.feature_names) - set(features)
+        if missing_features:
+            raise EstimationError(f"observation missing features {sorted(missing_features)}")
+        missing_metrics = set(self.metric_names) - set(costs)
+        if missing_metrics:
+            raise EstimationError(f"observation missing metrics {sorted(missing_metrics)}")
+        if self._observations and tick < self._observations[-1].tick:
+            raise EstimationError(
+                f"ticks must be non-decreasing: {tick} after {self._observations[-1].tick}"
+            )
+        self._observations.append(
+            Observation(
+                tick,
+                {name: float(features[name]) for name in self.feature_names},
+                {name: float(costs[name]) for name in self.metric_names},
+            )
+        )
+
+    # Introspection ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._observations)
+
+    @property
+    def observations(self) -> list[Observation]:
+        return list(self._observations)
+
+    def last_tick(self) -> int:
+        if not self._observations:
+            raise EstimationError("history is empty")
+        return self._observations[-1].tick
+
+    # Dataset views -----------------------------------------------------------
+
+    def feature_matrix(self) -> np.ndarray:
+        return np.array(
+            [[obs.features[name] for name in self.feature_names] for obs in self._observations],
+            dtype=float,
+        ).reshape(len(self._observations), len(self.feature_names))
+
+    def dataset(self, metric: str) -> Dataset:
+        """The full history as a Dataset targeting one metric."""
+        if metric not in self.metric_names:
+            raise EstimationError(
+                f"unknown metric {metric!r}; history tracks {self.metric_names}"
+            )
+        targets = np.array(
+            [obs.costs[metric] for obs in self._observations], dtype=float
+        )
+        return Dataset(self.feature_matrix(), targets, self.feature_names)
+
+    def datasets(self) -> dict[str, Dataset]:
+        """One Dataset per tracked metric (shared feature matrix)."""
+        return {metric: self.dataset(metric) for metric in self.metric_names}
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ExecutionHistory(size={self.size}, features={self.feature_names}, "
+            f"metrics={self.metric_names})"
+        )

@@ -1,0 +1,34 @@
+"""Simulated execution engines: Hive, PostgreSQL and Spark.
+
+The paper's testbed runs queries across Hive and PostgreSQL (with Spark
+available) on a private cloud.  Here each engine is an analytic +
+event-driven cost simulator: given a costed plan profile
+(:mod:`repro.plans.physical`) and a provisioned cluster it produces a
+deterministic *base* execution time; the multi-engine simulator layers
+load drift and stochastic noise on top to produce the "measured" costs
+that DREAM and the baselines learn from.
+"""
+
+from repro.engines.metrics import ExecutionMetrics
+from repro.engines.base import EngineParameters, ExecutionEngine
+from repro.engines.hive import HiveEngine
+from repro.engines.postgres import PostgresEngine
+from repro.engines.spark import SparkEngine
+from repro.engines.registry import default_engines, engine_by_name
+from repro.engines.simulation import TaskTimeline, schedule_tasks
+from repro.engines.simulate import MultiEngineSimulator, QueryExecution
+
+__all__ = [
+    "ExecutionMetrics",
+    "EngineParameters",
+    "ExecutionEngine",
+    "HiveEngine",
+    "PostgresEngine",
+    "SparkEngine",
+    "default_engines",
+    "engine_by_name",
+    "TaskTimeline",
+    "schedule_tasks",
+    "MultiEngineSimulator",
+    "QueryExecution",
+]

@@ -1,0 +1,115 @@
+"""Execution-engine base class and shared cost vocabulary.
+
+An engine turns the slice of a :class:`~repro.plans.physical.PlanProfile`
+that runs on it, plus the cluster it is provisioned on, into a
+deterministic *base* execution time with a breakdown.  Engines do not
+know about load or noise — the multi-engine simulator owns those — so the
+same engine object can serve both "actual" runs and what-if estimation.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cloud.vm import Cluster
+from repro.common.units import MIB
+from repro.plans.physical import OperatorProfile
+
+#: Average active power per vCPU, for the energy metric (watts).
+WATTS_PER_VCPU = 12.0
+
+
+@dataclass(frozen=True)
+class EngineParameters:
+    """Tunable cost coefficients of a simulated engine."""
+
+    startup_fixed_s: float
+    startup_per_node_s: float
+    scan_bytes_per_s_per_core: float
+    cpu_s_per_row: float
+    join_cpu_s_per_row: float
+    sort_cpu_s_per_row: float
+    shuffle_bytes_per_s_per_node: float
+    split_bytes: float
+    #: Parallel efficiency: effective cores = cores ** alpha.
+    parallel_alpha: float = 0.9
+    #: Multiplier applied when a stage's working set exceeds memory.
+    spill_factor: float = 1.0
+    #: Fraction of cluster memory usable as working set.
+    memory_fraction: float = 0.6
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    startup_s: float = 0.0
+    scan_s: float = 0.0
+    cpu_s: float = 0.0
+    shuffle_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.startup_s + self.scan_s + self.cpu_s + self.shuffle_s
+
+    def as_dict(self) -> dict:
+        return {
+            "startup_s": self.startup_s,
+            "scan_s": self.scan_s,
+            "cpu_s": self.cpu_s,
+            "shuffle_s": self.shuffle_s,
+        }
+
+
+class ExecutionEngine(ABC):
+    """A simulated database engine."""
+
+    #: Engine identifier used in placements ("hive", "postgresql", "spark").
+    name: str = "abstract"
+
+    def __init__(self, parameters: EngineParameters):
+        self.parameters = parameters
+
+    @abstractmethod
+    def base_time(self, operators: list[OperatorProfile], cluster: Cluster) -> TimeBreakdown:
+        """Deterministic execution time of ``operators`` on ``cluster``."""
+
+    # Shared helpers ------------------------------------------------------
+
+    def effective_cores(self, cluster: Cluster) -> float:
+        return max(1.0, cluster.total_vcpus ** self.parameters.parallel_alpha)
+
+    def startup_time(self, cluster: Cluster) -> float:
+        return (
+            self.parameters.startup_fixed_s
+            + self.parameters.startup_per_node_s * cluster.node_count
+        )
+
+    def spill_multiplier(self, working_set_bytes: float, cluster: Cluster) -> float:
+        budget = cluster.total_memory_gib * 1024 * MIB * self.parameters.memory_fraction
+        if working_set_bytes > budget > 0:
+            return self.parameters.spill_factor
+        return 1.0
+
+    def cpu_time(self, operators: list[OperatorProfile], cluster: Cluster) -> float:
+        """Row-processing time across all operators, divided over cores."""
+        params = self.parameters
+        total = 0.0
+        for op in operators:
+            if op.kind in ("scan", "filter", "project"):
+                total += op.input_rows * params.cpu_s_per_row
+            elif op.kind == "join":
+                total += op.input_rows * params.join_cpu_s_per_row
+                total += op.output_rows * params.cpu_s_per_row
+            elif op.kind in ("aggregate", "distinct"):
+                total += op.input_rows * params.join_cpu_s_per_row
+            elif op.kind == "sort":
+                rows = max(op.input_rows, 2.0)
+                total += rows * math.log2(rows) * params.sort_cpu_s_per_row
+        return total / self.effective_cores(cluster)
+
+    def energy_joules(self, duration_s: float, cluster: Cluster) -> float:
+        return duration_s * cluster.total_vcpus * WATTS_PER_VCPU
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"

@@ -1,0 +1,53 @@
+"""Execution metrics: the cost vector of MOQP.
+
+The paper's cost metrics are execution time and monetary cost (§2.3,
+Example 2.1), with intermediate-data size and energy mentioned as further
+objectives (§2.4).  All four are carried so the multi-objective optimizer
+has a real vector to work with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExecutionMetrics:
+    """The measured (or predicted) costs of one query execution."""
+
+    execution_time_s: float
+    monetary_cost_usd: float
+    intermediate_bytes: float = 0.0
+    energy_joules: float = 0.0
+    #: Optional decomposition of the time (scan/cpu/shuffle/transfer/startup).
+    breakdown: dict = field(default_factory=dict, compare=False)
+
+    def as_vector(self, metrics: tuple[str, ...] = ("time", "money")) -> tuple[float, ...]:
+        """The metric vector in a fixed order, for Pareto comparisons."""
+        lookup = {
+            "time": self.execution_time_s,
+            "money": self.monetary_cost_usd,
+            "intermediate": self.intermediate_bytes,
+            "energy": self.energy_joules,
+        }
+        return tuple(lookup[m] for m in metrics)
+
+    def scaled(self, factor: float) -> "ExecutionMetrics":
+        """Scale time-derived quantities (load/noise application)."""
+        return ExecutionMetrics(
+            execution_time_s=self.execution_time_s * factor,
+            monetary_cost_usd=self.monetary_cost_usd,
+            intermediate_bytes=self.intermediate_bytes,
+            energy_joules=self.energy_joules * factor,
+            breakdown=dict(self.breakdown),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"time={self.execution_time_s:.2f}s money=${self.monetary_cost_usd:.4f} "
+            f"intermediate={self.intermediate_bytes / (1024 * 1024):.1f}MiB"
+        )
+
+
+#: The metric names understood by :meth:`ExecutionMetrics.as_vector`.
+METRIC_NAMES = ("time", "money", "intermediate", "energy")

@@ -1,0 +1,26 @@
+"""Engine registry: name -> engine instance."""
+
+from __future__ import annotations
+
+from repro.common.errors import ExecutionError
+from repro.engines.base import ExecutionEngine
+from repro.engines.hive import HiveEngine
+from repro.engines.postgres import PostgresEngine
+from repro.engines.spark import SparkEngine
+
+
+def default_engines() -> dict[str, ExecutionEngine]:
+    """The three engines of the paper's testbed, keyed by name."""
+    engines: dict[str, ExecutionEngine] = {}
+    for engine in (HiveEngine(), PostgresEngine(), SparkEngine()):
+        engines[engine.name] = engine
+    return engines
+
+
+def engine_by_name(name: str, engines: dict[str, ExecutionEngine] | None = None) -> ExecutionEngine:
+    pool = engines if engines is not None else default_engines()
+    try:
+        return pool[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(pool))
+        raise ExecutionError(f"unknown engine {name!r}; registered: {known}") from None

@@ -1,0 +1,35 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every module exposes a ``run_*`` function returning a result object and
+a ``format_*`` helper that renders the paper-shaped table.  The
+``benchmarks/`` directory wraps these with pytest-benchmark.
+"""
+
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.table2 import run_table2, format_table2, PAPER_TABLE2_ROWS
+from repro.experiments.mre import (
+    MreExperimentResult,
+    run_mre_experiment,
+    format_mre_table,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+)
+from repro.experiments.figure3 import run_figure3, format_figure3
+from repro.experiments.example31 import run_example31, format_example31
+
+__all__ = [
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "PAPER_TABLE2_ROWS",
+    "MreExperimentResult",
+    "run_mre_experiment",
+    "format_mre_table",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "run_figure3",
+    "format_figure3",
+    "run_example31",
+    "format_example31",
+]

@@ -1,0 +1,212 @@
+"""Tables 3 & 4: Mean Relative Error of DREAM vs the BML baselines.
+
+Protocol (mirrors §4.2-4.3 of the paper, prequentially):
+
+1. Run a stream of randomised executions of each TPC-H query (12, 13,
+   14, 17) on the simulated Hive+PostgreSQL federation under a drifting
+   load, logging (features, measured time) per run.
+2. For each of the last ``test_runs`` observations, every estimator
+   trains on everything strictly older (through its own window policy)
+   and predicts the run's execution time.
+3. Report MRE (paper Eq. 15) per query per estimator.
+
+Estimators: DREAM (Algorithm 1, R^2_require = 0.8) against the stock
+IReS Best-ML model trained on windows N, 2N, 3N and unlimited, with
+``N = L + 2`` (the paper's §4.3 set-up exactly).
+
+Absolute MREs differ from the paper's (their testbed, our simulator);
+the *shape* — DREAM smallest in every row, with a training window that
+stays "around N" — is asserted by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.common.text import render_table
+from repro.core.dream import DreamEstimator
+from repro.core.history import ExecutionHistory
+from repro.ml.linear import minimum_observations
+from repro.ml.metrics import mean_relative_error
+from repro.ml.selection import BestModelSelector, ObservationWindow, PAPER_WINDOWS
+from repro.workloads.tpch_runner import TpchFederationConfig, TpchFederationWorkload
+
+#: The paper's Table 3 (100 MiB): query -> estimator -> MRE.
+PAPER_TABLE3: dict[str, dict[str, float]] = {
+    "q12": {"BML_N": 0.265, "BML_2N": 0.459, "BML_3N": 0.220, "BML": 0.485, "DREAM": 0.146},
+    "q13": {"BML_N": 0.434, "BML_2N": 0.517, "BML_3N": 0.381, "BML": 0.358, "DREAM": 0.258},
+    "q14": {"BML_N": 0.373, "BML_2N": 0.340, "BML_3N": 0.335, "BML": 0.358, "DREAM": 0.319},
+    "q17": {"BML_N": 0.404, "BML_2N": 0.396, "BML_3N": 0.267, "BML": 0.965, "DREAM": 0.119},
+}
+
+#: The paper's Table 4 (1 GiB).
+PAPER_TABLE4: dict[str, dict[str, float]] = {
+    "q12": {"BML_N": 0.349, "BML_2N": 0.854, "BML_3N": 0.341, "BML": 0.480, "DREAM": 0.335},
+    "q13": {"BML_N": 0.396, "BML_2N": 0.843, "BML_3N": 0.457, "BML": 0.487, "DREAM": 0.349},
+    "q14": {"BML_N": 0.468, "BML_2N": 0.664, "BML_3N": 0.539, "BML": 0.790, "DREAM": 0.318},
+    "q17": {"BML_N": 0.620, "BML_2N": 0.611, "BML_3N": 0.681, "BML": 0.970, "DREAM": 0.536},
+}
+
+ESTIMATOR_ORDER = ("BML_N", "BML_2N", "BML_3N", "BML", "DREAM")
+
+
+@dataclass(frozen=True)
+class MreExperimentConfig:
+    scale_mib: float = 100.0
+    train_runs: int = 110
+    test_runs: int = 20
+    #: MREs are averaged over these independent workload seeds; single
+    #: 20-point MREs are noisy enough for adjacent estimators to swap.
+    seeds: tuple[int, ...] = (7, 11, 23)
+    drift: str = "paper"
+    r2_required: float = 0.8
+    #: Algorithm 1's Mmax as a multiple of N = L + 2.  Bounds how stale
+    #: DREAM's window may grow when no window reaches R^2_require.
+    max_window_multiplier: int = 4
+    target_metric: str = "time"
+    queries: tuple[str, ...] = ("q12", "q13", "q14", "q17")
+    physical_scale_factor: float = 0.0005
+
+
+@dataclass
+class MreExperimentResult:
+    scale_mib: float
+    #: query -> estimator label -> MRE.
+    mre: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: query -> mean DREAM window size across test points.
+    dream_window_mean: dict[str, float] = field(default_factory=dict)
+    #: The N each query's window policies are based on (L + 2).
+    minimum_window: int = 0
+
+    def dream_wins(self, query: str) -> bool:
+        row = self.mre[query]
+        return row["DREAM"] <= min(v for k, v in row.items() if k != "DREAM")
+
+    def dream_wins_everywhere(self) -> bool:
+        return all(self.dream_wins(query) for query in self.mre)
+
+
+def evaluate_history(
+    history: ExecutionHistory,
+    test_runs: int,
+    r2_required: float = 0.8,
+    target_metric: str = "time",
+    max_window_multiplier: int = 4,
+) -> tuple[dict[str, float], float]:
+    """Prequential MRE per estimator over the last ``test_runs`` points.
+
+    Returns (label -> MRE, mean DREAM window size).
+    """
+    datasets = history.datasets()
+    target_data = datasets[target_metric]
+    total = target_data.size
+    start = total - test_runs
+    minimum = minimum_observations(target_data.dimension)
+    if start < minimum:
+        raise ValueError(
+            f"need at least {minimum + test_runs} observations, have {total}"
+        )
+
+    actuals: list[float] = []
+    predictions: dict[str, list[float]] = {label: [] for label in ESTIMATOR_ORDER}
+    dream_windows: list[int] = []
+    dream = DreamEstimator(
+        r2_required=r2_required,
+        max_window=max_window_multiplier * minimum,
+    )
+
+    for index in range(start, total):
+        features = target_data.features[index]
+        actuals.append(float(target_data.targets[index]))
+
+        past = {metric: data.head(index) for metric, data in datasets.items()}
+        result = dream.fit(past)
+        predictions["DREAM"].append(result.predict_metric(target_metric, features))
+        dream_windows.append(result.window_size)
+
+        for window in PAPER_WINDOWS:
+            label = window.label()
+            selector = BestModelSelector()
+            best = selector.fit(window.apply(past[target_metric]))
+            predictions[label].append(best.predict_one(features))
+
+    mre = {
+        label: mean_relative_error(actuals, values)
+        for label, values in predictions.items()
+    }
+    return mre, statistics.fmean(dream_windows)
+
+
+def run_mre_experiment(config: MreExperimentConfig | None = None) -> MreExperimentResult:
+    """Full Table 3 (or 4) reproduction for the configured scale.
+
+    Per-query MREs (and DREAM window sizes) are averaged over
+    ``config.seeds`` independent workload realisations.
+    """
+    config = config or MreExperimentConfig()
+    total_runs = config.train_runs + config.test_runs
+    result = MreExperimentResult(scale_mib=config.scale_mib)
+    per_seed_mre: dict[str, list[dict[str, float]]] = {q: [] for q in config.queries}
+    per_seed_window: dict[str, list[float]] = {q: [] for q in config.queries}
+
+    for seed in config.seeds:
+        workload = TpchFederationWorkload(
+            TpchFederationConfig(
+                scale_mib=config.scale_mib,
+                physical_scale_factor=config.physical_scale_factor,
+                queries=config.queries,
+                seed=seed,
+                drift=config.drift,
+            )
+        )
+        for query in config.queries:
+            history = workload.build_history(query, total_runs)
+            mre, window_mean = evaluate_history(
+                history,
+                config.test_runs,
+                config.r2_required,
+                config.target_metric,
+                config.max_window_multiplier,
+            )
+            per_seed_mre[query].append(mre)
+            per_seed_window[query].append(window_mean)
+            result.minimum_window = minimum_observations(len(history.feature_names))
+
+    for query in config.queries:
+        samples = per_seed_mre[query]
+        result.mre[query] = {
+            label: statistics.fmean(sample[label] for sample in samples)
+            for label in ESTIMATOR_ORDER
+        }
+        result.dream_window_mean[query] = statistics.fmean(per_seed_window[query])
+    return result
+
+
+def format_mre_table(
+    result: MreExperimentResult,
+    paper: dict[str, dict[str, float]] | None = None,
+    title: str = "",
+) -> str:
+    """Render the paper-shaped table, optionally with paper values inline."""
+    headers = ["Query", *ESTIMATOR_ORDER]
+    rows = []
+    for query in sorted(result.mre):
+        row = [query[1:]]  # "q12" -> "12" like the paper
+        for label in ESTIMATOR_ORDER:
+            value = f"{result.mre[query][label]:.3f}"
+            if paper is not None:
+                value += f" ({paper[query][label]:.3f})"
+            row.append(value)
+        rows.append(row)
+    table = render_table(headers, rows, title=title)
+    windows = ", ".join(
+        f"{query}={mean:.1f}" for query, mean in sorted(result.dream_window_mean.items())
+    )
+    notes = [
+        f"N = L + 2 = {result.minimum_window}; mean DREAM window: {windows}",
+        f"DREAM smallest in every row: {result.dream_wins_everywhere()}",
+    ]
+    if paper is not None:
+        notes.append("(values in parentheses: the paper's measurements)")
+    return table + "\n" + "\n".join(notes)

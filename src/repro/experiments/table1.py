@@ -1,0 +1,74 @@
+"""Table 1: example of instances pricing.
+
+Renders our instance catalog in exactly the paper's row order and checks
+it against the prices printed in the paper (they must match verbatim —
+the catalog *is* the table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instances import PAPER_TABLE1_CATALOG, InstanceType
+from repro.common.text import render_table
+from repro.common.units import usd
+
+#: (provider, machine, vCPU, memory GiB, storage, price/hour) — verbatim.
+PAPER_TABLE1_ROWS = [
+    ("Amazon", "a1.medium", 1, 2, "EBS-Only", 0.0049),
+    ("Amazon", "a1.large", 2, 4, "EBS-Only", 0.0098),
+    ("Amazon", "a1.xlarge", 4, 8, "EBS-Only", 0.0197),
+    ("Amazon", "a1.2xlarge", 8, 16, "EBS-Only", 0.0394),
+    ("Amazon", "a1.4xlarge", 16, 32, "EBS-Only", 0.0788),
+    ("Microsoft", "B1S", 1, 1, "2", 0.011),
+    ("Microsoft", "B1MS", 1, 2, "4", 0.021),
+    ("Microsoft", "B2S", 2, 4, "8", 0.042),
+    ("Microsoft", "B2MS", 2, 8, "16", 0.084),
+    ("Microsoft", "B4MS", 4, 16, "32", 0.166),
+    ("Microsoft", "B8MS", 8, 32, "64", 0.333),
+]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: list[tuple]
+    matches_paper: bool
+
+
+def _catalog_row(instance: InstanceType) -> tuple:
+    return (
+        instance.provider.value,
+        instance.name,
+        instance.vcpus,
+        instance.memory_gib,
+        instance.storage_description,
+        instance.price_per_hour,
+    )
+
+
+def run_table1() -> Table1Result:
+    """Build Table 1 from the live catalog and verify it verbatim."""
+    rows = [_catalog_row(i) for i in PAPER_TABLE1_CATALOG]
+    expected = [
+        (provider, name, vcpus, float(memory), storage, price)
+        for provider, name, vcpus, memory, storage, price in PAPER_TABLE1_ROWS
+    ]
+    actual = [
+        (provider, name, vcpus, float(memory), storage, price)
+        for provider, name, vcpus, memory, storage, price in rows
+    ]
+    return Table1Result(rows=rows, matches_paper=actual == expected)
+
+
+def format_table1(result: Table1Result) -> str:
+    display = [
+        (provider, machine, vcpus, f"{memory:g}", storage, usd(price))
+        for provider, machine, vcpus, memory, storage, price in result.rows
+    ]
+    table = render_table(
+        ["Provider", "Machine", "vCPU", "Memory (GiB)", "Storage (GiB)", "Price"],
+        display,
+        title="Table 1: Example of instances pricing.",
+    )
+    status = "matches the paper verbatim" if result.matches_paper else "MISMATCH vs paper"
+    return f"{table}\n[{status}]"

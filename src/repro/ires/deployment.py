@@ -1,0 +1,53 @@
+"""Deployment: which engine at which cloud stores each table.
+
+In the paper's scenario, each hospital's data lives where that hospital's
+cloud/provider is — e.g. Patient in Hive on cloud A, GeneralInfo in
+PostgreSQL on cloud B.  The deployment is fixed per federation; what the
+optimizer can choose is *where operators execute*, not where base data
+lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import PlanError
+from repro.plans.physical import EnginePlacement, Placement
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """table name -> engine/site holding it."""
+
+    table_engines: dict[str, EnginePlacement]
+
+    def placement_for(self, execution: EnginePlacement) -> Placement:
+        """A QEP placement: stored tables + chosen execution engine."""
+        return Placement(tables=dict(self.table_engines), execution=execution)
+
+    def site_of(self, table_name: str) -> str:
+        return self._lookup(table_name).site
+
+    def engine_of(self, table_name: str) -> str:
+        return self._lookup(table_name).engine
+
+    def _lookup(self, table_name: str) -> EnginePlacement:
+        try:
+            return self.table_engines[table_name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self.table_engines))
+            raise PlanError(
+                f"table {table_name!r} is not deployed; deployed: {known}"
+            ) from None
+
+    def execution_options(self, tables: tuple[str, ...]) -> list[EnginePlacement]:
+        """Engines eligible to execute a query over ``tables``.
+
+        IReS runs the join at one of the engines holding a participating
+        table (data is shipped to it).
+        """
+        seen: dict[tuple[str, str], EnginePlacement] = {}
+        for table in tables:
+            placement = self._lookup(table)
+            seen[(placement.engine, placement.site)] = placement
+        return list(seen.values())

@@ -1,0 +1,178 @@
+"""QEP space enumeration (paper Example 3.1).
+
+A logical plan spawns many *equivalent QEPs*: the same operator tree run
+at a different engine, or on a different cluster configuration.  The
+enumerator builds that space as the cross product of
+
+* execution engine/site (one of the engines holding a participating
+  table), and
+* node count per participating site (instance types are fixed per site
+  by the federation's deployment, as in the paper's testbed).
+
+Example 3.1's headline number — 70 vCPUs x 260 GB of memory = 18,200
+equivalent configurations for a single plan — is exposed verbatim by
+:func:`vm_configuration_count`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cloud.federation import CloudFederation
+from repro.cloud.vm import Cluster
+from repro.common.units import bytes_to_mib
+from repro.common.validation import require, require_positive
+from repro.ires.deployment import Deployment
+from repro.plans.logical import LogicalPlan
+from repro.plans.physical import EnginePlacement, Placement, profile_plan
+from repro.plans.statistics import TableStats
+
+
+@dataclass
+class QepCandidate:
+    """One equivalent QEP: execution choice + cluster configuration."""
+
+    query_key: str
+    placement: Placement
+    clusters: dict[str, Cluster]
+    features: dict[str, float]
+
+    @property
+    def execution(self) -> EnginePlacement:
+        return self.placement.execution
+
+    def describe(self) -> str:
+        nodes = ", ".join(
+            f"{site}={cluster.node_count}" for site, cluster in sorted(self.clusters.items())
+        )
+        return f"{self.query_key} @ {self.execution.engine}/{self.execution.site} [{nodes}]"
+
+
+def vm_configuration_count(vcpu_pool: int = 70, memory_pool_gb: int = 260) -> int:
+    """Example 3.1: |configurations| = vCPU pool x memory pool.
+
+    "If the pool of resources includes 70 vCPU and 260GB of memory, the
+    number of different configurations to execute this query is thus
+    70 x 260 = 18,200."
+    """
+    require_positive(vcpu_pool, "vcpu_pool")
+    require_positive(memory_pool_gb, "memory_pool_gb")
+    return vcpu_pool * memory_pool_gb
+
+
+def vm_configuration_space(vcpu_pool: int, memory_pool_gb: int) -> list[tuple[int, int]]:
+    """All (vcpus, memory_gb) pairs of Example 3.1's space."""
+    return list(itertools.product(range(1, vcpu_pool + 1), range(1, memory_pool_gb + 1)))
+
+
+class QepEnumerator:
+    """Enumerates :class:`QepCandidate` for a bound plan."""
+
+    def __init__(
+        self,
+        federation: CloudFederation,
+        deployment: Deployment,
+        instance_types: dict[str, str],
+        node_options: dict[str, list[int]],
+        fixed_execution: EnginePlacement | None = None,
+    ):
+        """``instance_types``/``node_options`` are keyed by site name.
+
+        With ``fixed_execution`` the QEP space is restricted to one
+        execution engine — the per-engine profiling mode IReS models are
+        built in (one model per operator per engine), which also drops
+        the engine-indicator features (none are needed).
+        """
+        require(bool(instance_types), "instance_types must not be empty")
+        require(bool(node_options), "node_options must not be empty")
+        self.federation = federation
+        self.deployment = deployment
+        self.instance_types = {k.lower(): v for k, v in instance_types.items()}
+        self.node_options = {k.lower(): list(v) for k, v in node_options.items()}
+        self.fixed_execution = fixed_execution
+
+    def feature_names(self, tables: tuple[str, ...]) -> tuple[str, ...]:
+        """Feature vector layout for a query over ``tables``.
+
+        Matches the paper's Example 2.1 — one size per table (MiB of data
+        surviving that table's filters) + one node count per site — plus
+        a one-hot indicator per execution engine beyond the first (the
+        "type of virtual machines / system information" the paper's §3
+        allows as model variables): without it no linear model could
+        separate a Hive execution from a PostgreSQL one.
+        """
+        names = [f"size_{table.lower()}_mib" for table in tables]
+        names.extend(f"nodes_{site}" for site in self._sites(tables))
+        names.extend(
+            f"exec_{placement.engine}_{placement.site}"
+            for placement in self._execution_indicator_options(tables)
+        )
+        return tuple(names)
+
+    def _sites(self, tables: tuple[str, ...]) -> list[str]:
+        return sorted({self.deployment.site_of(t).lower() for t in tables})
+
+    def _execution_options(self, tables: tuple[str, ...]) -> list[EnginePlacement]:
+        if self.fixed_execution is not None:
+            return [self.fixed_execution]
+        return self.deployment.execution_options(tables)
+
+    def _execution_indicator_options(self, tables: tuple[str, ...]) -> list[EnginePlacement]:
+        """All but one execution option get an indicator (k-1 encoding)."""
+        options = sorted(
+            self._execution_options(tables),
+            key=lambda p: (p.engine, p.site),
+        )
+        return options[1:]
+
+    def enumerate(
+        self,
+        query_key: str,
+        plan: LogicalPlan,
+        stats: dict[str, TableStats],
+        tables: tuple[str, ...],
+    ) -> list[QepCandidate]:
+        """The QEP space of one query instance."""
+        sites = self._sites(tables)
+        per_site_options = []
+        for site in sites:
+            options = self.node_options.get(site)
+            require(options is not None and len(options) > 0,
+                    f"no node options for site {site!r}")
+            per_site_options.append([(site, count) for count in options])
+
+        candidates: list[QepCandidate] = []
+        indicator_options = self._execution_indicator_options(tables)
+        for execution in self._execution_options(tables):
+            placement = self.deployment.placement_for(execution)
+            # Sizes do not depend on node counts: profile once per placement.
+            profile = profile_plan(plan, stats, placement)
+            size_features = {
+                f"size_{table.lower()}_mib": bytes_to_mib(
+                    profile.effective_table_bytes.get(table.lower(), 0.0)
+                )
+                for table in tables
+            }
+            for indicator in indicator_options:
+                flag = 1.0 if indicator == execution else 0.0
+                size_features[f"exec_{indicator.engine}_{indicator.site}"] = flag
+            for combo in itertools.product(*per_site_options):
+                clusters = {
+                    site: self.federation.provision(
+                        site, self.instance_types[site], count
+                    )
+                    for site, count in combo
+                }
+                features = dict(size_features)
+                for site, count in combo:
+                    features[f"nodes_{site}"] = float(count)
+                candidates.append(
+                    QepCandidate(
+                        query_key=query_key,
+                        placement=placement,
+                        clusters=clusters,
+                        features=features,
+                    )
+                )
+        return candidates

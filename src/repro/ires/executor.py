@@ -1,0 +1,50 @@
+"""IReS Executor: runs the chosen QEP and feeds the history.
+
+Bridges the optimizer's choice to the engine simulators and logs the
+measured costs as a new observation — closing the loop of Figure 2
+(executions continuously refresh the training set DREAM draws from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.history import ExecutionHistory
+from repro.engines.metrics import ExecutionMetrics
+from repro.engines.simulate import MultiEngineSimulator, QueryExecution
+from repro.ires.enumerator import QepCandidate
+from repro.plans.logical import LogicalPlan
+from repro.plans.statistics import TableStats
+
+
+class Executor:
+    """Runs QEP candidates on the federation simulator."""
+
+    def __init__(self, simulator: MultiEngineSimulator):
+        self.simulator = simulator
+
+    def run(
+        self,
+        candidate: QepCandidate,
+        plan: LogicalPlan,
+        stats: dict[str, TableStats],
+        tick: int,
+        history: ExecutionHistory | None = None,
+    ) -> QueryExecution:
+        """Execute and (optionally) log into ``history``."""
+        execution = self.simulator.execute(
+            plan, stats, candidate.placement, candidate.clusters, tick
+        )
+        if history is not None:
+            history.append(tick, candidate.features, self.costs_of(execution.metrics))
+        return execution
+
+    @staticmethod
+    def costs_of(metrics: ExecutionMetrics) -> dict[str, float]:
+        """Metric dict in the vocabulary the Modelling module trains on."""
+        return {
+            "time": metrics.execution_time_s,
+            "money": metrics.monetary_cost_usd,
+            "intermediate": metrics.intermediate_bytes,
+            "energy": metrics.energy_joules,
+        }

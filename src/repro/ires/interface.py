@@ -1,0 +1,49 @@
+"""IReS Interface module: query + policy intake (Figure 1, first box).
+
+Receives "information on data and operators": parses the SQL, binds it
+against the federation catalog, checks that every referenced base table
+is deployed, and hands a validated :class:`QueryRequest` to the rest of
+the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import PlanError
+from repro.ires.deployment import Deployment
+from repro.ires.policy import UserPolicy
+from repro.plans.binder import plan_sql
+from repro.plans.catalog import Catalog
+from repro.plans.logical import LogicalPlan, Scan
+from repro.plans.optimizer import optimize
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A validated submission."""
+
+    sql: str
+    plan: LogicalPlan
+    tables: tuple[str, ...]
+    policy: UserPolicy
+
+
+class Interface:
+    """Front door of the platform."""
+
+    def __init__(self, catalog: Catalog, deployment: Deployment):
+        self._catalog = catalog
+        self._deployment = deployment
+
+    def receive(self, sql: str, policy: UserPolicy | None = None) -> QueryRequest:
+        """Parse, bind, optimize and validate one query submission."""
+        plan = optimize(plan_sql(sql, self._catalog))
+        tables = tuple(
+            sorted({node.table_name.lower() for node in plan.walk() if isinstance(node, Scan)})
+        )
+        if not tables:
+            raise PlanError("query references no base tables")
+        for table in tables:
+            self._deployment.site_of(table)  # raises if not deployed
+        return QueryRequest(sql, plan, tables, policy or UserPolicy())

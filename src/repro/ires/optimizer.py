@@ -1,0 +1,81 @@
+"""IReS Multi-Objective Optimizer (Figure 1, third box; Figure 3 left).
+
+Predicts the cost vector of every candidate QEP with the Modelling
+module's fitted model and computes a Pareto plan set — exhaustively when
+the space is small, with NSGA-II (or NSGA-G) when it is large (Example
+3.1 scale).  ``choose`` applies Algorithm 2 to pick the final plan under
+the user policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+from repro.ires.enumerator import QepCandidate
+from repro.ires.modelling import FittedCostModel
+from repro.ires.policy import UserPolicy
+from repro.moqp.nsga2 import Nsga2, Nsga2Config
+from repro.moqp.nsga_g import NsgaG, NsgaGConfig
+from repro.moqp.pareto import pareto_front_indices
+from repro.moqp.problem import Candidate, EnumeratedProblem
+from repro.moqp.selection import best_in_pareto
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    #: "exact", "nsga2" or "nsga-g".
+    algorithm: str = "exact"
+    #: Candidate-count threshold above which "exact" falls back to NSGA-II.
+    exact_limit: int = 2048
+    nsga2: Nsga2Config = Nsga2Config()
+    nsga_g: NsgaGConfig = NsgaGConfig()
+
+    def __post_init__(self):
+        if self.algorithm not in ("exact", "nsga2", "nsga-g"):
+            raise ValidationError(f"unknown algorithm {self.algorithm!r}")
+
+
+class MultiObjectiveOptimizer:
+    """Pareto-set construction + Algorithm 2 selection."""
+
+    def __init__(self, config: OptimizerConfig | None = None):
+        self.config = config or OptimizerConfig()
+
+    def build_problem(
+        self,
+        candidates: list[QepCandidate],
+        cost_model: FittedCostModel,
+        metrics: tuple[str, ...],
+    ) -> EnumeratedProblem:
+        def evaluate(candidate: QepCandidate):
+            prediction = cost_model.predict(
+                cost_model.model.features_dict_to_vector(candidate.features)
+            )
+            return tuple(prediction[metric] for metric in metrics)
+
+        return EnumeratedProblem(candidates, evaluate, len(metrics))
+
+    def pareto_set(
+        self,
+        candidates: list[QepCandidate],
+        cost_model: FittedCostModel,
+        metrics: tuple[str, ...],
+    ) -> list[Candidate]:
+        """The (approximate) Pareto plan set under predicted costs."""
+        problem = self.build_problem(candidates, cost_model, metrics)
+        algorithm = self.config.algorithm
+        if algorithm == "exact" and problem.size > self.config.exact_limit:
+            algorithm = "nsga2"
+        if algorithm == "exact":
+            evaluated = problem.evaluate_all()
+            front = pareto_front_indices([c.objectives for c in evaluated])
+            return [evaluated[i] for i in front]
+        if algorithm == "nsga2":
+            return Nsga2(self.config.nsga2).optimise(problem)
+        return NsgaG(self.config.nsga_g).optimise(problem)
+
+    @staticmethod
+    def choose(pareto_set: list[Candidate], policy: UserPolicy) -> Candidate:
+        """Algorithm 2: constraints B, then minimum weighted sum S."""
+        return best_in_pareto(pareto_set, policy.weights, policy.constraints)

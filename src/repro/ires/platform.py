@@ -1,0 +1,156 @@
+"""The IReS platform facade: Figure 1 wired end to end.
+
+``submit`` is the full pipeline of the paper:
+
+1. **Interface** validates the query and policy;
+2. **Modelling** fits the active estimation strategy (DREAM or BML) on
+   the query's execution history;
+3. the **enumerator** builds the QEP space and the **Multi-Objective
+   Optimizer** computes a Pareto plan set over predicted cost vectors;
+4. **BestInPareto** (Algorithm 2) picks the final QEP under the policy;
+5. the **Executor** runs it on the engine simulators and appends the
+   measured costs to the history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import EstimationError, ValidationError
+from repro.core.history import ExecutionHistory
+from repro.engines.simulate import MultiEngineSimulator, QueryExecution
+from repro.ires.deployment import Deployment
+from repro.ires.enumerator import QepCandidate, QepEnumerator
+from repro.ires.executor import Executor
+from repro.ires.interface import Interface, QueryRequest
+from repro.ires.modelling import EstimationStrategy, FittedCostModel, Modelling
+from repro.ires.optimizer import MultiObjectiveOptimizer, OptimizerConfig
+from repro.ires.policy import UserPolicy
+from repro.moqp.problem import Candidate
+from repro.plans.catalog import Catalog
+from repro.plans.statistics import TableStats
+from repro.tpch.queries import QueryTemplate
+
+
+@dataclass
+class SubmissionResult:
+    """Everything the platform decided and observed for one submission."""
+
+    request: QueryRequest
+    cost_model: FittedCostModel
+    candidate_count: int
+    pareto_set: list[Candidate]
+    chosen: Candidate
+    execution: QueryExecution
+
+    @property
+    def chosen_candidate(self) -> QepCandidate:
+        return self.chosen.payload
+
+    @property
+    def predicted(self) -> tuple[float, ...]:
+        return self.chosen.objectives
+
+    def prediction_error(self, metrics: tuple[str, ...]) -> dict[str, float]:
+        """Relative |predicted - measured| / measured per metric."""
+        measured = Executor.costs_of(self.execution.metrics)
+        errors = {}
+        for i, metric in enumerate(metrics):
+            actual = measured[metric]
+            if actual > 0:
+                errors[metric] = abs(self.predicted[i] - actual) / actual
+        return errors
+
+
+class IReSPlatform:
+    """The paper's platform: MIDAS sits on top of this."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        stats: dict[str, TableStats],
+        deployment: Deployment,
+        enumerator: QepEnumerator,
+        simulator: MultiEngineSimulator,
+        strategy: EstimationStrategy,
+        optimizer: MultiObjectiveOptimizer | None = None,
+    ):
+        self.catalog = catalog
+        self.stats = stats
+        self.deployment = deployment
+        self.enumerator = enumerator
+        self.interface = Interface(catalog, deployment)
+        self.modelling = Modelling(strategy)
+        self.optimizer = optimizer or MultiObjectiveOptimizer()
+        self.executor = Executor(simulator)
+        self._templates: dict[str, QueryTemplate] = {}
+
+    # Registration ---------------------------------------------------------
+
+    def register_template(
+        self, template: QueryTemplate, metrics: tuple[str, ...] = ("time", "money")
+    ) -> ExecutionHistory:
+        """Register a query template and create its execution history."""
+        if template.key in self._templates:
+            raise ValidationError(f"template {template.key!r} already registered")
+        feature_names = self.enumerator.feature_names(template.tables)
+        history = ExecutionHistory(feature_names, metrics)
+        self._templates[template.key] = template
+        self.modelling.register(template.key, history)
+        return history
+
+    def template(self, key: str) -> QueryTemplate:
+        try:
+            return self._templates[key]
+        except KeyError:
+            known = ", ".join(sorted(self._templates)) or "<none>"
+            raise ValidationError(f"unknown template {key!r}; registered: {known}") from None
+
+    def history(self, key: str) -> ExecutionHistory:
+        return self.modelling.history(key)
+
+    # Pipeline ---------------------------------------------------------------
+
+    def candidates_for(self, key: str, params: dict) -> tuple[QueryRequest, list[QepCandidate]]:
+        """Steps 1 + 3a: validate and enumerate (no model needed)."""
+        template = self.template(key)
+        request = self.interface.receive(template.render(params))
+        candidates = self.enumerator.enumerate(key, request.plan, self.stats, template.tables)
+        return request, candidates
+
+    def observe(self, key: str, params: dict, candidate: QepCandidate, tick: int) -> QueryExecution:
+        """Execute a given candidate and log it (history building)."""
+        template = self.template(key)
+        request = self.interface.receive(template.render(params))
+        return self.executor.run(
+            candidate, request.plan, self.stats, tick, self.history(key)
+        )
+
+    def submit(
+        self, key: str, params: dict, policy: UserPolicy, tick: int
+    ) -> SubmissionResult:
+        """The full Figure 1 pipeline for one query submission."""
+        template = self.template(key)
+        request = self.interface.receive(template.render(params), policy)
+        history = self.history(key)
+        if history.size == 0:
+            raise EstimationError(
+                f"no execution history for {key!r}; run observe() a few times first"
+            )
+        cost_model = self.modelling.fit(key)
+        candidates = self.enumerator.enumerate(
+            key, request.plan, self.stats, template.tables
+        )
+        pareto = self.optimizer.pareto_set(candidates, cost_model, policy.metrics)
+        chosen = self.optimizer.choose(pareto, policy)
+        execution = self.executor.run(
+            chosen.payload, request.plan, self.stats, tick, history
+        )
+        return SubmissionResult(
+            request=request,
+            cost_model=cost_model,
+            candidate_count=len(candidates),
+            pareto_set=pareto,
+            chosen=chosen,
+            execution=execution,
+        )

@@ -1,0 +1,49 @@
+"""User query policies: weights and constraints over cost metrics.
+
+The paper's final selection (Algorithm 2) takes a weight vector S and a
+constraint vector B; a policy bundles both with the metric order they
+refer to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class UserPolicy:
+    """Preferences of the submitting user."""
+
+    #: Metric order (must be metrics the Modelling module can predict).
+    metrics: tuple[str, ...] = ("time", "money")
+    #: Relative importance of each metric (normalised downstream).
+    weights: tuple[float, ...] = (0.5, 0.5)
+    #: Optional upper bounds (same order); None = unconstrained.
+    constraints: tuple[float | None, ...] | None = None
+
+    def __post_init__(self):
+        if not self.metrics:
+            raise ValidationError("policy needs at least one metric")
+        if len(self.weights) != len(self.metrics):
+            raise ValidationError(
+                f"{len(self.weights)} weights for {len(self.metrics)} metrics"
+            )
+        if any(w < 0 for w in self.weights):
+            raise ValidationError("weights must be non-negative")
+        if sum(self.weights) <= 0:
+            raise ValidationError("at least one weight must be positive")
+        if self.constraints is not None and len(self.constraints) != len(self.metrics):
+            raise ValidationError(
+                f"{len(self.constraints)} constraints for {len(self.metrics)} metrics"
+            )
+
+    def reweighted(self, weights: tuple[float, ...]) -> "UserPolicy":
+        """Same policy with different weights (Figure 3's scenario)."""
+        return UserPolicy(self.metrics, weights, self.constraints)
+
+
+TIME_ONLY = UserPolicy(metrics=("time",), weights=(1.0,))
+BALANCED = UserPolicy(metrics=("time", "money"), weights=(0.5, 0.5))
+MONEY_SAVER = UserPolicy(metrics=("time", "money"), weights=(0.1, 0.9))

@@ -1,0 +1,22 @@
+"""MIDAS: Medical Data Management System on a cloud federation.
+
+The paper's top-level system (Figure 1): hospital data spread across
+cloud providers — Patient on cloud A in Hive, GeneralInfo on cloud B in
+PostgreSQL (Example 2.1) — queried through IReS with DREAM estimating
+costs and the multi-objective optimizer choosing execution plans under a
+user policy (time vs money).
+"""
+
+from repro.midas.schema import MEDICAL_SCHEMAS, medical_schema
+from repro.midas.generator import MedicalDataGenerator
+from repro.midas.queries import MEDICAL_QUERIES, example_21_query
+from repro.midas.system import MidasSystem
+
+__all__ = [
+    "MEDICAL_SCHEMAS",
+    "medical_schema",
+    "MedicalDataGenerator",
+    "MEDICAL_QUERIES",
+    "example_21_query",
+    "MidasSystem",
+]

@@ -1,0 +1,137 @@
+"""Synthetic federated medical data.
+
+Deterministic under a seed.  Mobile patients are modelled the way the
+paper motivates them: each patient is owned by one hospital but a
+fraction have records in *both* systems (their GeneralInfo row lives in
+the other cloud's database), which is what makes the cross-cloud join
+necessary at all.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.common.rng import RngStream
+from repro.common.validation import require_positive
+from repro.midas.schema import medical_schema
+from repro.relational.table import Table
+
+DIAGNOSES = (
+    "hypertension", "diabetes mellitus", "asthma", "pneumonia", "fracture",
+    "migraine", "anemia", "arrhythmia", "dermatitis", "nephritis",
+    "rare metabolic disorder", "autoimmune encephalitis",
+)
+TEST_NAMES = ("hemoglobin", "glucose", "creatinine", "sodium", "potassium", "crp")
+MODALITIES = ("CT", "MR", "US", "XR", "PET")
+BODY_PARTS = ("HEAD", "CHEST", "ABDOMEN", "KNEE", "SPINE")
+HOSPITALS = ("hospital-a", "hospital-b")
+
+FIRST_NAMES = (
+    "Ada", "Bela", "Chidi", "Dana", "Emil", "Fatou", "Goran", "Hana",
+    "Ines", "Jonas", "Kira", "Luca", "Mara", "Nils", "Oona", "Pavel",
+)
+LAST_NAMES = (
+    "Almeida", "Bauer", "Chen", "Diallo", "Eriksen", "Fontaine", "Garcia",
+    "Hansen", "Ivanova", "Jensen", "Kovacs", "Lindqvist", "Moreau", "Novak",
+)
+
+ADMISSION_MIN = datetime.date(2014, 1, 1)
+ADMISSION_MAX = datetime.date(2018, 12, 31)
+
+
+class MedicalDataGenerator:
+    """Generates the four medical tables."""
+
+    def __init__(self, patient_count: int = 2000, seed: int = 7):
+        self.patient_count = int(require_positive(patient_count, "patient_count"))
+        self.seed = seed
+
+    def generate_all(self) -> dict[str, Table]:
+        return {
+            "patient": self.patient(),
+            "generalinfo": self.generalinfo(),
+            "labresult": self.labresult(),
+            "imagingstudy": self.imagingstudy(),
+        }
+
+    def _stream(self, table: str) -> RngStream:
+        return RngStream(self.seed, "midas", table)
+
+    def patient(self) -> Table:
+        rng = self._stream("patient")
+        span = (ADMISSION_MAX - ADMISSION_MIN).days
+        rows = []
+        for uid in range(1, self.patient_count + 1):
+            rows.append(
+                [
+                    uid,
+                    "F" if rng.random() < 0.5 else "M",
+                    int(rng.integers(0, 100)),
+                    round(float(rng.uniform(3.0, 120.0)), 1),
+                    HOSPITALS[int(rng.integers(0, len(HOSPITALS)))],
+                    ADMISSION_MIN + datetime.timedelta(days=int(rng.integers(0, span + 1))),
+                ]
+            )
+        return Table.from_rows("patient", medical_schema("patient"), rows)
+
+    def generalinfo(self) -> Table:
+        rng = self._stream("generalinfo")
+        rows = []
+        for uid in range(1, self.patient_count + 1):
+            # ~90% of patients have a GeneralInfo record (mobile patients
+            # may not have been registered in the second system yet).
+            if rng.random() < 0.1:
+                continue
+            first = FIRST_NAMES[int(rng.integers(0, len(FIRST_NAMES)))]
+            last = LAST_NAMES[int(rng.integers(0, len(LAST_NAMES)))]
+            rows.append(
+                [
+                    uid,
+                    f"{last}^{first}",
+                    DIAGNOSES[int(rng.integers(0, len(DIAGNOSES)))],
+                    int(rng.integers(1, 6)),
+                    round(float(rng.lognormal(7.0, 1.0)), 2),
+                ]
+            )
+        return Table.from_rows("generalinfo", medical_schema("generalinfo"), rows)
+
+    def labresult(self) -> Table:
+        rng = self._stream("labresult")
+        rows = []
+        result_id = 1
+        span = (ADMISSION_MAX - ADMISSION_MIN).days
+        for uid in range(1, self.patient_count + 1):
+            for _ in range(int(rng.integers(0, 6))):
+                rows.append(
+                    [
+                        result_id,
+                        uid,
+                        TEST_NAMES[int(rng.integers(0, len(TEST_NAMES)))],
+                        round(float(rng.lognormal(1.5, 0.8)), 2),
+                        ADMISSION_MIN
+                        + datetime.timedelta(days=int(rng.integers(0, span + 1))),
+                    ]
+                )
+                result_id += 1
+        return Table.from_rows("labresult", medical_schema("labresult"), rows)
+
+    def imagingstudy(self) -> Table:
+        rng = self._stream("imagingstudy")
+        rows = []
+        study_id = 1
+        span = (ADMISSION_MAX - ADMISSION_MIN).days
+        for uid in range(1, self.patient_count + 1):
+            for _ in range(int(rng.integers(0, 3))):
+                rows.append(
+                    [
+                        study_id,
+                        uid,
+                        MODALITIES[int(rng.integers(0, len(MODALITIES)))],
+                        BODY_PARTS[int(rng.integers(0, len(BODY_PARTS)))],
+                        int(rng.integers(1, 512)) * 1024 * 1024,
+                        ADMISSION_MIN
+                        + datetime.timedelta(days=int(rng.integers(0, span + 1))),
+                    ]
+                )
+                study_id += 1
+        return Table.from_rows("imagingstudy", medical_schema("imagingstudy"), rows)

@@ -1,0 +1,110 @@
+"""Medical query templates.
+
+``example_21_query`` is the query of the paper's Example 2.1 — patient
+demographics joined with general info across two clouds/engines — with a
+selectivity parameter so repeated runs vary the processed data size the
+way a real clinic workload would.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import RngStream
+from repro.tpch.queries import QueryTemplate
+
+
+def _example21_params(rng: RngStream) -> dict:
+    return {"min_age": int(rng.integers(0, 60))}
+
+
+example_21_query = QueryTemplate(
+    key="medical-demographics",
+    title="Example 2.1: patient demographics across clouds",
+    tables=("patient", "generalinfo"),
+    template="""
+select
+    p.patientsex,
+    i.generalnames
+from
+    patient p,
+    generalinfo i
+where
+    p.uid = i.uid
+    and p.patientage >= {min_age}
+""",
+    parameter_generator=_example21_params,
+)
+
+
+def _severity_params(rng: RngStream) -> dict:
+    return {
+        "severity": int(rng.integers(2, 6)),
+        "min_age": int(rng.integers(0, 70)),
+    }
+
+
+severe_cases_query = QueryTemplate(
+    key="medical-severe-cases",
+    title="Severe diagnoses per sex (cross-cloud aggregate)",
+    tables=("patient", "generalinfo"),
+    template="""
+select
+    p.patientsex,
+    i.diagnosis,
+    count(*) as cases,
+    avg(i.treatmentcost) as avg_cost
+from
+    patient p,
+    generalinfo i
+where
+    p.uid = i.uid
+    and i.severity >= {severity}
+    and p.patientage >= {min_age}
+group by
+    p.patientsex,
+    i.diagnosis
+order by
+    cases desc
+""",
+    parameter_generator=_severity_params,
+)
+
+
+def _lab_params(rng: RngStream) -> dict:
+    tests = ("hemoglobin", "glucose", "creatinine", "sodium", "potassium", "crp")
+    return {"testname": tests[int(rng.integers(0, len(tests)))]}
+
+
+lab_followup_query = QueryTemplate(
+    key="medical-lab-followup",
+    title="Patients with abnormal lab results",
+    tables=("patient", "labresult"),
+    template="""
+select
+    p.uid,
+    p.patientsex,
+    count(*) as abnormal_results
+from
+    patient p,
+    labresult l
+where
+    p.uid = l.uid
+    and l.testname = '{testname}'
+    and l.value > (
+        select 1.5 * avg(l2.value)
+        from labresult l2
+        where l2.testname = '{testname}'
+    )
+group by
+    p.uid,
+    p.patientsex
+order by
+    abnormal_results desc
+limit 20
+""",
+    parameter_generator=_lab_params,
+)
+
+MEDICAL_QUERIES: dict[str, QueryTemplate] = {
+    q.key: q
+    for q in (example_21_query, severe_cases_query, lab_followup_query)
+}

@@ -1,0 +1,67 @@
+"""Federated medical schema.
+
+``patient`` and ``generalinfo`` are the two tables of the paper's
+Example 2.1 (shared key ``uid``); ``labresult`` and ``imagingstudy``
+extend the scenario so examples can exercise more than one join.
+Column names follow the paper's DICOM-flavoured spelling.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SchemaError
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DataType
+
+I = DataType.INTEGER
+F = DataType.FLOAT
+S = DataType.STRING
+D = DataType.DATE
+
+MEDICAL_SCHEMAS: dict[str, Schema] = {
+    "patient": Schema(
+        [
+            Column("uid", I, nullable=False),
+            Column("patientsex", S, nullable=False),
+            Column("patientage", I, nullable=False),
+            Column("patientweight", F),
+            Column("hospital", S, nullable=False),
+            Column("admissiondate", D, nullable=False),
+        ]
+    ),
+    "generalinfo": Schema(
+        [
+            Column("uid", I, nullable=False),
+            Column("generalnames", S, nullable=False),
+            Column("diagnosis", S, nullable=False),
+            Column("severity", I, nullable=False),
+            Column("treatmentcost", F, nullable=False),
+        ]
+    ),
+    "labresult": Schema(
+        [
+            Column("resultid", I, nullable=False),
+            Column("uid", I, nullable=False),
+            Column("testname", S, nullable=False),
+            Column("value", F, nullable=False),
+            Column("testdate", D, nullable=False),
+        ]
+    ),
+    "imagingstudy": Schema(
+        [
+            Column("studyid", I, nullable=False),
+            Column("uid", I, nullable=False),
+            Column("modality", S, nullable=False),
+            Column("bodypart", S, nullable=False),
+            Column("sizebytes", I, nullable=False),
+            Column("studydate", D, nullable=False),
+        ]
+    ),
+}
+
+
+def medical_schema(table_name: str) -> Schema:
+    try:
+        return MEDICAL_SCHEMAS[table_name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(MEDICAL_SCHEMAS))
+        raise SchemaError(f"unknown medical table {table_name!r}; one of: {known}") from None

@@ -1,0 +1,123 @@
+"""The MIDAS system facade.
+
+Builds the whole stack of Figure 1 in one object: the paper's two-cloud
+federation (Amazon/Hive + Microsoft/PostgreSQL), the medical catalog with
+its deployment, DREAM-backed IReS, and a query API that takes SQL-free
+template submissions with a user policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.federation import CloudFederation, paper_federation
+from repro.cloud.variability import LoadProcess, default_federation_load
+from repro.common.rng import RngStream
+from repro.engines.simulate import MultiEngineSimulator
+from repro.ires.deployment import Deployment
+from repro.ires.enumerator import QepEnumerator
+from repro.ires.modelling import DreamStrategy, EstimationStrategy
+from repro.ires.platform import IReSPlatform, SubmissionResult
+from repro.ires.policy import UserPolicy
+from repro.midas.generator import MedicalDataGenerator
+from repro.midas.queries import MEDICAL_QUERIES
+from repro.plans.catalog import Catalog
+from repro.plans.physical import EnginePlacement
+from repro.plans.statistics import compute_table_stats
+
+#: Default placement of the medical tables (Example 2.1 + extensions).
+DEFAULT_DEPLOYMENT = {
+    "patient": EnginePlacement("hive", "cloud-a"),
+    "generalinfo": EnginePlacement("postgresql", "cloud-b"),
+    "labresult": EnginePlacement("postgresql", "cloud-b"),
+    "imagingstudy": EnginePlacement("hive", "cloud-a"),
+}
+
+DEFAULT_INSTANCE_TYPES = {"cloud-a": "a1.xlarge", "cloud-b": "B2S"}
+DEFAULT_NODE_OPTIONS = {"cloud-a": [1, 2, 4, 8], "cloud-b": [1, 2, 4]}
+
+
+class MidasSystem:
+    """MIDAS end to end: call :meth:`warm_up` then :meth:`query`."""
+
+    def __init__(
+        self,
+        patient_count: int = 2000,
+        seed: int = 7,
+        strategy: EstimationStrategy | None = None,
+        federation: CloudFederation | None = None,
+        load: LoadProcess | None = None,
+    ):
+        self.seed = seed
+        self.federation = federation or paper_federation()
+        tables = MedicalDataGenerator(patient_count, seed).generate_all()
+        self.catalog = Catalog(tables.values())
+        self.stats = {name: compute_table_stats(t) for name, t in tables.items()}
+        self.deployment = Deployment(dict(DEFAULT_DEPLOYMENT))
+        enumerator = QepEnumerator(
+            self.federation,
+            self.deployment,
+            DEFAULT_INSTANCE_TYPES,
+            DEFAULT_NODE_OPTIONS,
+        )
+        simulator = MultiEngineSimulator(
+            self.federation,
+            load=load or default_federation_load(RngStream(seed, "midas-load")),
+            seed=seed,
+        )
+        self.platform = IReSPlatform(
+            catalog=self.catalog,
+            stats=self.stats,
+            deployment=self.deployment,
+            enumerator=enumerator,
+            simulator=simulator,
+            strategy=strategy or DreamStrategy(r2_required=0.8, max_window=24),
+        )
+        for template in MEDICAL_QUERIES.values():
+            self.platform.register_template(template)
+        self._tick = 0
+        self._rng = RngStream(seed, "midas-params")
+
+    # ------------------------------------------------------------------
+
+    def next_tick(self) -> int:
+        tick = self._tick
+        self._tick += 1
+        return tick
+
+    def warm_up(self, query_key: str, runs: int = 12) -> None:
+        """Populate the query's history with exploratory executions.
+
+        Rotates through the QEP space so the Modelling module sees varied
+        (features -> cost) observations, as a production IReS would after
+        profiling runs.
+        """
+        template = MEDICAL_QUERIES[query_key]
+        for run in range(runs):
+            params = template.sample_params(self._rng)
+            _request, candidates = self.platform.candidates_for(query_key, params)
+            candidate = candidates[int(self._rng.integers(0, len(candidates)))]
+            self.platform.observe(query_key, params, candidate, self.next_tick())
+
+    def query(
+        self,
+        query_key: str,
+        params: dict | None = None,
+        policy: UserPolicy | None = None,
+    ) -> SubmissionResult:
+        """Submit one medical query through the full IReS pipeline."""
+        template = MEDICAL_QUERIES[query_key]
+        if params is None:
+            params = template.sample_params(self._rng)
+        return self.platform.submit(
+            query_key, params, policy or UserPolicy(), self.next_tick()
+        )
+
+    def execute_locally(self, query_key: str, params: dict | None = None):
+        """Run the query on the local executor (semantic ground truth)."""
+        from repro.plans.execution import execute_sql
+
+        template = MEDICAL_QUERIES[query_key]
+        if params is None:
+            params = template.sample_params(self._rng)
+        return execute_sql(template.render(params), self.catalog)

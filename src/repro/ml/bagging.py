@@ -1,0 +1,48 @@
+"""Bagging predictor (Breiman 1996) — one of IReS's model pool.
+
+Bootstrap-aggregates a base regressor: each member trains on an M-sample
+drawn with replacement; predictions are the member average.  The default
+base learner is a CART tree, the classic pairing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.ml.base import Regressor
+from repro.ml.tree import RegressionTree
+
+
+class BaggingRegressor(Regressor):
+    """Bootstrap aggregation over a base-learner factory."""
+
+    name = "bagging"
+
+    def __init__(
+        self,
+        base_factory: Callable[[], Regressor] | None = None,
+        n_estimators: int = 15,
+        seed: int = 13,
+    ):
+        super().__init__()
+        self._base_factory = base_factory or (lambda: RegressionTree(max_depth=5))
+        self.n_estimators = max(1, n_estimators)
+        self._seed = seed
+        self.members_: list[Regressor] = []
+
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        rng = RngStream(self._seed, "bagging")
+        count = features.shape[0]
+        self.members_ = []
+        for index in range(self.n_estimators):
+            sample = rng.integers(0, count, size=count)
+            member = self._base_factory()
+            member.fit(features[sample], targets[sample])
+            self.members_.append(member)
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        stacked = np.stack([member.predict(features) for member in self.members_])
+        return stacked.mean(axis=0)

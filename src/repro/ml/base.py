@@ -1,0 +1,76 @@
+"""Regressor interface shared by every learner."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.common.errors import EstimationError
+
+
+class Regressor(ABC):
+    """A supervised regressor with the classic fit/predict contract."""
+
+    #: Human-readable algorithm name (used in BML reports).
+    name: str = "regressor"
+
+    def __init__(self):
+        self._fitted = False
+        self._dimension: int | None = None
+
+    @abstractmethod
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        """Subclass hook: train on validated arrays."""
+
+    @abstractmethod
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        """Subclass hook: predict on validated arrays."""
+
+    # Public API ---------------------------------------------------------
+
+    def fit(self, features, targets) -> "Regressor":
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise EstimationError(f"features must be 2-D, got {features.shape}")
+        if targets.ndim != 1 or targets.shape[0] != features.shape[0]:
+            raise EstimationError(
+                f"targets shape {targets.shape} does not match features {features.shape}"
+            )
+        if features.shape[0] == 0:
+            raise EstimationError(f"{self.name}: cannot fit on zero observations")
+        self._dimension = features.shape[1]
+        self._fit(features, targets)
+        self._fitted = True
+        return self
+
+    def predict(self, features) -> np.ndarray:
+        if not self._fitted:
+            raise EstimationError(f"{self.name}: predict() before fit()")
+        features = np.asarray(features, dtype=float)
+        single = features.ndim == 1
+        if single:
+            features = features.reshape(1, -1)
+        if features.shape[1] != self._dimension:
+            raise EstimationError(
+                f"{self.name}: expected {self._dimension} features, got {features.shape[1]}"
+            )
+        predictions = self._predict(features)
+        return predictions[0] if single else predictions
+
+    def predict_one(self, features) -> float:
+        return float(self.predict(np.asarray(features, dtype=float).reshape(-1)))
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def training_error(self, features, targets) -> float:
+        """Root-mean-squared training error (IReS's model-selection score)."""
+        from repro.ml.metrics import root_mean_squared_error
+
+        return root_mean_squared_error(targets, self.predict(features))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(fitted={self._fitted})"

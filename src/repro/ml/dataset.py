@@ -1,0 +1,82 @@
+"""Datasets: feature matrices with time order and windowing.
+
+Observations are kept in *time order* (oldest first).  Window extraction
+— the heart of both DREAM and the BML_N baselines — always takes the most
+recent ``m`` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable (X, y) pair with named features, oldest row first."""
+
+    features: np.ndarray  # shape (M, L)
+    targets: np.ndarray  # shape (M,)
+    feature_names: tuple[str, ...]
+
+    def __post_init__(self):
+        features = np.asarray(self.features, dtype=float)
+        targets = np.asarray(self.targets, dtype=float)
+        if features.ndim != 2:
+            raise EstimationError(f"features must be 2-D, got shape {features.shape}")
+        if targets.ndim != 1:
+            raise EstimationError(f"targets must be 1-D, got shape {targets.shape}")
+        if features.shape[0] != targets.shape[0]:
+            raise EstimationError(
+                f"{features.shape[0]} feature rows vs {targets.shape[0]} targets"
+            )
+        if features.shape[1] != len(self.feature_names):
+            raise EstimationError(
+                f"{features.shape[1]} feature columns vs "
+                f"{len(self.feature_names)} names"
+            )
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "targets", targets)
+
+    @property
+    def size(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        return self.features.shape[1]
+
+    def last_window(self, m: int) -> "Dataset":
+        """The most recent ``m`` observations (all, if fewer exist)."""
+        if m <= 0:
+            raise EstimationError(f"window size must be >= 1, got {m}")
+        return Dataset(self.features[-m:], self.targets[-m:], self.feature_names)
+
+    def head(self, m: int) -> "Dataset":
+        return Dataset(self.features[:m], self.targets[:m], self.feature_names)
+
+    def split_at(self, index: int) -> tuple["Dataset", "Dataset"]:
+        """Time-ordered split: (past, future)."""
+        return self.head(index), Dataset(
+            self.features[index:], self.targets[index:], self.feature_names
+        )
+
+    def append(self, x: np.ndarray, y: float) -> "Dataset":
+        x = np.asarray(x, dtype=float).reshape(1, -1)
+        return Dataset(
+            np.vstack([self.features, x]),
+            np.append(self.targets, y),
+            self.feature_names,
+        )
+
+    @classmethod
+    def from_rows(cls, rows: list[tuple], feature_names: tuple[str, ...]) -> "Dataset":
+        """Build from (x_vector, y) pairs."""
+        if not rows:
+            return cls(np.zeros((0, len(feature_names))), np.zeros(0), feature_names)
+        features = np.array([list(x) for x, _ in rows], dtype=float)
+        targets = np.array([y for _, y in rows], dtype=float)
+        return cls(features, targets, feature_names)

@@ -1,0 +1,47 @@
+"""k-nearest-neighbour regressor (distance-weighted).
+
+Not named by the paper but a natural extra member for the BML pool:
+IReS "tests many algorithms", so the baseline should not be limited to
+exactly three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Regressor
+
+
+class KNNRegressor(Regressor):
+    """Inverse-distance-weighted k-NN on standardized features."""
+
+    name = "knn"
+
+    def __init__(self, k: int = 3):
+        super().__init__()
+        self.k = max(1, k)
+        self._features: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        scale = features.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        self._features = features / scale
+        self._targets = targets
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        scaled = features / self._scale
+        k = min(self.k, self._features.shape[0])
+        out = np.empty(scaled.shape[0])
+        for i, row in enumerate(scaled):
+            distances = np.sqrt(((self._features - row) ** 2).sum(axis=1))
+            nearest = np.argsort(distances, kind="stable")[:k]
+            near_d = distances[nearest]
+            if near_d[0] == 0:
+                out[i] = self._targets[nearest[near_d == 0]].mean()
+                continue
+            weights = 1.0 / near_d
+            out[i] = float(np.average(self._targets[nearest], weights=weights))
+        return out

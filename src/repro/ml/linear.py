@@ -1,0 +1,101 @@
+"""Multiple Linear Regression, the foundation of DREAM (paper §2.5).
+
+Solves ``B = (A^T A)^-1 A^T C`` (paper Eq. 12) for the design matrix with
+an intercept column (Eq. 8).  A pseudo-inverse is used when the normal
+matrix is singular (e.g. constant features inside a small window), which
+returns the minimum-norm solution instead of failing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import EstimationError
+from repro.ml.base import Regressor
+from repro.ml.metrics import r_squared
+
+
+def minimum_observations(dimension: int) -> int:
+    """The smallest usable training set: M = L + 2 (paper §3, [27]).
+
+    One more than the L+1 unknown coefficients, so at least one residual
+    degree of freedom exists.
+    """
+    return dimension + 2
+
+
+class MultipleLinearRegression(Regressor):
+    """Ordinary least squares with intercept.
+
+    Besides the training-set ``r_squared_`` (paper Eq. 14), the fit also
+    computes ``press_r_squared_``: the *predictive* coefficient of
+    determination from leave-one-out residuals, obtained in closed form
+    via the hat matrix (``e_loo,i = e_i / (1 - h_ii)``).  Near the
+    minimum window ``m = L + 2`` OLS nearly interpolates and the training
+    R^2 saturates at 1 regardless of data quality; the PRESS form stays
+    honest there, which is what DREAM's stopping rule needs.
+    """
+
+    name = "least-squares"
+
+    def __init__(self):
+        super().__init__()
+        self.coefficients_: np.ndarray | None = None  # (L+1,) incl. intercept
+        self.r_squared_: float | None = None
+        self.press_r_squared_: float | None = None
+
+    def _design(self, features: np.ndarray) -> np.ndarray:
+        return np.hstack([np.ones((features.shape[0], 1)), features])
+
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        design = self._design(features)
+        normal = design.T @ design
+        try:
+            self.coefficients_ = np.linalg.solve(normal, design.T @ targets)
+        except np.linalg.LinAlgError:
+            self.coefficients_ = np.linalg.pinv(design) @ targets
+        fitted = design @ self.coefficients_
+        self.r_squared_ = r_squared(targets, fitted)
+        self.press_r_squared_ = self._press_r_squared(design, targets, fitted)
+
+    @staticmethod
+    def _press_r_squared(
+        design: np.ndarray, targets: np.ndarray, fitted: np.ndarray
+    ) -> float:
+        """Leave-one-out R^2 = 1 - PRESS/SST (clipped below at -1)."""
+        residuals = targets - fitted
+        pinv_normal = np.linalg.pinv(design.T @ design)
+        leverages = np.einsum("ij,jk,ik->i", design, pinv_normal, design)
+        # Leverage ~1 means the point is interpolated: its LOO residual
+        # diverges, which correctly reads as "no predictive evidence".
+        denominator = np.clip(1.0 - leverages, 1e-6, None)
+        press = float(np.sum((residuals / denominator) ** 2))
+        sst = float(np.sum((targets - targets.mean()) ** 2))
+        if sst == 0.0:
+            return 1.0 if press == 0.0 else -1.0
+        return max(-1.0, 1.0 - press / sst)
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        return self._design(features) @ self.coefficients_
+
+    @property
+    def intercept_(self) -> float:
+        if self.coefficients_ is None:
+            raise EstimationError("model not fitted")
+        return float(self.coefficients_[0])
+
+    @property
+    def slopes_(self) -> np.ndarray:
+        if self.coefficients_ is None:
+            raise EstimationError("model not fitted")
+        return self.coefficients_[1:]
+
+    def summary(self, feature_names: tuple[str, ...] | None = None) -> str:
+        """Human-readable fitted equation (paper Eq. 6 shape)."""
+        if self.coefficients_ is None:
+            raise EstimationError("model not fitted")
+        terms = [f"{self.intercept_:.4g}"]
+        for i, slope in enumerate(self.slopes_):
+            name = feature_names[i] if feature_names else f"x{i + 1}"
+            terms.append(f"{slope:+.4g}*{name}")
+        return "c_hat = " + " ".join(terms) + f"   (R^2 = {self.r_squared_:.4f})"

@@ -1,0 +1,137 @@
+"""Multilayer perceptron regressor (numpy backprop) — IReS's third model.
+
+A small tanh network trained with full-batch Adam on standardized inputs
+and targets.  Standardization happens inside the model so callers can feed
+raw byte counts and node counts; training is deterministic under the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.ml.base import Regressor
+
+
+class MLPRegressor(Regressor):
+    """One- or two-hidden-layer perceptron for small tabular problems."""
+
+    name = "multilayer-perceptron"
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (16,),
+        epochs: int = 300,
+        learning_rate: float = 0.01,
+        optimizer: str = "adam",
+        momentum: float = 0.2,
+        seed: int = 29,
+    ):
+        """``optimizer`` is ``"adam"`` or ``"sgd"``.
+
+        ``"sgd"`` with ``learning_rate=0.3, momentum=0.2`` reproduces the
+        WEKA MultilayerPerceptron training protocol the IReS paper's
+        Modelling module used.
+        """
+        super().__init__()
+        if optimizer not in ("adam", "sgd"):
+            raise ValueError(f"optimizer must be 'adam' or 'sgd', got {optimizer!r}")
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.optimizer = optimizer
+        self.momentum = momentum
+        self._seed = seed
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._x_mean: np.ndarray | None = None
+        self._x_scale: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+
+    # ------------------------------------------------------------------
+
+    def _standardize_fit(self, features: np.ndarray, targets: np.ndarray):
+        self._x_mean = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._x_scale = scale
+        self._y_mean = float(targets.mean())
+        y_scale = float(targets.std())
+        self._y_scale = y_scale if y_scale > 0 else 1.0
+
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        self._standardize_fit(features, targets)
+        x = (features - self._x_mean) / self._x_scale
+        y = (targets - self._y_mean) / self._y_scale
+
+        rng = RngStream(self._seed, "mlp").generator
+        sizes = [x.shape[1], *self.hidden, 1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            bound = np.sqrt(6.0 / (fan_in + fan_out))
+            self._weights.append(rng.uniform(-bound, bound, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+        # Full-batch Adam or SGD+momentum (WEKA-style).
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+        for epoch in range(1, self.epochs + 1):
+            activations, pre_activations = self._forward(x)
+            prediction = activations[-1][:, 0]
+            grad_out = ((prediction - y) / x.shape[0]).reshape(-1, 1)
+
+            grads_w: list[np.ndarray] = []
+            grads_b: list[np.ndarray] = []
+            delta = grad_out
+            for layer in reversed(range(len(self._weights))):
+                grads_w.insert(0, activations[layer].T @ delta)
+                grads_b.insert(0, delta.sum(axis=0))
+                if layer > 0:
+                    delta = (delta @ self._weights[layer].T) * (
+                        1.0 - np.tanh(pre_activations[layer - 1]) ** 2
+                    )
+
+            if self.optimizer == "sgd":
+                for i in range(len(self._weights)):
+                    m_w[i] = self.momentum * m_w[i] + self.learning_rate * grads_w[i]
+                    m_b[i] = self.momentum * m_b[i] + self.learning_rate * grads_b[i]
+                    self._weights[i] -= m_w[i]
+                    self._biases[i] -= m_b[i]
+                continue
+            for i in range(len(self._weights)):
+                m_w[i] = beta1 * m_w[i] + (1 - beta1) * grads_w[i]
+                v_w[i] = beta2 * v_w[i] + (1 - beta2) * grads_w[i] ** 2
+                m_b[i] = beta1 * m_b[i] + (1 - beta1) * grads_b[i]
+                v_b[i] = beta2 * v_b[i] + (1 - beta2) * grads_b[i] ** 2
+                m_w_hat = m_w[i] / (1 - beta1**epoch)
+                v_w_hat = v_w[i] / (1 - beta2**epoch)
+                m_b_hat = m_b[i] / (1 - beta1**epoch)
+                v_b_hat = v_b[i] / (1 - beta2**epoch)
+                self._weights[i] -= self.learning_rate * m_w_hat / (np.sqrt(v_w_hat) + eps)
+                self._biases[i] -= self.learning_rate * m_b_hat / (np.sqrt(v_b_hat) + eps)
+
+    def _forward(self, x: np.ndarray):
+        activations = [x]
+        pre_activations = []
+        current = x
+        last = len(self._weights) - 1
+        for i, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+            z = current @ weight + bias
+            if i < last:
+                pre_activations.append(z)
+                current = np.tanh(z)
+            else:
+                current = z
+            activations.append(current)
+        return activations, pre_activations
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        x = (features - self._x_mean) / self._x_scale
+        output = self._forward(x)[0][-1][:, 0]
+        return output * self._y_scale + self._y_mean

@@ -1,0 +1,106 @@
+"""CART regression tree — bagging's base learner.
+
+Standard binary tree grown by variance reduction: each split minimises
+the summed squared deviation of the two children, searched over midpoints
+of consecutive distinct feature values.  Leaves predict their mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import Regressor
+
+
+@dataclass
+class _Node:
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "._Node | None" = None
+    right: "._Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree(Regressor):
+    """CART with depth / leaf-size stopping rules."""
+
+    name = "regression-tree"
+
+    def __init__(self, max_depth: int = 6, min_samples_leaf: int = 2):
+        super().__init__()
+        self.max_depth = max_depth
+        self.min_samples_leaf = max(1, min_samples_leaf)
+        self._root: _Node | None = None
+
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        self._root = self._grow(features, targets, depth=0)
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(targets.mean()))
+        if depth >= self.max_depth or targets.shape[0] < 2 * self.min_samples_leaf:
+            return node
+        if np.all(targets == targets[0]):
+            return node
+        split = self._best_split(features, targets)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], targets[mask], depth + 1)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, features: np.ndarray, targets: np.ndarray
+    ) -> tuple[int, float] | None:
+        best_score = np.inf
+        best: tuple[int, float] | None = None
+        count = targets.shape[0]
+        for feature in range(features.shape[1]):
+            order = np.argsort(features[:, feature], kind="stable")
+            sorted_x = features[order, feature]
+            sorted_y = targets[order]
+            # Prefix sums make each candidate split O(1).
+            prefix = np.cumsum(sorted_y)
+            prefix_sq = np.cumsum(sorted_y**2)
+            total = prefix[-1]
+            total_sq = prefix_sq[-1]
+            for i in range(self.min_samples_leaf, count - self.min_samples_leaf + 1):
+                if i < 1 or i >= count or sorted_x[i - 1] == sorted_x[i]:
+                    continue
+                left_sse = prefix_sq[i - 1] - prefix[i - 1] ** 2 / i
+                right_n = count - i
+                right_sum = total - prefix[i - 1]
+                right_sse = (total_sq - prefix_sq[i - 1]) - right_sum**2 / right_n
+                score = left_sse + right_sse
+                if score < best_score - 1e-12:
+                    best_score = score
+                    best = (feature, float((sorted_x[i - 1] + sorted_x[i]) / 2.0))
+        return best
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        out = np.empty(features.shape[0])
+        for i, row in enumerate(features):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

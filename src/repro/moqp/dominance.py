@@ -1,0 +1,98 @@
+"""Plan dominance and Pareto regions (paper §2.3, Eq. 1-4).
+
+Two granularities:
+
+* **vector dominance** — compare two cost vectors (all metrics <=, resp. <);
+* **parametric dominance** — the paper's ``Dom``/``StriDom``/``PaReg``
+  operate over a *parameter space* X: plan costs are functions
+  ``c_n(p, x)`` and the region where one plan dominates another is a
+  subset of X.  We evaluate the regions over a caller-supplied sample of
+  parameter vectors, which is exactly how a region would be used
+  downstream (measure-theoretic exactness is not needed by the system).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.common.errors import ValidationError
+
+CostFunction = Callable[[object, object], Sequence[float]]
+# signature: (plan, parameter_vector) -> cost vector
+
+
+def _check(a: Sequence[float], b: Sequence[float]) -> None:
+    if len(a) != len(b):
+        raise ValidationError(f"cost vectors differ in length: {len(a)} vs {len(b)}")
+    if len(a) == 0:
+        raise ValidationError("cost vectors must be non-empty")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Eq. 1: every component of ``a`` <= the matching component of ``b``."""
+    _check(a, b)
+    return all(x <= y for x, y in zip(a, b))
+
+
+def strictly_dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Eq. 3: every component strictly smaller."""
+    _check(a, b)
+    return all(x < y for x, y in zip(a, b))
+
+
+def pareto_dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Standard Pareto dominance: <= everywhere and < somewhere."""
+    _check(a, b)
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def dominance_region(
+    plan_a,
+    plan_b,
+    parameter_samples: Sequence,
+    cost_function: CostFunction,
+) -> list:
+    """``Dom(p1, p2)`` (Eq. 2): samples of X where p1 dominates p2."""
+    return [
+        x
+        for x in parameter_samples
+        if dominates(cost_function(plan_a, x), cost_function(plan_b, x))
+    ]
+
+
+def strict_dominance_region(
+    plan_a,
+    plan_b,
+    parameter_samples: Sequence,
+    cost_function: CostFunction,
+) -> list:
+    """``StriDom(p1, p2)`` (Eq. 3): samples where p1 strictly dominates p2."""
+    return [
+        x
+        for x in parameter_samples
+        if strictly_dominates(cost_function(plan_a, x), cost_function(plan_b, x))
+    ]
+
+
+def pareto_region(
+    plan,
+    alternatives: Sequence,
+    parameter_samples: Sequence,
+    cost_function: CostFunction,
+) -> list:
+    """``PaReg(p)`` (Eq. 4): X minus every StriDom(p*, p).
+
+    The samples where *no* alternative plan strictly beats ``plan`` on
+    every metric.
+    """
+    region = []
+    for x in parameter_samples:
+        own = cost_function(plan, x)
+        beaten = any(
+            strictly_dominates(cost_function(alternative, x), own)
+            for alternative in alternatives
+            if alternative is not plan
+        )
+        if not beaten:
+            region.append(x)
+    return region

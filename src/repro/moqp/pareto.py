@@ -1,0 +1,67 @@
+"""Pareto fronts and quality indicators."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import ValidationError
+from repro.moqp.dominance import pareto_dominates
+
+
+def pareto_front_indices(points: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated points (minimisation, duplicates kept).
+
+    O(n^2) pairwise scan — candidate sets in the optimizer are at most a
+    few thousand QEPs, where this is faster than fancier approaches.
+    """
+    front: list[int] = []
+    for i, candidate in enumerate(points):
+        dominated = False
+        for j, other in enumerate(points):
+            if i != j and pareto_dominates(other, candidate):
+                dominated = True
+                break
+        if not dominated:
+            front.append(i)
+    return front
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> list[Sequence[float]]:
+    """The non-dominated subset of ``points``."""
+    return [points[i] for i in pareto_front_indices(points)]
+
+
+def hypervolume_2d(
+    points: Sequence[Sequence[float]], reference: Sequence[float]
+) -> float:
+    """Exact hypervolume for two objectives (minimisation).
+
+    The area dominated by the front and bounded by ``reference``.  Points
+    outside the reference box contribute nothing.
+    """
+    if len(reference) != 2:
+        raise ValidationError("hypervolume_2d needs a 2-D reference point")
+    front = [
+        p
+        for p in pareto_front(points)
+        if p[0] < reference[0] and p[1] < reference[1]
+    ]
+    if not front:
+        return 0.0
+    ordered = sorted(set((p[0], p[1]) for p in front))
+    volume = 0.0
+    previous_y = reference[1]
+    for x, y in ordered:
+        if y < previous_y:
+            volume += (reference[0] - x) * (previous_y - y)
+            previous_y = y
+    return volume
+
+
+def spread_2d(points: Sequence[Sequence[float]]) -> float:
+    """Extent of a 2-D front: the perimeter of its bounding box."""
+    if not points:
+        return 0.0
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))

@@ -1,0 +1,74 @@
+"""Problem abstraction for the multi-objective optimizers.
+
+The QEP optimisation problem is *discrete*: a finite (possibly huge,
+Example 3.1: 18,200) set of candidate plans, each with a cost vector that
+may be expensive to evaluate (a model prediction).  The optimizers work
+on an :class:`EnumeratedProblem` which lazily evaluates and caches
+objective vectors by candidate index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.common.errors import ValidationError
+
+P = TypeVar("P")
+
+
+@dataclass(frozen=True)
+class Candidate(Generic[P]):
+    """A candidate solution: payload + its evaluated objective vector."""
+
+    payload: P
+    objectives: tuple[float, ...]
+
+
+class EnumeratedProblem(Generic[P]):
+    """A finite decision space with a vector objective function."""
+
+    def __init__(
+        self,
+        candidates: Sequence[P],
+        evaluate: Callable[[P], Sequence[float]],
+        objective_count: int,
+    ):
+        if not candidates:
+            raise ValidationError("problem needs at least one candidate")
+        if objective_count < 1:
+            raise ValidationError("problem needs at least one objective")
+        self._candidates = list(candidates)
+        self._evaluate = evaluate
+        self.objective_count = objective_count
+        self._cache: dict[int, tuple[float, ...]] = {}
+        self.evaluation_count = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._candidates)
+
+    def candidate(self, index: int) -> P:
+        return self._candidates[index]
+
+    def objectives(self, index: int) -> tuple[float, ...]:
+        """Evaluate (cached) the objective vector of candidate ``index``."""
+        cached = self._cache.get(index)
+        if cached is None:
+            raw = tuple(float(v) for v in self._evaluate(self._candidates[index]))
+            if len(raw) != self.objective_count:
+                raise ValidationError(
+                    f"objective function returned {len(raw)} values, "
+                    f"expected {self.objective_count}"
+                )
+            self._cache[index] = raw
+            self.evaluation_count += 1
+            cached = raw
+        return cached
+
+    def evaluated(self, index: int) -> Candidate[P]:
+        return Candidate(self._candidates[index], self.objectives(index))
+
+    def evaluate_all(self) -> list[Candidate[P]]:
+        """Exhaustive evaluation (used for exact fronts on small spaces)."""
+        return [self.evaluated(i) for i in range(self.size)]

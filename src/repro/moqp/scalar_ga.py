@@ -1,0 +1,86 @@
+"""Single-objective GA over an enumerated space.
+
+This is the engine of the paper's *WSM-based* MOQP branch (Figure 3,
+right): the cost vector is scalarised by the Weighted Sum Model first and
+a plain genetic algorithm minimises the scalar.  Every weight change
+restarts the whole search — the drawback the paper cites from [13, 20].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import RngStream
+from repro.moqp.problem import Candidate, EnumeratedProblem
+from repro.moqp.wsm import WeightedSumModel, normalise_objectives
+
+
+@dataclass(frozen=True)
+class ScalarGaConfig:
+    population_size: int = 40
+    generations: int = 30
+    crossover_probability: float = 0.9
+    mutation_probability: float = 0.15
+    seed: int = 31
+
+
+class ScalarGeneticOptimizer:
+    """Minimises WSM(objectives) with tournament selection."""
+
+    def __init__(self, weights, config: ScalarGaConfig | None = None):
+        self.model = WeightedSumModel(weights)
+        self.config = config or ScalarGaConfig()
+
+    def optimise(self, problem: EnumeratedProblem) -> Candidate:
+        config = self.config
+        rng = RngStream(config.seed, "scalar-ga")
+        population_size = min(config.population_size, problem.size)
+        population = [
+            int(i) for i in rng.choice(problem.size, size=population_size, replace=False)
+        ]
+
+        def fitness_of(members: list[int]) -> dict[int, float]:
+            vectors = [problem.objectives(i) for i in members]
+            normalised = normalise_objectives(vectors)
+            return {
+                member: self.model.scalarise(vector)
+                for member, vector in zip(members, normalised)
+            }
+
+        best_index = population[0]
+        best_value = float("inf")
+        for _generation in range(config.generations):
+            fitness = fitness_of(population)
+            for member, value in fitness.items():
+                if value < best_value:
+                    best_value = value
+                    best_index = member
+
+            def tournament() -> int:
+                a, b = (int(x) for x in rng.integers(0, len(population), size=2))
+                return (
+                    population[a]
+                    if fitness[population[a]] <= fitness[population[b]]
+                    else population[b]
+                )
+
+            offspring: list[int] = []
+            while len(offspring) < population_size:
+                parent_a, parent_b = tournament(), tournament()
+                if rng.random() < config.crossover_probability:
+                    low, high = sorted((parent_a, parent_b))
+                    child = int(rng.integers(low, high + 1))
+                else:
+                    child = parent_a
+                if rng.random() < config.mutation_probability:
+                    child = int(rng.integers(0, problem.size))
+                offspring.append(child)
+            population = list(dict.fromkeys(offspring)) or [best_index]
+
+        # Final sweep including the last population.
+        fitness = fitness_of(population)
+        for member, value in fitness.items():
+            if value < best_value:
+                best_value = value
+                best_index = member
+        return problem.evaluated(best_index)

@@ -1,0 +1,57 @@
+"""BestInPareto — Algorithm 2 of the paper.
+
+Given the Pareto plan set P, user weights S and constraints B::
+
+    function BestInPareto(P, S, B):
+        PB <- { p in P | for all n <= |B| : c_n(p) <= B_n }
+        if PB is not empty:
+            return argmin_{p in PB} WeightSum(PB, S)
+        else:
+            return argmin_{p in P}  WeightSum(P, S)
+
+i.e. prefer plans satisfying every constraint; fall back to the whole
+Pareto set when nothing does.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import ValidationError
+from repro.moqp.problem import Candidate
+from repro.moqp.wsm import WeightedSumModel
+
+
+def best_in_pareto(
+    pareto_set: Sequence[Candidate],
+    weights: Sequence[float],
+    constraints: Sequence[float | None] | None = None,
+) -> Candidate:
+    """Select the final QEP from a Pareto set (Algorithm 2).
+
+    ``constraints`` aligns with the objective vector; ``None`` entries are
+    unconstrained.  Weighted sums are computed over min-max-normalised
+    objectives of the set being ranked, exactly as the WSM step expects.
+    """
+    if not pareto_set:
+        raise ValidationError("BestInPareto needs a non-empty Pareto set")
+    model = WeightedSumModel(weights)
+
+    within: list[Candidate] = []
+    if constraints is not None:
+        if len(constraints) > len(pareto_set[0].objectives):
+            raise ValidationError(
+                f"{len(constraints)} constraints for "
+                f"{len(pareto_set[0].objectives)} objectives"
+            )
+        for candidate in pareto_set:
+            satisfied = all(
+                bound is None or candidate.objectives[n] <= bound
+                for n, bound in enumerate(constraints)
+            )
+            if satisfied:
+                within.append(candidate)
+
+    pool = within if within else list(pareto_set)
+    index = model.best_index([c.objectives for c in pool])
+    return pool[index]

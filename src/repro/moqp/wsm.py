@@ -1,0 +1,66 @@
+"""Weighted Sum Model (Helff & Orazio 2016 — reference [17]).
+
+Scalarises a cost vector with user weights after min-max normalisation
+over the candidate set (so metrics with different units are comparable).
+The paper uses WSM in two roles:
+
+* as the *final step* of the GA pipeline (Algorithm 2 picks the plan with
+  the minimum weighted sum inside the Pareto/constraint set), and
+* as the *baseline optimisation strategy* of stock IReS (Figure 3's right
+  branch), where the scalarised value drives the whole search — with the
+  known drawback that a weight change forces re-optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import ValidationError
+
+
+def normalise_objectives(
+    vectors: Sequence[Sequence[float]],
+) -> list[tuple[float, ...]]:
+    """Min-max normalise each objective over the candidate set."""
+    if not vectors:
+        return []
+    dimension = len(vectors[0])
+    lows = [min(v[axis] for v in vectors) for axis in range(dimension)]
+    highs = [max(v[axis] for v in vectors) for axis in range(dimension)]
+    normalised = []
+    for vector in vectors:
+        row = []
+        for axis in range(dimension):
+            span = highs[axis] - lows[axis]
+            row.append((vector[axis] - lows[axis]) / span if span > 0 else 0.0)
+        normalised.append(tuple(row))
+    return normalised
+
+
+class WeightedSumModel:
+    """Scalarisation with fixed weights."""
+
+    def __init__(self, weights: Sequence[float]):
+        if not weights:
+            raise ValidationError("WSM needs at least one weight")
+        if any(w < 0 for w in weights):
+            raise ValidationError(f"weights must be non-negative, got {list(weights)}")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValidationError("weights must not all be zero")
+        self.weights = tuple(w / total for w in weights)
+
+    def scalarise(self, vector: Sequence[float]) -> float:
+        if len(vector) != len(self.weights):
+            raise ValidationError(
+                f"vector has {len(vector)} metrics, model has {len(self.weights)} weights"
+            )
+        return float(sum(w * v for w, v in zip(self.weights, vector)))
+
+    def best_index(self, vectors: Sequence[Sequence[float]], normalise: bool = True) -> int:
+        """Index of the candidate with the smallest weighted sum."""
+        if not vectors:
+            raise ValidationError("no candidates to choose from")
+        pool = normalise_objectives(vectors) if normalise else list(vectors)
+        scores = [self.scalarise(v) for v in pool]
+        return min(range(len(scores)), key=scores.__getitem__)

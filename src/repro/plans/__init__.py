@@ -1,0 +1,45 @@
+"""Query plans: logical operators, binder, optimizer and local executor.
+
+The *logical* plan is the semantic representation produced from SQL by
+:func:`repro.plans.binder.plan_select`.  The *local executor*
+(:mod:`repro.plans.execution`) runs logical plans over in-memory tables and
+is the ground truth for query results.  The *physical* plan
+(:mod:`repro.plans.physical`) annotates operators with engine placement and
+size estimates and is what the engine simulators cost.
+"""
+
+from repro.plans.catalog import Catalog
+from repro.plans.logical import (
+    LogicalPlan,
+    Scan,
+    Filter,
+    Project,
+    Join,
+    Aggregate,
+    Sort,
+    Limit,
+    Distinct,
+)
+from repro.plans.binder import plan_select, plan_sql
+from repro.plans.execution import execute_plan, execute_sql
+from repro.plans.statistics import TableStats, ColumnStats, compute_table_stats
+
+__all__ = [
+    "Catalog",
+    "LogicalPlan",
+    "Scan",
+    "Filter",
+    "Project",
+    "Join",
+    "Aggregate",
+    "Sort",
+    "Limit",
+    "Distinct",
+    "plan_select",
+    "plan_sql",
+    "execute_plan",
+    "execute_sql",
+    "TableStats",
+    "ColumnStats",
+    "compute_table_stats",
+]

@@ -1,0 +1,458 @@
+"""Binder: SQL AST -> bound logical plan.
+
+Resolution rules follow standard SQL:
+
+* Column references resolve against the innermost scope first; a reference
+  that only resolves in the enclosing query becomes a correlated
+  :class:`~repro.relational.expressions.OuterColumn` (one level of
+  correlation is supported — enough for TPC-H Q17-style subqueries).
+* With ``GROUP BY`` (or any aggregate present), SELECT/HAVING expressions
+  may reference group expressions (matched structurally on the *unbound*
+  AST) and aggregate calls; any other column reference is an error.
+* ``ORDER BY`` binds against the projection output: by alias/output name,
+  by 1-based position, or by structural match with a select item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import PlanError, SchemaError, SqlError
+from repro.plans.catalog import Catalog
+from repro.plans.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    SortKey,
+    SubqueryAlias,
+)
+from repro.relational.expressions import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    BoundColumn,
+    CaseWhen,
+    ColumnRef,
+    Exists,
+    Expr,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    OuterColumn,
+    ScalarSubquery,
+    UnaryOp,
+    collect_aggregates,
+    contains_aggregate,
+    infer_dtype,
+    walk,
+)
+from repro.relational.schema import Field
+from repro.sql.ast import (
+    DerivedTable,
+    JoinClause,
+    NamedTable,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    TableRef,
+)
+from repro.sql.parser import parse_select
+
+
+class Scope:
+    """A binder scope: the visible fields, chained to an optional outer scope."""
+
+    def __init__(self, fields: list[Field], outer: "Scope | None" = None):
+        self.fields = fields
+        self.outer = outer
+
+    def resolve(self, qualifier: str | None, name: str) -> tuple[int, int, Field]:
+        """Resolve a reference; returns (level, index, field).
+
+        ``level`` 0 means this scope, 1 the outer scope.  Raises
+        :class:`SchemaError` when the name is missing or ambiguous.
+        """
+        matches = [
+            (i, f) for i, f in enumerate(self.fields) if f.matches(qualifier, name)
+        ]
+        if len(matches) == 1:
+            index, matched = matches[0]
+            return 0, index, matched
+        if len(matches) > 1:
+            display = f"{qualifier}.{name}" if qualifier else name
+            raise SchemaError(f"ambiguous column reference {display!r}")
+        if self.outer is not None:
+            level, index, matched = self.outer.resolve(qualifier, name)
+            if level > 0:
+                raise SchemaError(
+                    f"column {name!r} requires more than one level of correlation"
+                )
+            return 1, index, matched
+        display = f"{qualifier}.{name}" if qualifier else name
+        available = ", ".join(
+            (f"{f.qualifier}.{f.name}" if f.qualifier else f.name) for f in self.fields
+        )
+        raise SchemaError(f"unknown column {display!r}; in scope: {available}")
+
+
+def plan_sql(sql_text: str, catalog: Catalog) -> LogicalPlan:
+    """Parse ``sql_text`` and bind it against ``catalog``."""
+    return plan_select(parse_select(sql_text), catalog)
+
+
+def plan_select(
+    statement: SelectStatement,
+    catalog: Catalog,
+    outer_scope: Scope | None = None,
+) -> LogicalPlan:
+    """Bind one SELECT statement into a logical plan."""
+    if statement.from_clause is None:
+        raise PlanError("SELECT without FROM is not supported")
+    plan = _plan_table_ref(statement.from_clause, catalog)
+    scope = Scope(plan.output_fields(), outer_scope)
+
+    if statement.where is not None:
+        predicate = _bind(statement.where, scope, catalog)
+        if contains_aggregate(predicate):
+            raise PlanError("aggregates are not allowed in WHERE")
+        plan = Filter(plan, predicate)
+
+    has_aggregates = bool(statement.group_by) or any(
+        isinstance(item, SelectItem) and contains_aggregate(item.expr)
+        for item in statement.items
+    )
+    if statement.having is not None and not has_aggregates:
+        raise PlanError("HAVING requires GROUP BY or aggregates")
+
+    if has_aggregates:
+        plan, item_exprs, item_names = _plan_aggregate(statement, plan, scope, catalog)
+    else:
+        item_exprs, item_names = _bind_select_items(statement, scope, catalog)
+
+    plan = Project(plan, tuple(item_exprs), tuple(item_names))
+
+    if statement.distinct:
+        plan = Distinct(plan)
+
+    if statement.order_by:
+        keys = _bind_order_by(statement, item_names)
+        plan = Sort(plan, tuple(keys))
+
+    if statement.limit is not None:
+        plan = Limit(plan, statement.limit)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# FROM clause
+# ---------------------------------------------------------------------------
+
+
+def _plan_table_ref(ref: TableRef, catalog: Catalog) -> LogicalPlan:
+    if isinstance(ref, NamedTable):
+        schema = catalog.schema(ref.name)
+        fields = tuple(schema.fields(ref.binding_name))
+        return Scan(ref.name, ref.binding_name, fields)
+    if isinstance(ref, DerivedTable):
+        child = plan_select(ref.query, catalog)
+        child_fields = child.output_fields()
+        if ref.column_aliases:
+            if len(ref.column_aliases) != len(child_fields):
+                raise PlanError(
+                    f"derived table {ref.alias!r}: {len(ref.column_aliases)} column "
+                    f"aliases for {len(child_fields)} columns"
+                )
+            names = ref.column_aliases
+        else:
+            names = tuple(f.name for f in child_fields)
+        fields = tuple(
+            Field(name, f.dtype, ref.alias, f.nullable)
+            for name, f in zip(names, child_fields)
+        )
+        return SubqueryAlias(child, ref.alias, fields)
+    if isinstance(ref, JoinClause):
+        if ref.kind == "right":
+            # Rewrite RIGHT JOIN as LEFT JOIN with swapped inputs, then
+            # re-project columns back into the original order.
+            swapped = JoinClause(ref.right, ref.left, "left", ref.condition)
+            plan = _plan_table_ref(swapped, catalog)
+            fields = plan.output_fields()
+            right_width = len(_plan_table_ref(ref.right, catalog).output_fields())
+            order = list(range(right_width, len(fields))) + list(range(right_width))
+            exprs = tuple(
+                BoundColumn(i, fields[i].dtype, fields[i].name) for i in order
+            )
+            names = tuple(fields[i].name for i in order)
+            # SubqueryAlias-free reorder: keep original qualifiers via fields.
+            reordered = Project(plan, exprs, names)
+            qualified = tuple(
+                Field(fields[i].name, fields[i].dtype, fields[i].qualifier, True)
+                for i in order
+            )
+            return SubqueryAlias(reordered, alias="", fields=qualified)
+        left = _plan_table_ref(ref.left, catalog)
+        right = _plan_table_ref(ref.right, catalog)
+        combined = Scope(left.output_fields() + right.output_fields())
+        condition = None
+        if ref.condition is not None:
+            condition = _bind(ref.condition, combined, catalog)
+        return Join(left, right, ref.kind, condition)
+    raise PlanError(f"unknown table reference {ref!r}")
+
+
+# ---------------------------------------------------------------------------
+# Expression binding
+# ---------------------------------------------------------------------------
+
+
+def _bind(expr: Expr, scope: Scope, catalog: Catalog) -> Expr:
+    """Bind ``expr`` against ``scope``, planning any nested subqueries."""
+    if isinstance(expr, ColumnRef):
+        level, index, field = scope.resolve(expr.qualifier, expr.name)
+        if level == 0:
+            return BoundColumn(index, field.dtype, field.name)
+        return OuterColumn(index, field.dtype, field.name)
+    if isinstance(expr, (BoundColumn, OuterColumn, Literal)):
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, _bind(expr.left, scope, catalog), _bind(expr.right, scope, catalog))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _bind(expr.operand, scope, catalog))
+    if isinstance(expr, CaseWhen):
+        whens = tuple(
+            (_bind(cond, scope, catalog), _bind(value, scope, catalog))
+            for cond, value in expr.whens
+        )
+        else_ = _bind(expr.else_, scope, catalog) if expr.else_ is not None else None
+        return CaseWhen(whens, else_)
+    if isinstance(expr, Like):
+        return Like(_bind(expr.operand, scope, catalog), expr.pattern, expr.negated)
+    if isinstance(expr, InList):
+        return InList(
+            _bind(expr.operand, scope, catalog),
+            tuple(_bind(v, scope, catalog) for v in expr.values),
+            expr.negated,
+        )
+    if isinstance(expr, Between):
+        return Between(
+            _bind(expr.operand, scope, catalog),
+            _bind(expr.low, scope, catalog),
+            _bind(expr.high, scope, catalog),
+            expr.negated,
+        )
+    if isinstance(expr, IsNull):
+        return IsNull(_bind(expr.operand, scope, catalog), expr.negated)
+    if isinstance(expr, AggregateCall):
+        arg = _bind(expr.arg, scope, catalog) if expr.arg is not None else None
+        return AggregateCall(expr.func, arg, expr.distinct)
+    if isinstance(expr, ScalarSubquery):
+        subplan = _bind_subquery(expr.plan, scope, catalog)
+        if len(subplan.output_fields()) != 1:
+            raise PlanError("scalar subquery must produce exactly one column")
+        return ScalarSubquery(subplan, _correlations(subplan))
+    if isinstance(expr, InSubquery):
+        subplan = _bind_subquery(expr.plan, scope, catalog)
+        if len(subplan.output_fields()) != 1:
+            raise PlanError("IN subquery must produce exactly one column")
+        return InSubquery(_bind(expr.operand, scope, catalog), subplan, expr.negated)
+    if isinstance(expr, Exists):
+        subplan = _bind_subquery(expr.plan, scope, catalog)
+        return Exists(subplan, expr.negated)
+    raise PlanError(f"cannot bind expression {expr!r}")
+
+
+def _bind_subquery(ast_or_plan, scope: Scope, catalog: Catalog) -> LogicalPlan:
+    if isinstance(ast_or_plan, LogicalPlan):
+        return ast_or_plan  # already bound (idempotent re-binding)
+    if isinstance(ast_or_plan, SelectStatement):
+        return plan_select(ast_or_plan, catalog, outer_scope=scope)
+    raise PlanError(f"subquery slot holds {type(ast_or_plan).__name__}, expected AST")
+
+
+def _correlations(plan: LogicalPlan) -> tuple[tuple[int, str], ...]:
+    """Collect (outer index, name) pairs referenced by a subquery plan."""
+    seen: dict[int, str] = {}
+    for node in plan.walk():
+        for expr in _node_expressions(node):
+            for part in walk(expr):
+                if isinstance(part, OuterColumn):
+                    seen[part.index] = part.name
+    return tuple(sorted(seen.items()))
+
+
+def _node_expressions(node: LogicalPlan) -> list[Expr]:
+    collected: list[Expr] = []
+    node.map_expressions(lambda e: collected.append(e) or e)
+    return collected
+
+
+# ---------------------------------------------------------------------------
+# SELECT items (non-aggregate path)
+# ---------------------------------------------------------------------------
+
+
+def _item_name(item: SelectItem, position: int) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, ColumnRef):
+        return item.expr.name
+    return f"col{position + 1}"
+
+
+def _bind_select_items(
+    statement: SelectStatement, scope: Scope, catalog: Catalog
+) -> tuple[list[Expr], list[str]]:
+    exprs: list[Expr] = []
+    names: list[str] = []
+    for position, item in enumerate(statement.items):
+        if isinstance(item, Star):
+            for index, field in enumerate(scope.fields):
+                if item.qualifier is None or (
+                    field.qualifier is not None
+                    and field.qualifier.lower() == item.qualifier.lower()
+                ):
+                    exprs.append(BoundColumn(index, field.dtype, field.name))
+                    names.append(field.name)
+            continue
+        exprs.append(_bind(item.expr, scope, catalog))
+        names.append(_item_name(item, position))
+    if not exprs:
+        raise PlanError("SELECT list is empty after star expansion")
+    return exprs, names
+
+
+# ---------------------------------------------------------------------------
+# Aggregation path
+# ---------------------------------------------------------------------------
+
+
+def _plan_aggregate(
+    statement: SelectStatement,
+    child: LogicalPlan,
+    scope: Scope,
+    catalog: Catalog,
+) -> tuple[LogicalPlan, list[Expr], list[str]]:
+    """Build the Aggregate node and rewritten SELECT/HAVING expressions."""
+    group_unbound = list(statement.group_by)
+    bound_groups = [_bind(g, scope, catalog) for g in group_unbound]
+    group_names = [
+        g.name if isinstance(g, ColumnRef) else f"group{i + 1}"
+        for i, g in enumerate(group_unbound)
+    ]
+
+    # Deduplicate aggregate calls across SELECT and HAVING, by unbound shape.
+    agg_unbound: list[AggregateCall] = []
+    for item in statement.items:
+        if isinstance(item, Star):
+            raise PlanError("SELECT * cannot be combined with GROUP BY/aggregates")
+        for agg in collect_aggregates(item.expr):
+            if agg not in agg_unbound:
+                agg_unbound.append(agg)
+    if statement.having is not None:
+        for agg in collect_aggregates(statement.having):
+            if agg not in agg_unbound:
+                agg_unbound.append(agg)
+
+    bound_aggs = [_bind(a, scope, catalog) for a in agg_unbound]
+    agg_names = [f"agg{i + 1}" for i in range(len(bound_aggs))]
+
+    aggregate = Aggregate(
+        child,
+        tuple(bound_groups),
+        tuple(group_names),
+        tuple(bound_aggs),
+        tuple(agg_names),
+    )
+    output_fields = aggregate.output_fields()
+
+    def rewrite(expr: Expr) -> Expr:
+        """Rewrite a SELECT/HAVING expression over the aggregate's output."""
+        for i, group in enumerate(group_unbound):
+            if expr == group:
+                return BoundColumn(i, output_fields[i].dtype, output_fields[i].name)
+        if isinstance(expr, AggregateCall):
+            index = agg_unbound.index(expr)
+            slot = len(group_unbound) + index
+            return BoundColumn(slot, output_fields[slot].dtype, output_fields[slot].name)
+        if isinstance(expr, ColumnRef):
+            raise PlanError(
+                f"column {expr.sql()} must appear in GROUP BY or inside an aggregate"
+            )
+        return _rebuild_with(expr, rewrite)
+
+    item_exprs: list[Expr] = []
+    item_names: list[str] = []
+    for position, item in enumerate(statement.items):
+        assert isinstance(item, SelectItem)
+        item_exprs.append(rewrite(item.expr))
+        item_names.append(_item_name(item, position))
+
+    plan: LogicalPlan = aggregate
+    if statement.having is not None:
+        plan = Filter(plan, rewrite(statement.having))
+    return plan, item_exprs, item_names
+
+
+def _rebuild_with(expr: Expr, fn) -> Expr:
+    """Rebuild one level of ``expr``, applying ``fn`` to sub-expressions."""
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, fn(expr.left), fn(expr.right))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, fn(expr.operand))
+    if isinstance(expr, CaseWhen):
+        whens = tuple((fn(cond), fn(value)) for cond, value in expr.whens)
+        else_ = fn(expr.else_) if expr.else_ is not None else None
+        return CaseWhen(whens, else_)
+    if isinstance(expr, Like):
+        return Like(fn(expr.operand), expr.pattern, expr.negated)
+    if isinstance(expr, InList):
+        return InList(fn(expr.operand), tuple(fn(v) for v in expr.values), expr.negated)
+    if isinstance(expr, Between):
+        return Between(fn(expr.operand), fn(expr.low), fn(expr.high), expr.negated)
+    if isinstance(expr, IsNull):
+        return IsNull(fn(expr.operand), expr.negated)
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# ORDER BY
+# ---------------------------------------------------------------------------
+
+
+def _bind_order_by(statement: SelectStatement, item_names: list[str]) -> list[SortKey]:
+    keys: list[SortKey] = []
+    lowered_names = [n.lower() for n in item_names]
+    for order_item in statement.order_by:
+        expr = order_item.expr
+        index: int | None = None
+        if isinstance(expr, ColumnRef) and expr.qualifier is None:
+            try:
+                index = lowered_names.index(expr.name.lower())
+            except ValueError:
+                index = None
+        if index is None and isinstance(expr, Literal) and isinstance(expr.value, int):
+            position = expr.value
+            if not 1 <= position <= len(item_names):
+                raise PlanError(f"ORDER BY position {position} out of range")
+            index = position - 1
+        if index is None:
+            for i, item in enumerate(statement.items):
+                if isinstance(item, SelectItem) and item.expr == expr:
+                    index = i
+                    break
+        if index is None:
+            raise PlanError(
+                f"cannot bind ORDER BY {expr.sql()}: not an output column, "
+                "position, or select-item expression"
+            )
+        keys.append(SortKey(index, order_item.descending))
+    return keys

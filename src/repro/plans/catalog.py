@@ -1,0 +1,65 @@
+"""Table catalog: name -> schema (+ optionally data) resolution.
+
+The binder only needs schemas; the local executor also needs the table
+data.  A :class:`Catalog` can therefore hold either full
+:class:`~repro.relational.table.Table` objects or bare schemas (for
+plan-only / simulation use).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+class Catalog:
+    """A case-insensitive mapping of table names to schemas and data."""
+
+    def __init__(self, tables: Iterable[Table] = ()):
+        self._schemas: dict[str, Schema] = {}
+        self._tables: dict[str, Table] = {}
+        for table in tables:
+            self.add_table(table)
+
+    def add_table(self, table: Table) -> None:
+        key = table.name.lower()
+        if key in self._schemas:
+            raise SchemaError(f"table {table.name!r} already registered")
+        self._schemas[key] = table.schema
+        self._tables[key] = table
+
+    def add_schema(self, name: str, schema: Schema) -> None:
+        key = name.lower()
+        if key in self._schemas:
+            raise SchemaError(f"table {name!r} already registered")
+        self._schemas[key] = schema
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._schemas
+
+    def schema(self, name: str) -> Schema:
+        try:
+            return self._schemas[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._schemas)) or "<empty>"
+            raise SchemaError(f"unknown table {name!r}; catalog has: {known}") from None
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._schemas:
+            raise SchemaError(f"unknown table {name!r}")
+        if key not in self._tables:
+            raise SchemaError(f"table {name!r} is schema-only (no data registered)")
+        return self._tables[key]
+
+    def table_names(self) -> list[str]:
+        return sorted(self._schemas)
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_table(name)
+
+    def __repr__(self) -> str:
+        return f"Catalog({self.table_names()})"

@@ -1,0 +1,428 @@
+"""Local plan executor: the semantic ground truth.
+
+Executes bound logical plans over in-memory tables.  Engines in
+:mod:`repro.engines` *cost* plans; this module *runs* them, so tests can
+check query results independently of any simulation.
+
+Internals operate on ``(fields, rows)`` pairs (rows are tuples) and only
+the final result is materialised as a :class:`~repro.relational.table.Table`
+— this sidesteps duplicate-name restrictions on intermediate join schemas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.errors import ExecutionError, PlanError
+from repro.plans.catalog import Catalog
+from repro.plans.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    SubqueryAlias,
+    transform_plan,
+)
+from repro.relational.expressions import (
+    AggregateCall,
+    BinaryOp,
+    BoundColumn,
+    EvalContext,
+    Exists,
+    Expr,
+    InSubquery,
+    Literal,
+    OuterColumn,
+    ScalarSubquery,
+    evaluate,
+    transform,
+    walk,
+)
+from repro.relational.schema import Column, Field, Schema
+from repro.relational.table import Table
+
+Rows = list[tuple]
+
+
+def execute_sql(sql_text: str, catalog: Catalog, name: str = "result") -> Table:
+    """Parse, bind and execute ``sql_text`` against ``catalog``."""
+    from repro.plans.binder import plan_sql
+    from repro.plans.optimizer import optimize
+
+    plan = optimize(plan_sql(sql_text, catalog))
+    return execute_plan(plan, catalog, name)
+
+
+def execute_plan(plan: LogicalPlan, catalog: Catalog, name: str = "result") -> Table:
+    """Execute a bound logical plan and materialise the result table."""
+    executor = _Executor(catalog)
+    rows = executor.run(plan)
+    fields = plan.output_fields()
+    schema = Schema([Column(n, f.dtype, f.nullable) for n, f in zip(_unique_names(fields), fields)])
+    return Table.from_rows(name, schema, rows, coerce=False)
+
+
+def _unique_names(fields: list[Field]) -> list[str]:
+    seen: dict[str, int] = {}
+    names = []
+    for field in fields:
+        base = field.name
+        count = seen.get(base.lower(), 0)
+        seen[base.lower()] = count + 1
+        names.append(base if count == 0 else f"{base}_{count + 1}")
+    return names
+
+
+class _Executor:
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        self._subquery_cache: dict[tuple, Any] = {}
+        self._context = EvalContext(self._run_subquery_expr)
+
+    # Dispatch -----------------------------------------------------------
+
+    def run(self, plan: LogicalPlan) -> Rows:
+        if isinstance(plan, Scan):
+            return self._run_scan(plan)
+        if isinstance(plan, Filter):
+            return self._run_filter(plan)
+        if isinstance(plan, Project):
+            return self._run_project(plan)
+        if isinstance(plan, Join):
+            return self._run_join(plan)
+        if isinstance(plan, Aggregate):
+            return self._run_aggregate(plan)
+        if isinstance(plan, Sort):
+            return self._run_sort(plan)
+        if isinstance(plan, Limit):
+            return self.run(plan.child)[: plan.count]
+        if isinstance(plan, Distinct):
+            return self._run_distinct(plan)
+        if isinstance(plan, SubqueryAlias):
+            return self.run(plan.child)
+        raise PlanError(f"executor: unknown plan node {type(plan).__name__}")
+
+    # Operators ----------------------------------------------------------
+
+    def _run_scan(self, plan: Scan) -> Rows:
+        table = self._catalog.table(plan.table_name)
+        return table.to_rows()
+
+    def _run_filter(self, plan: Filter) -> Rows:
+        rows = self.run(plan.child)
+        predicate = plan.predicate
+        return [
+            row for row in rows if evaluate(predicate, row, self._context) is True
+        ]
+
+    def _run_project(self, plan: Project) -> Rows:
+        rows = self.run(plan.child)
+        exprs = plan.exprs
+        return [
+            tuple(evaluate(expr, row, self._context) for expr in exprs) for row in rows
+        ]
+
+    def _run_distinct(self, plan: Distinct) -> Rows:
+        rows = self.run(plan.child)
+        seen: set = set()
+        out: Rows = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return out
+
+    def _run_sort(self, plan: Sort) -> Rows:
+        rows = self.run(plan.child)
+        # Stable multi-key sort: apply keys from last to first.  NULLs sort
+        # last regardless of direction.
+        for key in reversed(plan.keys):
+            index, descending = key.index, key.descending
+
+            def sort_key(row, index=index, descending=descending):
+                value = row[index]
+                if value is None:
+                    return (1, 0)
+                return (0, _Directional(value, descending))
+
+            rows = sorted(rows, key=sort_key)
+        return rows
+
+    def _run_join(self, plan: Join) -> Rows:
+        left_rows = self.run(plan.left)
+        right_rows = self.run(plan.right)
+        left_width = len(plan.left.output_fields())
+        right_width = len(plan.right.output_fields())
+
+        if plan.kind == "cross" or plan.condition is None:
+            if plan.kind == "left":
+                raise PlanError("left join requires a condition")
+            return [l + r for l in left_rows for r in right_rows]
+
+        equi_pairs, residual = split_equi_condition(plan.condition, left_width)
+        null_pad = (None,) * right_width
+
+        if equi_pairs:
+            rows = self._hash_join(
+                left_rows, right_rows, equi_pairs, residual, plan.kind, null_pad
+            )
+        else:
+            rows = self._nested_loop_join(
+                left_rows, right_rows, plan.condition, plan.kind, null_pad
+            )
+        return rows
+
+    def _hash_join(
+        self,
+        left_rows: Rows,
+        right_rows: Rows,
+        equi_pairs: list[tuple[int, int]],
+        residual: Expr | None,
+        kind: str,
+        null_pad: tuple,
+    ) -> Rows:
+        left_key_idx = [l for l, _ in equi_pairs]
+        right_key_idx = [r for _, r in equi_pairs]
+        buckets: dict[tuple, Rows] = {}
+        for row in right_rows:
+            key = tuple(row[i] for i in right_key_idx)
+            if any(v is None for v in key):
+                continue  # NULL never equi-matches
+            buckets.setdefault(key, []).append(row)
+        out: Rows = []
+        for left_row in left_rows:
+            key = tuple(left_row[i] for i in left_key_idx)
+            matched = False
+            if not any(v is None for v in key):
+                for right_row in buckets.get(key, ()):
+                    combined = left_row + right_row
+                    if residual is None or evaluate(residual, combined, self._context) is True:
+                        out.append(combined)
+                        matched = True
+            if kind == "left" and not matched:
+                out.append(left_row + null_pad)
+        return out
+
+    def _nested_loop_join(
+        self,
+        left_rows: Rows,
+        right_rows: Rows,
+        condition: Expr,
+        kind: str,
+        null_pad: tuple,
+    ) -> Rows:
+        out: Rows = []
+        for left_row in left_rows:
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if evaluate(condition, combined, self._context) is True:
+                    out.append(combined)
+                    matched = True
+            if kind == "left" and not matched:
+                out.append(left_row + null_pad)
+        return out
+
+    def _run_aggregate(self, plan: Aggregate) -> Rows:
+        rows = self.run(plan.child)
+        groups: dict[tuple, list[_AggState]] = {}
+        order: list[tuple] = []
+        global_agg = not plan.group_exprs
+
+        def make_states() -> list[_AggState]:
+            return [_AggState(agg) for agg in plan.aggregates]
+
+        if global_agg:
+            groups[()] = make_states()
+            order.append(())
+
+        for row in rows:
+            key = tuple(
+                evaluate(g, row, self._context) for g in plan.group_exprs
+            )
+            states = groups.get(key)
+            if states is None:
+                states = make_states()
+                groups[key] = states
+                order.append(key)
+            for state in states:
+                state.update(row, self._context)
+
+        return [key + tuple(s.result() for s in groups[key]) for key in order]
+
+    # Subqueries ----------------------------------------------------------
+
+    def _run_subquery_expr(self, node: Expr, outer_row: tuple) -> Any:
+        if isinstance(node, ScalarSubquery):
+            rows = self._run_correlated(node.plan, node.correlations, outer_row, node)
+            if not rows:
+                return None
+            if len(rows) > 1:
+                raise ExecutionError("scalar subquery returned more than one row")
+            return rows[0][0]
+        if isinstance(node, Exists):
+            correlations = _plan_correlations(node.plan)
+            rows = self._run_correlated(node.plan, correlations, outer_row, node)
+            exists = bool(rows)
+            return (not exists) if node.negated else exists
+        if isinstance(node, InSubquery):
+            value = evaluate(node.operand, outer_row, self._context)
+            correlations = _plan_correlations(node.plan)
+            rows = self._run_correlated(node.plan, correlations, outer_row, node)
+            if value is None:
+                return None
+            values = [row[0] for row in rows]
+            if value in [v for v in values if v is not None]:
+                return not node.negated
+            if any(v is None for v in values):
+                return None
+            return node.negated
+        raise PlanError(f"unknown subquery node {node!r}")
+
+    def _run_correlated(
+        self,
+        plan: LogicalPlan,
+        correlations: tuple[tuple[int, str], ...],
+        outer_row: tuple,
+        node: Expr,
+    ) -> Rows:
+        key = (id(node), tuple(outer_row[i] for i, _ in correlations))
+        cached = self._subquery_cache.get(key)
+        if cached is not None:
+            return cached
+        substituted = plan
+        if correlations:
+            bindings = {i: outer_row[i] for i, _ in correlations}
+
+            def substitute(expr: Expr) -> Expr:
+                return transform(
+                    expr,
+                    lambda e: Literal(bindings[e.index])
+                    if isinstance(e, OuterColumn) and e.index in bindings
+                    else None,
+                )
+
+            substituted = transform_plan(plan, substitute)
+        rows = _Executor(self._catalog).run(substituted)
+        self._subquery_cache[key] = rows
+        return rows
+
+
+def _plan_correlations(plan: LogicalPlan) -> tuple[tuple[int, str], ...]:
+    from repro.plans.binder import _correlations
+
+    return _correlations(plan)
+
+
+class _Directional:
+    """Wrap a value so ``sorted`` can honour per-key direction."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value, descending: bool):
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "_Directional") -> bool:
+        if self.descending:
+            return other.value < self.value
+        return self.value < other.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Directional) and self.value == other.value
+
+
+class _AggState:
+    """Accumulator for one aggregate call."""
+
+    __slots__ = ("call", "count", "total", "minimum", "maximum", "distinct_values")
+
+    def __init__(self, call: AggregateCall):
+        self.call = call
+        self.count = 0
+        self.total: Any = None
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.distinct_values: set | None = set() if call.distinct else None
+
+    def update(self, row: tuple, context: EvalContext) -> None:
+        call = self.call
+        if call.arg is None:  # count(*)
+            self.count += 1
+            return
+        value = evaluate(call.arg, row, context)
+        if value is None:
+            return
+        if self.distinct_values is not None:
+            if value in self.distinct_values:
+                return
+            self.distinct_values.add(value)
+        self.count += 1
+        if call.func in ("sum", "avg"):
+            self.total = value if self.total is None else self.total + value
+        elif call.func == "min":
+            self.minimum = value if self.minimum is None else min(self.minimum, value)
+        elif call.func == "max":
+            self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    def result(self) -> Any:
+        func = self.call.func
+        if func == "count":
+            return self.count
+        if func == "sum":
+            return self.total
+        if func == "avg":
+            return None if self.count == 0 else self.total / self.count
+        if func == "min":
+            return self.minimum
+        if func == "max":
+            return self.maximum
+        raise PlanError(f"unknown aggregate {func!r}")
+
+
+def split_equi_condition(
+    condition: Expr, left_width: int
+) -> tuple[list[tuple[int, int]], Expr | None]:
+    """Split a join condition into equi-key pairs and a residual predicate.
+
+    Returns ``(pairs, residual)`` where each pair is ``(left_index,
+    right_index_local)`` — the right index is relative to the right row.
+    Conjuncts that are not simple cross-side column equalities stay in the
+    residual (bound against the combined row).
+    """
+    pairs: list[tuple[int, int]] = []
+    residual_parts: list[Expr] = []
+    for conjunct in _conjuncts(condition):
+        pair = _as_equi_pair(conjunct, left_width)
+        if pair is not None:
+            pairs.append(pair)
+        else:
+            residual_parts.append(conjunct)
+    residual: Expr | None = None
+    for part in residual_parts:
+        residual = part if residual is None else BinaryOp("AND", residual, part)
+    return pairs, residual
+
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _as_equi_pair(expr: Expr, left_width: int) -> tuple[int, int] | None:
+    if not (isinstance(expr, BinaryOp) and expr.op == "="):
+        return None
+    left, right = expr.left, expr.right
+    if not (isinstance(left, BoundColumn) and isinstance(right, BoundColumn)):
+        return None
+    if left.index < left_width <= right.index:
+        return left.index, right.index - left_width
+    if right.index < left_width <= left.index:
+        return right.index, left.index - left_width
+    return None

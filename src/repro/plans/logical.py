@@ -1,0 +1,352 @@
+"""Logical plan operators.
+
+Expressions inside logical nodes are *bound*: column references are
+positional (:class:`~repro.relational.expressions.BoundColumn`) into the
+child operator's output row.  Every node knows its output fields, so the
+binder can resolve references level by level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from repro.common.errors import PlanError
+from repro.relational.expressions import (
+    AggregateCall,
+    Expr,
+    infer_dtype,
+)
+from repro.relational.schema import Field
+
+
+class LogicalPlan:
+    """Base class for logical operators."""
+
+    def children(self) -> list["LogicalPlan"]:
+        raise NotImplementedError
+
+    def output_fields(self) -> list[Field]:
+        raise NotImplementedError
+
+    def map_expressions(self, fn: Callable[[Expr], Expr]) -> "LogicalPlan":
+        """Rebuild this node with ``fn`` applied to each of its expressions.
+
+        ``fn`` receives whole expressions (not sub-nodes); recursion into
+        children is the caller's concern — see :func:`transform_plan`.
+        """
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["LogicalPlan"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [pad + self._describe()]
+        lines.extend(child.pretty(indent + 1) for child in self.children())
+        return "\n".join(lines)
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Scan(LogicalPlan):
+    """Read a base table under an alias."""
+
+    table_name: str
+    alias: str
+    fields: tuple[Field, ...]
+
+    def children(self) -> list[LogicalPlan]:
+        return []
+
+    def output_fields(self) -> list[Field]:
+        return list(self.fields)
+
+    def map_expressions(self, fn):
+        return self
+
+    def _describe(self) -> str:
+        return f"Scan({self.table_name} AS {self.alias})"
+
+
+@dataclass(frozen=True)
+class Filter(LogicalPlan):
+    """Keep rows where ``predicate`` evaluates to exactly TRUE."""
+
+    child: LogicalPlan
+    predicate: Expr
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def output_fields(self) -> list[Field]:
+        return self.child.output_fields()
+
+    def map_expressions(self, fn):
+        return Filter(self.child, fn(self.predicate))
+
+    def _describe(self) -> str:
+        return f"Filter({self.predicate.sql()})"
+
+
+@dataclass(frozen=True)
+class Project(LogicalPlan):
+    """Compute output expressions, one per named output column."""
+
+    child: LogicalPlan
+    exprs: tuple[Expr, ...]
+    names: tuple[str, ...]
+
+    def __post_init__(self):
+        if len(self.exprs) != len(self.names):
+            raise PlanError(
+                f"Project: {len(self.exprs)} expressions for {len(self.names)} names"
+            )
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def output_fields(self) -> list[Field]:
+        return [
+            Field(name, infer_dtype(expr), qualifier=None)
+            for name, expr in zip(self.names, self.exprs)
+        ]
+
+    def map_expressions(self, fn):
+        return Project(self.child, tuple(fn(e) for e in self.exprs), self.names)
+
+    def _describe(self) -> str:
+        inner = ", ".join(
+            f"{e.sql()} AS {n}" for e, n in zip(self.exprs, self.names)
+        )
+        return f"Project({inner})"
+
+
+JOIN_KINDS = ("inner", "left", "cross")
+
+
+@dataclass(frozen=True)
+class Join(LogicalPlan):
+    """Join two inputs; output row = left row ++ right row.
+
+    For ``left`` joins, unmatched left rows are padded with NULLs on the
+    right.  ``condition`` is bound against the concatenated fields.
+    """
+
+    left: LogicalPlan
+    right: LogicalPlan
+    kind: str
+    condition: Expr | None = None
+
+    def __post_init__(self):
+        if self.kind not in JOIN_KINDS:
+            raise PlanError(f"unknown join kind {self.kind!r}")
+        if self.kind == "cross" and self.condition is not None:
+            raise PlanError("cross join cannot have a condition")
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.left, self.right]
+
+    def output_fields(self) -> list[Field]:
+        left_fields = self.left.output_fields()
+        right_fields = self.right.output_fields()
+        if self.kind == "left":
+            right_fields = [
+                Field(f.name, f.dtype, f.qualifier, nullable=True) for f in right_fields
+            ]
+        return left_fields + right_fields
+
+    def map_expressions(self, fn):
+        condition = fn(self.condition) if self.condition is not None else None
+        return Join(self.left, self.right, self.kind, condition)
+
+    def _describe(self) -> str:
+        cond = self.condition.sql() if self.condition is not None else "TRUE"
+        return f"Join({self.kind}, {cond})"
+
+
+@dataclass(frozen=True)
+class Aggregate(LogicalPlan):
+    """Group by ``group_exprs`` and compute ``aggregates`` per group.
+
+    Output row layout: group values first (named ``group_names``), then one
+    slot per aggregate call.  With no groups the node produces exactly one
+    row (global aggregation), even over empty input.
+    """
+
+    child: LogicalPlan
+    group_exprs: tuple[Expr, ...]
+    group_names: tuple[str, ...]
+    aggregates: tuple[AggregateCall, ...]
+    aggregate_names: tuple[str, ...]
+
+    def __post_init__(self):
+        if len(self.group_exprs) != len(self.group_names):
+            raise PlanError("Aggregate: group expr/name arity mismatch")
+        if len(self.aggregates) != len(self.aggregate_names):
+            raise PlanError("Aggregate: aggregate expr/name arity mismatch")
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def output_fields(self) -> list[Field]:
+        fields = [
+            Field(name, infer_dtype(expr), qualifier=None)
+            for name, expr in zip(self.group_names, self.group_exprs)
+        ]
+        fields.extend(
+            Field(name, infer_dtype(agg), qualifier=None)
+            for name, agg in zip(self.aggregate_names, self.aggregates)
+        )
+        return fields
+
+    def map_expressions(self, fn):
+        return Aggregate(
+            self.child,
+            tuple(fn(e) for e in self.group_exprs),
+            self.group_names,
+            tuple(fn(a) for a in self.aggregates),
+            self.aggregate_names,
+        )
+
+    def _describe(self) -> str:
+        groups = ", ".join(e.sql() for e in self.group_exprs) or "<global>"
+        aggs = ", ".join(a.sql() for a in self.aggregates)
+        return f"Aggregate(groups=[{groups}], aggs=[{aggs}])"
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """One sort key: output column position + direction."""
+
+    index: int
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Sort(LogicalPlan):
+    """Stable sort by output column positions, NULLs last."""
+
+    child: LogicalPlan
+    keys: tuple[SortKey, ...]
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def output_fields(self) -> list[Field]:
+        return self.child.output_fields()
+
+    def map_expressions(self, fn):
+        return self
+
+    def _describe(self) -> str:
+        keys = ", ".join(
+            f"${k.index}{' DESC' if k.descending else ''}" for k in self.keys
+        )
+        return f"Sort({keys})"
+
+
+@dataclass(frozen=True)
+class Limit(LogicalPlan):
+    """Keep the first ``count`` rows."""
+
+    child: LogicalPlan
+    count: int
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def output_fields(self) -> list[Field]:
+        return self.child.output_fields()
+
+    def map_expressions(self, fn):
+        return self
+
+    def _describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+@dataclass(frozen=True)
+class Distinct(LogicalPlan):
+    """Remove duplicate rows."""
+
+    child: LogicalPlan
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def output_fields(self) -> list[Field]:
+        return self.child.output_fields()
+
+    def map_expressions(self, fn):
+        return self
+
+
+@dataclass(frozen=True)
+class SubqueryAlias(LogicalPlan):
+    """Re-qualify a derived table's output: ``(SELECT ...) AS alias(cols)``.
+
+    Pure metadata — rows pass through unchanged; only the visible field
+    names/qualifier differ.
+    """
+
+    child: LogicalPlan
+    alias: str
+    fields: tuple[Field, ...]
+
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def output_fields(self) -> list[Field]:
+        return list(self.fields)
+
+    def map_expressions(self, fn):
+        return self
+
+    def _describe(self) -> str:
+        return f"SubqueryAlias({self.alias})"
+
+
+def with_children(plan: LogicalPlan, children: list[LogicalPlan]) -> LogicalPlan:
+    """Rebuild ``plan`` with new children (same arity)."""
+    current = plan.children()
+    if len(current) != len(children):
+        raise PlanError(
+            f"{type(plan).__name__}: expected {len(current)} children, got {len(children)}"
+        )
+    if isinstance(plan, Scan):
+        return plan
+    if isinstance(plan, Filter):
+        return Filter(children[0], plan.predicate)
+    if isinstance(plan, Project):
+        return Project(children[0], plan.exprs, plan.names)
+    if isinstance(plan, Join):
+        return Join(children[0], children[1], plan.kind, plan.condition)
+    if isinstance(plan, Aggregate):
+        return Aggregate(
+            children[0],
+            plan.group_exprs,
+            plan.group_names,
+            plan.aggregates,
+            plan.aggregate_names,
+        )
+    if isinstance(plan, Sort):
+        return Sort(children[0], plan.keys)
+    if isinstance(plan, Limit):
+        return Limit(children[0], plan.count)
+    if isinstance(plan, Distinct):
+        return Distinct(children[0])
+    if isinstance(plan, SubqueryAlias):
+        return SubqueryAlias(children[0], plan.alias, plan.fields)
+    raise PlanError(f"with_children: unknown plan node {type(plan).__name__}")
+
+
+def transform_plan(plan: LogicalPlan, expr_fn: Callable[[Expr], Expr]) -> LogicalPlan:
+    """Apply ``expr_fn`` to every expression in the plan tree, bottom-up."""
+    new_children = [transform_plan(child, expr_fn) for child in plan.children()]
+    rebuilt = with_children(plan, new_children)
+    return rebuilt.map_expressions(expr_fn)

@@ -1,0 +1,158 @@
+"""Rule-based logical optimizer.
+
+Three rewrites, applied bottom-up to a fixpoint:
+
+1. **Merge filters** — ``Filter(Filter(x, a), b)`` becomes
+   ``Filter(x, a AND b)``.
+2. **Push filters into joins** — conjuncts of a filter above an
+   inner/cross join move to the side they reference (indices are remapped
+   when crossing to the right input); cross-side conjuncts join the ON
+   condition.  Above a *left* join only left-side conjuncts move (pushing
+   right-side or cross-side predicates would change NULL-extension
+   semantics).  Conjuncts containing subqueries never move — their
+   correlated references are positional in the pre-push row layout.
+3. **Cross-to-inner** — a cross join that received an equality conjunct
+   becomes an inner join, unlocking hash-join execution.
+
+The rewrites preserve results exactly; tests compare optimised vs
+unoptimised executions on randomised inputs.
+"""
+
+from __future__ import annotations
+
+from repro.plans.logical import (
+    Filter,
+    Join,
+    LogicalPlan,
+    with_children,
+)
+from repro.relational.expressions import (
+    BinaryOp,
+    BoundColumn,
+    Exists,
+    Expr,
+    InSubquery,
+    OuterColumn,
+    ScalarSubquery,
+    transform,
+    walk,
+)
+
+
+def optimize(plan: LogicalPlan) -> LogicalPlan:
+    """Apply all rewrite rules bottom-up until nothing changes.
+
+    After a node rewrite the whole subtree is re-optimized: a pushdown
+    can create a new Filter above an already-visited join (e.g. pushing
+    the WHERE of a three-way comma join into its nested cross join),
+    which must itself be pushed further down.
+    """
+    children = [optimize(child) for child in plan.children()]
+    plan = with_children(plan, children)
+    rewritten = _rewrite_once(plan)
+    if rewritten is not plan:
+        return optimize(rewritten)
+    return plan
+
+
+def _rewrite_once(plan: LogicalPlan) -> LogicalPlan:
+    if isinstance(plan, Filter):
+        child = plan.child
+        if isinstance(child, Filter):
+            merged = BinaryOp("AND", child.predicate, plan.predicate)
+            return Filter(child.child, merged)
+        if isinstance(child, Join) and child.kind in ("inner", "cross", "left"):
+            pushed = _push_filter(plan.predicate, child)
+            if pushed is not None:
+                return pushed
+    return plan
+
+
+def conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten nested ANDs into a conjunct list."""
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(parts: list[Expr]) -> Expr | None:
+    """Rebuild an AND tree from conjuncts (None when empty)."""
+    result: Expr | None = None
+    for part in parts:
+        result = part if result is None else BinaryOp("AND", result, part)
+    return result
+
+
+def referenced_indices(expr: Expr) -> set[int]:
+    """Row positions referenced by ``expr`` (not descending into subqueries)."""
+    return {node.index for node in walk(expr) if isinstance(node, BoundColumn)}
+
+
+def contains_subquery(expr: Expr) -> bool:
+    return any(
+        isinstance(node, (ScalarSubquery, InSubquery, Exists, OuterColumn))
+        for node in walk(expr)
+    )
+
+
+def _shift_columns(expr: Expr, offset: int) -> Expr:
+    """Remap BoundColumn indices by ``offset`` (for pushing to the right input)."""
+    return transform(
+        expr,
+        lambda node: BoundColumn(node.index + offset, node.dtype, node.name)
+        if isinstance(node, BoundColumn)
+        else None,
+    )
+
+
+def _push_filter(predicate: Expr, join: Join) -> LogicalPlan | None:
+    left_width = len(join.left.output_fields())
+    total_width = left_width + len(join.right.output_fields())
+
+    to_left: list[Expr] = []
+    to_right: list[Expr] = []
+    to_condition: list[Expr] = []
+    keep: list[Expr] = []
+
+    for part in conjuncts(predicate):
+        if contains_subquery(part):
+            keep.append(part)
+            continue
+        indices = referenced_indices(part)
+        if indices and max(indices) >= total_width:
+            keep.append(part)  # defensive: malformed reference, do not touch
+            continue
+        left_only = all(i < left_width for i in indices)
+        right_only = all(i >= left_width for i in indices) and indices
+        if left_only:
+            to_left.append(part)
+        elif right_only and join.kind != "left":
+            to_right.append(_shift_columns(part, -left_width))
+        elif join.kind != "left":
+            to_condition.append(part)
+        else:
+            keep.append(part)
+
+    if not (to_left or to_right or to_condition):
+        return None
+
+    left = join.left
+    right = join.right
+    if to_left:
+        left = Filter(left, conjoin(to_left))
+    if to_right:
+        right = Filter(right, conjoin(to_right))
+
+    kind = join.kind
+    condition = join.condition
+    if to_condition:
+        combined = conjuncts(condition) if condition is not None else []
+        condition = conjoin(combined + to_condition)
+        if kind == "cross":
+            kind = "inner"
+
+    new_join = Join(left, right, kind, condition)
+    remaining = conjoin(keep)
+    if remaining is not None:
+        return Filter(new_join, remaining)
+    return new_join

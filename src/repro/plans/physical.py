@@ -1,0 +1,449 @@
+"""Physical plan profiles: size/placement-annotated operator lists.
+
+A :class:`PlanProfile` is what engine simulators cost.  It is derived from
+a bound, optimized logical plan plus table statistics and a
+:class:`Placement` (which engine/site stores each table and where the
+upper plan operators execute).  Sizes are estimated with the cardinality
+model in :mod:`repro.plans.statistics`.
+
+The profile is deliberately flat — a list of operator records and a list
+of inter-site transfers — because engine cost models consume aggregate
+quantities (bytes scanned, rows joined, bytes shuffled), not tree shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import PlanError
+from repro.plans.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    SubqueryAlias,
+)
+from repro.plans.statistics import (
+    ColumnStats,
+    StatsContext,
+    TableStats,
+    estimate_equi_join_rows,
+    estimate_selectivity,
+)
+from repro.relational.expressions import (
+    BoundColumn,
+    Exists,
+    Expr,
+    InSubquery,
+    ScalarSubquery,
+    walk,
+)
+from repro.relational.types import TYPE_WIDTH_BYTES
+
+
+@dataclass(frozen=True)
+class EnginePlacement:
+    """Which engine at which site."""
+
+    engine: str
+    site: str
+
+
+@dataclass(frozen=True)
+class Placement:
+    """The placement decisions of one QEP.
+
+    ``tables`` maps base-table names to the engine holding them;
+    ``execution`` is where joins and everything above them run (one of the
+    participating engines, per the IReS multi-engine model).
+    """
+
+    tables: dict[str, EnginePlacement]
+    execution: EnginePlacement
+
+    def for_table(self, table_name: str) -> EnginePlacement:
+        try:
+            return self.tables[table_name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self.tables))
+            raise PlanError(
+                f"no placement for table {table_name!r}; have: {known}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """One costed operator."""
+
+    kind: str
+    engine: str
+    site: str
+    input_rows: float
+    input_bytes: float
+    output_rows: float
+    output_bytes: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class TransferProfile:
+    """Bytes moved between sites (engine-to-engine hand-off)."""
+
+    from_site: str
+    to_site: str
+    payload_bytes: float
+
+
+@dataclass
+class PlanProfile:
+    """The flat costed form of a QEP."""
+
+    operators: list[OperatorProfile] = field(default_factory=list)
+    transfers: list[TransferProfile] = field(default_factory=list)
+    output_rows: float = 0.0
+    output_bytes: float = 0.0
+    #: Per base table: estimated bytes surviving the filters directly
+    #: above its scan (the "size of data" feature of the paper's Eq. 5).
+    effective_table_bytes: dict[str, float] = field(default_factory=dict)
+
+    def scanned_bytes(self, site: str | None = None) -> float:
+        return sum(
+            op.input_bytes
+            for op in self.operators
+            if op.kind == "scan" and (site is None or op.site == site)
+        )
+
+    def scanned_bytes_by_table(self) -> dict[str, float]:
+        result: dict[str, float] = {}
+        for op in self.operators:
+            if op.kind == "scan":
+                result[op.detail] = result.get(op.detail, 0.0) + op.input_bytes
+        return result
+
+    def transferred_bytes(self) -> float:
+        return sum(t.payload_bytes for t in self.transfers)
+
+    def intermediate_bytes(self) -> float:
+        """Bytes materialised between operators (shuffle + transfer)."""
+        joins_and_aggs = sum(
+            op.output_bytes
+            for op in self.operators
+            if op.kind in ("join", "aggregate", "sort", "distinct")
+        )
+        return joins_and_aggs + self.transferred_bytes()
+
+    def operators_at(self, engine: str, site: str) -> list[OperatorProfile]:
+        return [op for op in self.operators if op.engine == engine and op.site == site]
+
+    def participating(self) -> list[EnginePlacement]:
+        seen: dict[tuple[str, str], EnginePlacement] = {}
+        for op in self.operators:
+            seen[(op.engine, op.site)] = EnginePlacement(op.engine, op.site)
+        return list(seen.values())
+
+
+@dataclass
+class _Annotated:
+    """Recursion state: estimated relation + where it currently lives."""
+
+    rows: float
+    bytes: float
+    column_stats: list[ColumnStats | None]
+    placement: EnginePlacement
+    #: Base table this relation is a (filtered) scan of, if any, plus the
+    #: contribution it currently has in ``effective_table_bytes``.
+    base_table: str | None = None
+    base_contribution: float = 0.0
+
+
+def profile_plan(
+    plan: LogicalPlan,
+    stats: dict[str, TableStats],
+    placement: Placement,
+) -> PlanProfile:
+    """Estimate sizes for every operator and record cross-site transfers."""
+    profile = PlanProfile()
+    result = _profile(plan, stats, placement, profile)
+    profile.output_rows = result.rows
+    profile.output_bytes = result.bytes
+    return profile
+
+
+def _row_width(fields) -> float:
+    return float(sum(TYPE_WIDTH_BYTES[f.dtype] for f in fields))
+
+
+def _profile(
+    plan: LogicalPlan,
+    stats: dict[str, TableStats],
+    placement: Placement,
+    profile: PlanProfile,
+) -> _Annotated:
+    if isinstance(plan, Scan):
+        table_stats = stats.get(plan.table_name.lower())
+        if table_stats is None:
+            raise PlanError(f"no statistics for table {plan.table_name!r}")
+        where = placement.for_table(plan.table_name)
+        column_stats = [
+            table_stats.column(f.name) for f in plan.fields
+        ]
+        profile.operators.append(
+            OperatorProfile(
+                "scan",
+                where.engine,
+                where.site,
+                table_stats.row_count,
+                table_stats.size_bytes,
+                table_stats.row_count,
+                table_stats.size_bytes,
+                detail=plan.table_name.lower(),
+            )
+        )
+        table_key = plan.table_name.lower()
+        profile.effective_table_bytes[table_key] = (
+            profile.effective_table_bytes.get(table_key, 0.0)
+            + float(table_stats.size_bytes)
+        )
+        return _Annotated(
+            float(table_stats.row_count),
+            float(table_stats.size_bytes),
+            column_stats,
+            where,
+            base_table=table_key,
+            base_contribution=float(table_stats.size_bytes),
+        )
+
+    if isinstance(plan, Filter):
+        child = _profile(plan.child, stats, placement, profile)
+        selectivity = estimate_selectivity(
+            plan.predicate, StatsContext(child.column_stats)
+        )
+        _profile_subqueries(plan.predicate, stats, placement, profile)
+        out_rows = child.rows * selectivity
+        out_bytes = child.bytes * selectivity
+        profile.operators.append(
+            OperatorProfile(
+                "filter",
+                child.placement.engine,
+                child.placement.site,
+                child.rows,
+                child.bytes,
+                out_rows,
+                out_bytes,
+                detail=f"sel={selectivity:.4f}",
+            )
+        )
+        shrunk = [
+            s.scaled(min(1.0, selectivity * 2)) if s is not None else None
+            for s in child.column_stats
+        ]
+        base_table = child.base_table
+        contribution = child.base_contribution
+        if base_table is not None:
+            profile.effective_table_bytes[base_table] -= contribution
+            profile.effective_table_bytes[base_table] += out_bytes
+            contribution = out_bytes
+        return _Annotated(
+            out_rows, out_bytes, shrunk, child.placement,
+            base_table=base_table, base_contribution=contribution,
+        )
+
+    if isinstance(plan, Join):
+        return _profile_join(plan, stats, placement, profile)
+
+    if isinstance(plan, Aggregate):
+        child = _profile(plan.child, stats, placement, profile)
+        group_rows = _estimate_groups(plan, child)
+        width = _row_width(plan.output_fields())
+        out_bytes = group_rows * width
+        profile.operators.append(
+            OperatorProfile(
+                "aggregate",
+                child.placement.engine,
+                child.placement.site,
+                child.rows,
+                child.bytes,
+                group_rows,
+                out_bytes,
+                detail=f"groups={len(plan.group_exprs)}",
+            )
+        )
+        column_stats: list[ColumnStats | None] = []
+        for expr in plan.group_exprs:
+            if isinstance(expr, BoundColumn):
+                column_stats.append(child.column_stats[expr.index])
+            else:
+                column_stats.append(None)
+        column_stats.extend([None] * len(plan.aggregates))
+        return _Annotated(group_rows, out_bytes, column_stats, child.placement)
+
+    if isinstance(plan, Project):
+        child = _profile(plan.child, stats, placement, profile)
+        width = _row_width(plan.output_fields())
+        out_bytes = child.rows * width
+        column_stats = []
+        for expr in plan.exprs:
+            if isinstance(expr, BoundColumn):
+                column_stats.append(child.column_stats[expr.index])
+            else:
+                column_stats.append(None)
+        # Projection is virtually free; recorded for completeness.
+        profile.operators.append(
+            OperatorProfile(
+                "project",
+                child.placement.engine,
+                child.placement.site,
+                child.rows,
+                child.bytes,
+                child.rows,
+                out_bytes,
+            )
+        )
+        return _Annotated(child.rows, out_bytes, column_stats, child.placement)
+
+    if isinstance(plan, Sort):
+        child = _profile(plan.child, stats, placement, profile)
+        profile.operators.append(
+            OperatorProfile(
+                "sort",
+                child.placement.engine,
+                child.placement.site,
+                child.rows,
+                child.bytes,
+                child.rows,
+                child.bytes,
+            )
+        )
+        return child
+
+    if isinstance(plan, Limit):
+        child = _profile(plan.child, stats, placement, profile)
+        out_rows = min(child.rows, float(plan.count))
+        ratio = out_rows / child.rows if child.rows else 0.0
+        return _Annotated(out_rows, child.bytes * ratio, child.column_stats, child.placement)
+
+    if isinstance(plan, Distinct):
+        child = _profile(plan.child, stats, placement, profile)
+        out_rows = child.rows * 0.5
+        profile.operators.append(
+            OperatorProfile(
+                "distinct",
+                child.placement.engine,
+                child.placement.site,
+                child.rows,
+                child.bytes,
+                out_rows,
+                child.bytes * 0.5,
+            )
+        )
+        return _Annotated(out_rows, child.bytes * 0.5, child.column_stats, child.placement)
+
+    if isinstance(plan, SubqueryAlias):
+        return _profile(plan.child, stats, placement, profile)
+
+    raise PlanError(f"profiler: unknown plan node {type(plan).__name__}")
+
+
+def _move_to(
+    annotated: _Annotated, target: EnginePlacement, profile: PlanProfile
+) -> _Annotated:
+    """Record a transfer if the relation is not already at ``target``."""
+    if annotated.placement.site != target.site or annotated.placement.engine != target.engine:
+        if annotated.placement.site != target.site:
+            profile.transfers.append(
+                TransferProfile(annotated.placement.site, target.site, annotated.bytes)
+            )
+        return _Annotated(annotated.rows, annotated.bytes, annotated.column_stats, target)
+    return annotated
+
+
+def _profile_join(
+    plan: Join,
+    stats: dict[str, TableStats],
+    placement: Placement,
+    profile: PlanProfile,
+) -> _Annotated:
+    from repro.plans.execution import split_equi_condition
+
+    left = _profile(plan.left, stats, placement, profile)
+    right = _profile(plan.right, stats, placement, profile)
+    target = placement.execution
+    left = _move_to(left, target, profile)
+    right = _move_to(right, target, profile)
+
+    left_width = len(plan.left.output_fields())
+    if plan.kind == "cross" or plan.condition is None:
+        out_rows = left.rows * right.rows
+    else:
+        pairs, residual = split_equi_condition(plan.condition, left_width)
+        if pairs:
+            left_idx, right_idx = pairs[0]
+            left_stats = left.column_stats[left_idx]
+            right_stats = right.column_stats[right_idx]
+            out_rows = estimate_equi_join_rows(
+                left.rows,
+                right.rows,
+                left_stats.distinct_count if left_stats else left.rows,
+                right_stats.distinct_count if right_stats else right.rows,
+            )
+        else:
+            out_rows = left.rows * right.rows / 3.0
+        if residual is not None:
+            combined = left.column_stats + right.column_stats
+            out_rows *= estimate_selectivity(residual, StatsContext(combined))
+    if plan.kind == "left":
+        out_rows = max(out_rows, left.rows)
+
+    width = _row_width(plan.output_fields())
+    out_bytes = out_rows * width
+    profile.operators.append(
+        OperatorProfile(
+            "join",
+            target.engine,
+            target.site,
+            left.rows + right.rows,
+            left.bytes + right.bytes,
+            out_rows,
+            out_bytes,
+            detail=plan.kind,
+        )
+    )
+    return _Annotated(out_rows, out_bytes, left.column_stats + right.column_stats, target)
+
+
+def _estimate_groups(plan: Aggregate, child: _Annotated) -> float:
+    if not plan.group_exprs:
+        return 1.0
+    distinct_product = 1.0
+    for expr in plan.group_exprs:
+        if isinstance(expr, BoundColumn):
+            stats = child.column_stats[expr.index]
+            distinct_product *= stats.distinct_count if stats else math.sqrt(max(child.rows, 1.0))
+        else:
+            distinct_product *= math.sqrt(max(child.rows, 1.0))
+        if distinct_product > child.rows:
+            break
+    return max(1.0, min(child.rows, distinct_product))
+
+
+def _profile_subqueries(
+    predicate: Expr,
+    stats: dict[str, TableStats],
+    placement: Placement,
+    profile: PlanProfile,
+) -> None:
+    """Cost subquery plans inside a predicate.
+
+    Engines execute a correlated scalar subquery as a rewritten aggregate
+    plus join (one pass over the subquery's input), so each subquery plan
+    is profiled once at the execution placement.
+    """
+    for node in walk(predicate):
+        if isinstance(node, (ScalarSubquery, InSubquery, Exists)) and node.plan is not None:
+            _profile(node.plan, stats, placement, profile)

@@ -1,0 +1,286 @@
+"""Table statistics and cardinality estimation.
+
+Statistics drive two consumers:
+
+* the **physical plan builder**, which annotates operators with estimated
+  row counts and byte sizes, and
+* the **engine simulators**, whose analytic cost terms consume those sizes.
+
+Stats can be computed exactly from a physical table or synthesised from a
+logical scale factor (the TPC-H dataset does the latter so a "1 GiB"
+experiment does not require generating a gibibyte of rows).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.common.errors import PlanError
+from repro.relational.expressions import (
+    Between,
+    BinaryOp,
+    BoundColumn,
+    Exists,
+    Expr,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    ScalarSubquery,
+    UnaryOp,
+    COMPARISON_OPS,
+)
+from repro.relational.table import Table
+
+DEFAULT_COMPARISON_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.1
+DEFAULT_SUBQUERY_SELECTIVITY = 0.5
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics for one column."""
+
+    distinct_count: int
+    null_fraction: float = 0.0
+    min_value: Any = None
+    max_value: Any = None
+
+    def scaled(self, factor: float) -> "ColumnStats":
+        """Scale the distinct count for a larger/smaller logical table."""
+        return replace(self, distinct_count=max(1, int(self.distinct_count * factor)))
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Summary statistics for one table."""
+
+    row_count: int
+    size_bytes: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    @property
+    def row_width(self) -> float:
+        return self.size_bytes / self.row_count if self.row_count else 0.0
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name.lower())
+
+    def sampled(self, fraction: float) -> "TableStats":
+        """Statistics of a row sample of this table.
+
+        Used by IReS-style profiling runs that execute queries over varied
+        input sizes to learn size -> cost relationships.  Key-like columns
+        (distinct ~ rows) shrink their distinct counts with the sample;
+        categorical columns keep theirs.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise PlanError(f"sample fraction must be in (0, 1], got {fraction}")
+        rows = max(1, int(round(self.row_count * fraction)))
+        columns = {}
+        for name, stats in self.columns.items():
+            if stats.distinct_count >= 0.5 * self.row_count:
+                columns[name] = replace(
+                    stats,
+                    distinct_count=max(1, min(rows, int(stats.distinct_count * fraction))),
+                )
+            else:
+                columns[name] = replace(
+                    stats, distinct_count=min(stats.distinct_count, rows)
+                )
+        return TableStats(rows, max(1, int(round(self.size_bytes * fraction))), columns)
+
+
+def compute_table_stats(table: Table) -> TableStats:
+    """Exact statistics from a physical table."""
+    columns: dict[str, ColumnStats] = {}
+    rows = table.num_rows
+    for column in table.schema:
+        values = table.column(column.name)
+        non_null = [v for v in values if v is not None]
+        distinct = len(set(non_null))
+        null_fraction = 1.0 - (len(non_null) / rows) if rows else 0.0
+        min_value = min(non_null) if non_null else None
+        max_value = max(non_null) if non_null else None
+        columns[column.name.lower()] = ColumnStats(
+            distinct_count=max(distinct, 1),
+            null_fraction=null_fraction,
+            min_value=min_value,
+            max_value=max_value,
+        )
+    return TableStats(rows, table.size_bytes(), columns)
+
+
+# ---------------------------------------------------------------------------
+# Selectivity estimation
+# ---------------------------------------------------------------------------
+
+
+class StatsContext:
+    """Maps bound row positions to column statistics.
+
+    Built by the physical planner: one :class:`ColumnStats` (or ``None``)
+    per output field of the operator the predicate sits on.
+    """
+
+    def __init__(self, column_stats: list[ColumnStats | None]):
+        self._stats = column_stats
+
+    def for_index(self, index: int) -> ColumnStats | None:
+        if 0 <= index < len(self._stats):
+            return self._stats[index]
+        return None
+
+    @property
+    def width(self) -> int:
+        return len(self._stats)
+
+
+def estimate_selectivity(expr: Expr, context: StatsContext) -> float:
+    """Estimated fraction of rows satisfying boolean ``expr`` (in [0, 1])."""
+    result = _selectivity(expr, context)
+    return min(1.0, max(0.0, result))
+
+
+def _selectivity(expr: Expr, ctx: StatsContext) -> float:
+    if isinstance(expr, BinaryOp):
+        if expr.op == "AND":
+            return _selectivity(expr.left, ctx) * _selectivity(expr.right, ctx)
+        if expr.op == "OR":
+            a = _selectivity(expr.left, ctx)
+            b = _selectivity(expr.right, ctx)
+            return a + b - a * b
+        if expr.op in COMPARISON_OPS:
+            return _comparison_selectivity(expr, ctx)
+        return DEFAULT_COMPARISON_SELECTIVITY
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        return 1.0 - _selectivity(expr.operand, ctx)
+    if isinstance(expr, Like):
+        base = DEFAULT_LIKE_SELECTIVITY
+        if expr.pattern and not expr.pattern.startswith(("%", "_")):
+            base = base / 2
+        return 1.0 - base if expr.negated else base
+    if isinstance(expr, InList):
+        stats = _column_stats_of(expr.operand, ctx)
+        if stats is not None:
+            base = min(1.0, len(expr.values) / stats.distinct_count)
+        else:
+            base = min(1.0, 0.05 * len(expr.values))
+        return 1.0 - base if expr.negated else base
+    if isinstance(expr, Between):
+        base = _range_fraction(expr, ctx)
+        return 1.0 - base if expr.negated else base
+    if isinstance(expr, IsNull):
+        stats = _column_stats_of(expr.operand, ctx)
+        base = stats.null_fraction if stats is not None else 0.01
+        return 1.0 - base if expr.negated else base
+    if isinstance(expr, (InSubquery, Exists, ScalarSubquery)):
+        return DEFAULT_SUBQUERY_SELECTIVITY
+    if isinstance(expr, Literal):
+        if expr.value is True:
+            return 1.0
+        if expr.value in (False, None):
+            return 0.0
+    return DEFAULT_COMPARISON_SELECTIVITY
+
+
+def _column_stats_of(expr: Expr, ctx: StatsContext) -> ColumnStats | None:
+    if isinstance(expr, BoundColumn):
+        return ctx.for_index(expr.index)
+    return None
+
+
+def _literal_value(expr: Expr) -> Any:
+    if isinstance(expr, Literal):
+        return expr.value
+    # Constant arithmetic (e.g. DATE '1994-01-01' + INTERVAL '1' YEAR)
+    # folds at estimation time when no columns are involved.
+    from repro.relational.expressions import evaluate, walk as walk_expr
+
+    if all(not isinstance(n, BoundColumn) for n in walk_expr(expr)):
+        try:
+            return evaluate(expr, ())
+        except Exception:
+            return None
+    return None
+
+
+def _comparison_selectivity(expr: BinaryOp, ctx: StatsContext) -> float:
+    column, literal = expr.left, expr.right
+    op = expr.op
+    if not isinstance(column, BoundColumn):
+        column, literal = expr.right, expr.left
+        op = _flip(op)
+    if not isinstance(column, BoundColumn):
+        return DEFAULT_COMPARISON_SELECTIVITY
+    stats = ctx.for_index(column.index)
+    value = _literal_value(literal)
+    if stats is None:
+        return DEFAULT_COMPARISON_SELECTIVITY
+    if op == "=":
+        return 1.0 / stats.distinct_count
+    if op == "<>":
+        return 1.0 - 1.0 / stats.distinct_count
+    if value is None or stats.min_value is None or stats.max_value is None:
+        return DEFAULT_COMPARISON_SELECTIVITY
+    fraction = _position_fraction(value, stats.min_value, stats.max_value)
+    if fraction is None:
+        return DEFAULT_COMPARISON_SELECTIVITY
+    if op in ("<", "<="):
+        return fraction
+    return 1.0 - fraction
+
+
+def _flip(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+
+
+def _position_fraction(value: Any, low: Any, high: Any) -> float | None:
+    """Where ``value`` sits in [low, high], linearly interpolated."""
+    converted = _to_number(value)
+    low_n = _to_number(low)
+    high_n = _to_number(high)
+    if converted is None or low_n is None or high_n is None:
+        return None
+    if high_n <= low_n:
+        return 0.5
+    return min(1.0, max(0.0, (converted - low_n) / (high_n - low_n)))
+
+
+def _to_number(value: Any) -> float | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    return None
+
+
+def _range_fraction(expr: Between, ctx: StatsContext) -> float:
+    stats = _column_stats_of(expr.operand, ctx)
+    if stats is None or stats.min_value is None or stats.max_value is None:
+        return DEFAULT_COMPARISON_SELECTIVITY
+    low = _literal_value(expr.low)
+    high = _literal_value(expr.high)
+    if low is None or high is None:
+        return DEFAULT_COMPARISON_SELECTIVITY
+    low_frac = _position_fraction(low, stats.min_value, stats.max_value)
+    high_frac = _position_fraction(high, stats.min_value, stats.max_value)
+    if low_frac is None or high_frac is None:
+        return DEFAULT_COMPARISON_SELECTIVITY
+    return max(0.0, high_frac - low_frac)
+
+
+def estimate_equi_join_rows(
+    left_rows: float,
+    right_rows: float,
+    left_distinct: float,
+    right_distinct: float,
+) -> float:
+    """Classic equi-join cardinality: |L||R| / max(V(L,k), V(R,k))."""
+    denominator = max(left_distinct, right_distinct, 1.0)
+    return left_rows * right_rows / denominator

@@ -1,0 +1,23 @@
+"""In-memory relational substrate.
+
+Provides typed schemas, tables, and an expression language.  The SQL front
+end (:mod:`repro.sql`) parses into these structures and the plan layer
+(:mod:`repro.plans`) executes over them.  The engine simulators in
+:mod:`repro.engines` reuse the same plans but *cost* them instead of
+running them.
+"""
+
+from repro.relational.types import DataType, Interval
+from repro.relational.schema import Column, Schema, Field
+from repro.relational.table import Table
+from repro.relational import expressions
+
+__all__ = [
+    "DataType",
+    "Interval",
+    "Column",
+    "Schema",
+    "Field",
+    "Table",
+    "expressions",
+]

@@ -1,0 +1,74 @@
+"""CSV import/export for tables.
+
+Used by examples to persist generated datasets and by tests to round-trip
+tables.  The format is plain ``csv`` with an ISO date encoding and empty
+fields for NULL.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+from pathlib import Path
+
+from repro.common.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+def _encode(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return str(value)
+
+
+def _decode(text: str, dtype: DataType):
+    if text == "":
+        return None
+    if dtype is DataType.INTEGER:
+        return int(text)
+    if dtype is DataType.FLOAT:
+        return float(text)
+    if dtype is DataType.DATE:
+        return datetime.date.fromisoformat(text)
+    if dtype is DataType.BOOLEAN:
+        if text in ("true", "false"):
+            return text == "true"
+        raise SchemaError(f"invalid boolean field {text!r}")
+    return text
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.names)
+        for row in table.rows():
+            writer.writerow([_encode(v) for v in row])
+
+
+def read_csv(path: str | Path, schema: Schema, name: str | None = None) -> Table:
+    """Read a table written by :func:`write_csv` back under ``schema``."""
+    path = Path(path)
+    dtypes = [c.dtype for c in schema]
+    rows = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise SchemaError(f"{path}: empty file")
+        if [h.lower() for h in header] != [n.lower() for n in schema.names]:
+            raise SchemaError(
+                f"{path}: header {header!r} does not match schema {schema.names!r}"
+            )
+        for record in reader:
+            if len(record) != len(dtypes):
+                raise SchemaError(f"{path}: row width {len(record)} != {len(dtypes)}")
+            rows.append([_decode(field, dtype) for field, dtype in zip(record, dtypes)])
+    return Table.from_rows(name or path.stem, schema, rows, coerce=False)

@@ -1,0 +1,617 @@
+"""Expression AST and row-at-a-time evaluator with SQL NULL semantics.
+
+Expressions are built by the SQL parser (unbound ``ColumnRef`` nodes) and
+resolved by the plan binder into ``BoundColumn`` nodes carrying a row index.
+Evaluation follows SQL three-valued logic: any comparison or arithmetic on
+NULL yields NULL; ``AND``/``OR``/``NOT`` use Kleene logic; a filter keeps a
+row only when its predicate is exactly ``True``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.common.errors import PlanError, SchemaError
+from repro.relational.types import DataType, Interval
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def children(self) -> list["Expr"]:
+        return []
+
+    def __repr__(self) -> str:
+        return self.sql()
+
+    def sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """An unresolved column reference ``qualifier.name``."""
+
+    name: str
+    qualifier: str | None = None
+
+    def sql(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class BoundColumn(Expr):
+    """A column resolved to position ``index`` of the operator's input row."""
+
+    index: int
+    dtype: DataType
+    name: str = ""
+
+    def sql(self) -> str:
+        return self.name or f"${self.index}"
+
+
+@dataclass(frozen=True)
+class OuterColumn(Expr):
+    """A correlated reference to column ``index`` of the *outer* query's row.
+
+    Appears only inside subquery plans.  The executor substitutes it with a
+    :class:`Literal` holding the outer row's value before running the
+    subquery.
+    """
+
+    index: int
+    dtype: DataType
+    name: str = ""
+
+    def sql(self) -> str:
+        return f"outer.{self.name or self.index}"
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant value (int, float, str, bool, date, Interval or None)."""
+
+    value: Any
+
+    def sql(self) -> str:
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        if isinstance(self.value, datetime.date):
+            return f"DATE '{self.value.isoformat()}'"
+        if self.value is None:
+            return "NULL"
+        return str(self.value)
+
+
+ARITHMETIC_OPS = {"+", "-", "*", "/"}
+COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}
+BOOLEAN_OPS = {"AND", "OR"}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic, comparison or boolean binary operator."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> list[Expr]:
+        return [self.left, self.right]
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.op} {self.right.sql()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """``NOT expr`` or ``-expr``."""
+
+    op: str  # "NOT" | "-"
+    operand: Expr
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def sql(self) -> str:
+        return f"({self.op} {self.operand.sql()})"
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    """``CASE WHEN cond THEN value ... [ELSE value] END``."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    else_: Expr | None = None
+
+    def children(self) -> list[Expr]:
+        out: list[Expr] = []
+        for cond, value in self.whens:
+            out.extend([cond, value])
+        if self.else_ is not None:
+            out.append(self.else_)
+        return out
+
+    def sql(self) -> str:
+        parts = ["CASE"]
+        for cond, value in self.whens:
+            parts.append(f"WHEN {cond.sql()} THEN {value.sql()}")
+        if self.else_ is not None:
+            parts.append(f"ELSE {self.else_.sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """``expr [NOT] LIKE 'pattern'`` with ``%`` and ``_`` wildcards."""
+
+    operand: Expr
+    pattern: str
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def sql(self) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand.sql()} {keyword} '{self.pattern}')"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (v1, v2, ...)`` with literal values."""
+
+    operand: Expr
+    values: tuple[Expr, ...]
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand, *self.values]
+
+    def sql(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(v.sql() for v in self.values)
+        return f"({self.operand.sql()} {keyword} ({inner}))"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high`` (inclusive both ends)."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand, self.low, self.high]
+
+    def sql(self) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand.sql()} {keyword} {self.low.sql()} AND {self.high.sql()})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def sql(self) -> str:
+        keyword = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.sql()} {keyword})"
+
+
+AGGREGATE_FUNCTIONS = {"sum", "avg", "count", "min", "max"}
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expr):
+    """``func(arg)`` or ``count(*)`` (``arg is None``).
+
+    Aggregate calls are recognised by the planner and never reach the row
+    evaluator directly — the aggregate operator computes them and the
+    binder replaces them with ``BoundColumn`` slots.
+    """
+
+    func: str
+    arg: Expr | None
+    distinct: bool = False
+
+    def children(self) -> list[Expr]:
+        return [] if self.arg is None else [self.arg]
+
+    def sql(self) -> str:
+        inner = "*" if self.arg is None else self.arg.sql()
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    """A subquery used as a scalar value.
+
+    ``plan`` is filled by the planner with a bound logical plan;
+    ``correlations`` lists (outer row index, parameter name) pairs the
+    executor must supply when evaluating per outer row.
+    """
+
+    plan: Any = None
+    correlations: tuple[tuple[int, str], ...] = ()
+
+    def sql(self) -> str:
+        return "(<scalar subquery>)"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)`` — planner rewrites to a semi-join."""
+
+    operand: Expr
+    plan: Any = None
+    negated: bool = False
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def sql(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.sql()} {keyword} (<subquery>))"
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    plan: Any = None
+    negated: bool = False
+
+    def sql(self) -> str:
+        keyword = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{keyword} (<subquery>)"
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and all descendants, pre-order."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    return any(isinstance(node, AggregateCall) for node in walk(expr))
+
+
+def collect_aggregates(expr: Expr) -> list[AggregateCall]:
+    return [node for node in walk(expr) if isinstance(node, AggregateCall)]
+
+
+def transform(expr: Expr, fn: Callable[[Expr], Expr | None]) -> Expr:
+    """Rebuild ``expr`` bottom-up; ``fn`` may replace any node.
+
+    ``fn`` receives each (already rebuilt) node and returns a replacement or
+    ``None`` to keep the node.
+    """
+    rebuilt = _rebuild(expr, fn)
+    replacement = fn(rebuilt)
+    return replacement if replacement is not None else rebuilt
+
+
+def _rebuild(expr: Expr, fn: Callable[[Expr], Expr | None]) -> Expr:
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, transform(expr.left, fn), transform(expr.right, fn))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, transform(expr.operand, fn))
+    if isinstance(expr, CaseWhen):
+        whens = tuple(
+            (transform(cond, fn), transform(value, fn)) for cond, value in expr.whens
+        )
+        else_ = transform(expr.else_, fn) if expr.else_ is not None else None
+        return CaseWhen(whens, else_)
+    if isinstance(expr, Like):
+        return Like(transform(expr.operand, fn), expr.pattern, expr.negated)
+    if isinstance(expr, InList):
+        return InList(
+            transform(expr.operand, fn),
+            tuple(transform(v, fn) for v in expr.values),
+            expr.negated,
+        )
+    if isinstance(expr, Between):
+        return Between(
+            transform(expr.operand, fn),
+            transform(expr.low, fn),
+            transform(expr.high, fn),
+            expr.negated,
+        )
+    if isinstance(expr, IsNull):
+        return IsNull(transform(expr.operand, fn), expr.negated)
+    if isinstance(expr, AggregateCall):
+        arg = transform(expr.arg, fn) if expr.arg is not None else None
+        return AggregateCall(expr.func, arg, expr.distinct)
+    if isinstance(expr, InSubquery):
+        return InSubquery(transform(expr.operand, fn), expr.plan, expr.negated)
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# Type inference
+# ---------------------------------------------------------------------------
+
+
+def infer_dtype(expr: Expr) -> DataType:
+    """Result type of a bound expression (used to build output schemas)."""
+    if isinstance(expr, BoundColumn):
+        return expr.dtype
+    if isinstance(expr, OuterColumn):
+        return expr.dtype
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return DataType.STRING  # NULL literal: arbitrary but stable
+        if isinstance(expr.value, Interval):
+            raise SchemaError("a bare INTERVAL literal has no column type")
+        return DataType.of(expr.value)
+    if isinstance(expr, BinaryOp):
+        if expr.op in COMPARISON_OPS or expr.op in BOOLEAN_OPS:
+            return DataType.BOOLEAN
+        left = infer_dtype(expr.left)
+        right = _dtype_or_none(expr.right)
+        if left is DataType.DATE:
+            return DataType.DATE
+        if expr.op == "/":
+            return DataType.FLOAT
+        if DataType.FLOAT in (left, right):
+            return DataType.FLOAT
+        return left
+    if isinstance(expr, UnaryOp):
+        if expr.op == "NOT":
+            return DataType.BOOLEAN
+        return infer_dtype(expr.operand)
+    if isinstance(expr, (Like, InList, Between, IsNull, InSubquery, Exists)):
+        return DataType.BOOLEAN
+    if isinstance(expr, CaseWhen):
+        branch_types = {infer_dtype(value) for _, value in expr.whens}
+        if expr.else_ is not None:
+            branch_types.add(infer_dtype(expr.else_))
+        if branch_types == {DataType.INTEGER, DataType.FLOAT}:
+            return DataType.FLOAT
+        if len(branch_types) == 1:
+            return branch_types.pop()
+        raise SchemaError(f"CASE branches disagree on type: {branch_types}")
+    if isinstance(expr, AggregateCall):
+        if expr.func == "count":
+            return DataType.INTEGER
+        if expr.func == "avg":
+            return DataType.FLOAT
+        if expr.arg is None:
+            raise SchemaError(f"{expr.func}(*) is not valid")
+        if expr.func in ("sum", "min", "max"):
+            return infer_dtype(expr.arg)
+        raise SchemaError(f"unknown aggregate {expr.func!r}")
+    if isinstance(expr, ScalarSubquery):
+        if expr.plan is None:
+            raise SchemaError("scalar subquery not yet planned")
+        fields = expr.plan.output_fields()
+        if len(fields) != 1:
+            raise SchemaError("scalar subquery must produce exactly one column")
+        return fields[0].dtype
+    raise SchemaError(f"cannot infer type of {expr!r}")
+
+
+def _dtype_or_none(expr: Expr) -> DataType | None:
+    try:
+        return infer_dtype(expr)
+    except SchemaError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+_LIKE_CACHE: dict[str, re.Pattern] = {}
+
+
+def like_regex(pattern: str) -> re.Pattern:
+    """Compile a SQL LIKE pattern into an anchored regex (cached)."""
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        parts = []
+        for char in pattern:
+            if char == "%":
+                parts.append(".*")
+            elif char == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(char))
+        compiled = re.compile("^" + "".join(parts) + "$", re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+class EvalContext:
+    """Services the evaluator may need: subquery execution.
+
+    The local executor installs a callback able to run a bound logical plan
+    for correlated subqueries; plain expression evaluation needs none.
+    """
+
+    def __init__(self, subquery_runner: Callable[[Expr, tuple], Any] | None = None):
+        self._subquery_runner = subquery_runner
+
+    def run_subquery(self, node: Expr, row: tuple) -> Any:
+        if self._subquery_runner is None:
+            raise PlanError(f"no subquery runner available for {node!r}")
+        return self._subquery_runner(node, row)
+
+
+_EMPTY_CONTEXT = EvalContext()
+
+
+def evaluate(expr: Expr, row: tuple, context: EvalContext | None = None) -> Any:
+    """Evaluate a bound expression against one input row.
+
+    Returns a Python value or ``None`` for SQL NULL.  Boolean expressions
+    return ``True``/``False``/``None`` (three-valued logic).
+    """
+    ctx = context or _EMPTY_CONTEXT
+    if isinstance(expr, BoundColumn):
+        return row[expr.index]
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, BinaryOp):
+        return _evaluate_binary(expr, row, ctx)
+    if isinstance(expr, UnaryOp):
+        value = evaluate(expr.operand, row, ctx)
+        if expr.op == "NOT":
+            return None if value is None else (not value)
+        if expr.op == "-":
+            if value is None:
+                return None
+            if isinstance(value, Interval):
+                return -value
+            return -value
+        raise PlanError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, CaseWhen):
+        for cond, value in expr.whens:
+            if evaluate(cond, row, ctx) is True:
+                return evaluate(value, row, ctx)
+        return evaluate(expr.else_, row, ctx) if expr.else_ is not None else None
+    if isinstance(expr, Like):
+        value = evaluate(expr.operand, row, ctx)
+        if value is None:
+            return None
+        matched = like_regex(expr.pattern).match(value) is not None
+        return (not matched) if expr.negated else matched
+    if isinstance(expr, InList):
+        return _evaluate_in_list(expr, row, ctx)
+    if isinstance(expr, Between):
+        value = evaluate(expr.operand, row, ctx)
+        low = evaluate(expr.low, row, ctx)
+        high = evaluate(expr.high, row, ctx)
+        if value is None or low is None or high is None:
+            return None
+        result = low <= value <= high
+        return (not result) if expr.negated else result
+    if isinstance(expr, IsNull):
+        value = evaluate(expr.operand, row, ctx)
+        result = value is None
+        return (not result) if expr.negated else result
+    if isinstance(expr, (ScalarSubquery, InSubquery, Exists)):
+        return ctx.run_subquery(expr, row)
+    if isinstance(expr, AggregateCall):
+        raise PlanError(
+            f"aggregate {expr.sql()} reached the row evaluator; "
+            "aggregates must be computed by an aggregate operator"
+        )
+    if isinstance(expr, ColumnRef):
+        raise PlanError(f"unbound column reference {expr.sql()}; run the binder first")
+    if isinstance(expr, OuterColumn):
+        raise PlanError(
+            f"correlated reference {expr.sql()} was not substituted before evaluation"
+        )
+    raise PlanError(f"cannot evaluate expression {expr!r}")
+
+
+def _evaluate_binary(expr: BinaryOp, row: tuple, ctx: EvalContext) -> Any:
+    op = expr.op
+    if op in BOOLEAN_OPS:
+        left = evaluate(expr.left, row, ctx)
+        # Kleene short-circuit: AND is False if either side is False,
+        # OR is True if either side is True, regardless of NULLs.
+        if op == "AND":
+            if left is False:
+                return False
+            right = evaluate(expr.right, row, ctx)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if left is True:
+            return True
+        right = evaluate(expr.right, row, ctx)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+    left = evaluate(expr.left, row, ctx)
+    right = evaluate(expr.right, row, ctx)
+    if left is None or right is None:
+        return None
+    if op in COMPARISON_OPS:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+    if op in ARITHMETIC_OPS:
+        return _arith(op, left, right)
+    raise PlanError(f"unknown binary operator {op!r}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if isinstance(left, datetime.date) or isinstance(right, datetime.date):
+        return _date_arith(op, left, right)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None  # SQL engines raise; NULL keeps experiments total
+        return left / right
+    raise PlanError(f"unknown arithmetic operator {op!r}")
+
+
+def _date_arith(op: str, left: Any, right: Any) -> Any:
+    if isinstance(left, datetime.date) and isinstance(right, Interval):
+        if op == "+":
+            return right.add_to(left)
+        if op == "-":
+            return right.subtract_from(left)
+    if isinstance(left, Interval) and isinstance(right, datetime.date) and op == "+":
+        return left.add_to(right)
+    if isinstance(left, datetime.date) and isinstance(right, datetime.date) and op == "-":
+        return (left - right).days
+    raise PlanError(f"unsupported date arithmetic: {left!r} {op} {right!r}")
+
+
+def _evaluate_in_list(expr: InList, row: tuple, ctx: EvalContext) -> Any:
+    value = evaluate(expr.operand, row, ctx)
+    if value is None:
+        return None
+    saw_null = False
+    for candidate in expr.values:
+        candidate_value = evaluate(candidate, row, ctx)
+        if candidate_value is None:
+            saw_null = True
+        elif candidate_value == value:
+            return not expr.negated
+    if saw_null:
+        return None
+    return expr.negated

@@ -1,0 +1,112 @@
+"""Schemas: named, typed, optionally qualified columns.
+
+Two closely related classes live here:
+
+* :class:`Column` — the *definition* of a column in a base table.
+* :class:`Field` — one slot in the output of a plan operator; carries an
+  optional qualifier (table alias) used by the binder to resolve
+  ``alias.column`` references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SchemaError
+from repro.relational.types import DataType, TYPE_WIDTH_BYTES
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition in a base table."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Field:
+    """One output slot of a plan operator.
+
+    ``qualifier`` is the table alias the field is visible under (``None``
+    for computed expressions), ``name`` the column name.
+    """
+
+    name: str
+    dtype: DataType
+    qualifier: str | None = None
+    nullable: bool = True
+
+    def matches(self, qualifier: str | None, name: str) -> bool:
+        """Whether a reference ``qualifier.name`` resolves to this field."""
+        if name.lower() != self.name.lower():
+            return False
+        if qualifier is None:
+            return True
+        return self.qualifier is not None and qualifier.lower() == self.qualifier.lower()
+
+    def with_qualifier(self, qualifier: str | None) -> "Field":
+        return Field(self.name, self.dtype, qualifier, self.nullable)
+
+
+class Schema:
+    """An ordered collection of :class:`Column` with by-name lookup."""
+
+    def __init__(self, columns: list[Column] | tuple[Column, ...]):
+        names_seen: set[str] = set()
+        for column in columns:
+            lowered = column.name.lower()
+            if lowered in names_seen:
+                raise SchemaError(f"duplicate column name {column.name!r}")
+            names_seen.add(lowered)
+        self._columns = tuple(columns)
+        self._index = {c.name.lower(): i for i, c in enumerate(self._columns)}
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self._columns]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self):
+        return iter(self._columns)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self._columns == other._columns
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c.name}:{c.dtype.value}" for c in self._columns)
+        return f"Schema({inner})"
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def index_of(self, name: str) -> int:
+        """Position of column ``name`` (case-insensitive)."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; available: {', '.join(self.names)}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self._columns[self.index_of(name)]
+
+    def fields(self, qualifier: str | None = None) -> list[Field]:
+        """The schema as binder fields, all under one qualifier."""
+        return [Field(c.name, c.dtype, qualifier, c.nullable) for c in self._columns]
+
+    def row_width_bytes(self) -> int:
+        """Average encoded row width, for logical size accounting."""
+        return sum(TYPE_WIDTH_BYTES[c.dtype] for c in self._columns)

@@ -1,0 +1,157 @@
+"""Columnar in-memory tables.
+
+A :class:`Table` stores one Python list per column.  This keeps projection
+cheap, makes size accounting honest, and is plenty fast for the physically
+scaled-down datasets used in tests and experiments (the *simulated* sizes
+are tracked separately — see :mod:`repro.tpch.dataset`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.common.errors import SchemaError
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DataType
+
+
+class Table:
+    """An immutable-by-convention columnar table."""
+
+    def __init__(self, name: str, schema: Schema, columns: list[list[Any]] | None = None):
+        self.name = name
+        self.schema = schema
+        if columns is None:
+            columns = [[] for _ in range(len(schema))]
+        if len(columns) != len(schema):
+            raise SchemaError(
+                f"table {name!r}: {len(columns)} column arrays for "
+                f"{len(schema)} schema columns"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise SchemaError(f"table {name!r}: ragged columns with lengths {lengths}")
+        self._columns = columns
+
+    # Construction ------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Sequence[Any]],
+        coerce: bool = True,
+    ) -> "Table":
+        """Build a table from row tuples, coercing values to column types."""
+        columns: list[list[Any]] = [[] for _ in range(len(schema))]
+        dtypes = [c.dtype for c in schema]
+        for row in rows:
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"table {name!r}: row of {len(row)} values for "
+                    f"{len(schema)} columns: {row!r}"
+                )
+            for i, value in enumerate(row):
+                columns[i].append(dtypes[i].coerce(value) if coerce else value)
+        return cls(name, schema, columns)
+
+    @classmethod
+    def empty_like(cls, other: "Table", name: str | None = None) -> "Table":
+        return cls(name or other.name, other.schema)
+
+    # Introspection -----------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._columns[0]) if self._columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.schema)
+
+    def column(self, name: str) -> list[Any]:
+        """The raw values of column ``name``."""
+        return self._columns[self.schema.index_of(name)]
+
+    def column_at(self, index: int) -> list[Any]:
+        return self._columns[index]
+
+    def row(self, index: int) -> tuple[Any, ...]:
+        return tuple(col[index] for col in self._columns)
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate rows as tuples (materialises nothing)."""
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    def to_rows(self) -> list[tuple[Any, ...]]:
+        return list(self.rows())
+
+    def size_bytes(self) -> int:
+        """Logical encoded size: rows x average row width."""
+        return self.num_rows * self.schema.row_width_bytes()
+
+    # Transformation ----------------------------------------------------
+
+    def select_columns(self, names: Sequence[str], new_name: str | None = None) -> "Table":
+        """A new table containing only ``names``, in the given order."""
+        indices = [self.schema.index_of(n) for n in names]
+        schema = Schema([self.schema.columns[i] for i in indices])
+        columns = [self._columns[i] for i in indices]
+        return Table(new_name or self.name, schema, [list(c) for c in columns])
+
+    def take(self, row_indices: Sequence[int], new_name: str | None = None) -> "Table":
+        """A new table with only the rows at ``row_indices`` (in order)."""
+        columns = [[col[i] for i in row_indices] for col in self._columns]
+        return Table(new_name or self.name, self.schema, columns)
+
+    def head(self, n: int) -> "Table":
+        return self.take(range(min(n, self.num_rows)))
+
+    def renamed(self, name: str) -> "Table":
+        return Table(name, self.schema, self._columns)
+
+    # Comparison helpers for tests --------------------------------------
+
+    def sorted_rows(self) -> list[tuple[Any, ...]]:
+        """All rows sorted with NULLs last — stable comparison for tests."""
+
+        def key(row: tuple[Any, ...]):
+            return tuple((value is None, value) for value in row)
+
+        return sorted(self.rows(), key=key)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={self.schema.names})"
+
+
+def table_from_dicts(name: str, schema: Schema, records: Iterable[dict]) -> Table:
+    """Build a table from dict records keyed by column name."""
+    names = schema.names
+    rows = []
+    for record in records:
+        missing = [n for n in names if n not in record]
+        if missing:
+            raise SchemaError(f"record missing columns {missing}: {record!r}")
+        rows.append([record[n] for n in names])
+    return Table.from_rows(name, schema, rows)
+
+
+def infer_schema(name: str, records: list[dict]) -> Schema:
+    """Infer a schema from dict records (first non-null value wins)."""
+    if not records:
+        raise SchemaError(f"cannot infer schema for {name!r} from zero records")
+    names = list(records[0].keys())
+    columns = []
+    for column_name in names:
+        dtype: DataType | None = None
+        for record in records:
+            value = record.get(column_name)
+            if value is not None:
+                dtype = DataType.of(value)
+                break
+        if dtype is None:
+            raise SchemaError(f"column {column_name!r} is entirely NULL; cannot infer type")
+        columns.append(Column(column_name, dtype))
+    return Schema(columns)

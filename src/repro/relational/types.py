@@ -1,0 +1,134 @@
+"""Data types for the relational substrate.
+
+The type system is deliberately small: the five scalar types TPC-H and the
+medical schema need, plus an ``Interval`` value type for date arithmetic.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Scalar column types."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"
+    BOOLEAN = "boolean"
+
+    @property
+    def python_type(self) -> type:
+        return _PYTHON_TYPES[self]
+
+    def coerce(self, value):
+        """Coerce ``value`` to this type, or raise :class:`SchemaError`.
+
+        ``None`` passes through (SQL NULL is typeless).
+        """
+        if value is None:
+            return None
+        if self is DataType.INTEGER:
+            if isinstance(value, bool):
+                raise SchemaError(f"cannot store boolean {value!r} in INTEGER column")
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+        elif self is DataType.FLOAT:
+            if isinstance(value, bool):
+                raise SchemaError(f"cannot store boolean {value!r} in FLOAT column")
+            if isinstance(value, (int, float)):
+                return float(value)
+        elif self is DataType.STRING:
+            if isinstance(value, str):
+                return value
+        elif self is DataType.DATE:
+            if isinstance(value, datetime.date) and not isinstance(value, datetime.datetime):
+                return value
+            if isinstance(value, str):
+                return parse_date(value)
+        elif self is DataType.BOOLEAN:
+            if isinstance(value, bool):
+                return value
+        raise SchemaError(f"cannot coerce {value!r} to {self.value}")
+
+    @classmethod
+    def of(cls, value) -> "DataType":
+        """Infer the type of a Python value (used for literals)."""
+        if isinstance(value, bool):
+            return cls.BOOLEAN
+        if isinstance(value, int):
+            return cls.INTEGER
+        if isinstance(value, float):
+            return cls.FLOAT
+        if isinstance(value, str):
+            return cls.STRING
+        if isinstance(value, datetime.date):
+            return cls.DATE
+        raise SchemaError(f"no DataType for python value {value!r}")
+
+
+_PYTHON_TYPES = {
+    DataType.INTEGER: int,
+    DataType.FLOAT: float,
+    DataType.STRING: str,
+    DataType.DATE: datetime.date,
+    DataType.BOOLEAN: bool,
+}
+
+#: Average encoded width in bytes per type, used for logical size accounting.
+TYPE_WIDTH_BYTES = {
+    DataType.INTEGER: 8,
+    DataType.FLOAT: 8,
+    DataType.STRING: 24,
+    DataType.DATE: 8,
+    DataType.BOOLEAN: 1,
+}
+
+
+def parse_date(text: str) -> datetime.date:
+    """Parse an ISO ``YYYY-MM-DD`` date string."""
+    try:
+        return datetime.date.fromisoformat(text)
+    except ValueError as exc:
+        raise SchemaError(f"invalid date literal {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A SQL interval: ``INTERVAL '3' MONTH`` etc.
+
+    Stored in mixed units because month arithmetic is not a fixed number of
+    days.  Supports addition to and subtraction from :class:`datetime.date`.
+    """
+
+    years: int = 0
+    months: int = 0
+    days: int = 0
+
+    def add_to(self, date: datetime.date) -> datetime.date:
+        total_months = date.year * 12 + (date.month - 1) + self.years * 12 + self.months
+        year, month = divmod(total_months, 12)
+        month += 1
+        day = min(date.day, _days_in_month(year, month))
+        return datetime.date(year, month, day) + datetime.timedelta(days=self.days)
+
+    def subtract_from(self, date: datetime.date) -> datetime.date:
+        negated = Interval(-self.years, -self.months, -self.days)
+        return negated.add_to(date)
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.years, -self.months, -self.days)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        return 31
+    first_next = datetime.date(year + (month == 12), month % 12 + 1, 1)
+    return (first_next - datetime.timedelta(days=1)).day

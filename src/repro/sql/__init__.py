@@ -1,0 +1,28 @@
+"""SQL front end: lexer, parser and AST for the TPC-H subset.
+
+The dialect covers what the paper's workload needs: ``SELECT`` queries with
+inner/left-outer joins, ``WHERE``, ``GROUP BY``/``HAVING``, ``ORDER BY``,
+``LIMIT``, derived tables, scalar/``IN``/``EXISTS`` subqueries (including
+correlated ones), ``CASE``, ``LIKE``, ``BETWEEN``, ``IN`` lists, date
+literals and interval arithmetic.
+"""
+
+from repro.sql.parser import parse_select
+from repro.sql.ast import (
+    SelectStatement,
+    SelectItem,
+    NamedTable,
+    DerivedTable,
+    JoinClause,
+    OrderItem,
+)
+
+__all__ = [
+    "parse_select",
+    "SelectStatement",
+    "SelectItem",
+    "NamedTable",
+    "DerivedTable",
+    "JoinClause",
+    "OrderItem",
+]

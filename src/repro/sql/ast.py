@@ -1,0 +1,85 @@
+"""Parsed-query AST.
+
+Statements reference expression nodes from
+:mod:`repro.relational.expressions`; subquery expression nodes carry the
+nested :class:`SelectStatement` in their ``plan`` slot until the planner
+replaces it with a bound logical plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.relational.expressions import Expr
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection item: an expression with an optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class Star:
+    """``SELECT *`` (optionally qualified: ``alias.*``)."""
+
+    qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class NamedTable:
+    """A base-table reference ``name [AS alias]``."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class DerivedTable:
+    """A subquery in FROM: ``(SELECT ...) AS alias (col1, col2, ...)``."""
+
+    query: "SelectStatement"
+    alias: str
+    column_aliases: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """A join between two table references."""
+
+    left: "TableRef"
+    right: "TableRef"
+    kind: str  # "inner" | "left" | "cross"
+    condition: Expr | None = None
+
+
+TableRef = Union[NamedTable, DerivedTable, JoinClause]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key: an expression (often a bare column/alias) + direction."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A full SELECT query."""
+
+    items: tuple[Union[SelectItem, Star], ...]
+    from_clause: TableRef | None
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False

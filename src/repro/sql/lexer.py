@@ -1,0 +1,114 @@
+"""Hand-written SQL lexer.
+
+Produces a flat token list consumed by the recursive-descent parser.
+Keywords are case-insensitive; identifiers keep their original spelling.
+``--`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import SqlError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    KEYWORD = "keyword"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "as", "and", "or", "not", "in", "like", "between", "is", "null",
+    "case", "when", "then", "else", "end", "join", "inner", "left",
+    "right", "outer", "on", "exists", "distinct", "date", "interval",
+    "asc", "desc", "year", "month", "day", "true", "false",
+}
+
+SYMBOLS = ("<>", "<=", ">=", "(", ")", ",", ".", "+", "-", "*", "/", "=", "<", ">", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+    def matches_symbol(self, *symbols: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.value in symbols
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into tokens, ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = length if newline < 0 else newline + 1
+            continue
+        if char == "'":
+            value, i = _lex_string(text, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if char.isdigit() or (char == "." and i + 1 < length and text[i + 1].isdigit()):
+            start = i
+            i += 1
+            while i < length and (text[i].isdigit() or text[i] == "."):
+                i += 1
+            number = text[start:i]
+            if number.count(".") > 1:
+                raise SqlError(f"malformed number {number!r}", start)
+            tokens.append(Token(TokenType.NUMBER, number, start))
+            continue
+        if char.isalpha() or char == "_":
+            start = i
+            i += 1
+            while i < length and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token(TokenType.SYMBOL, symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise SqlError(f"unexpected character {char!r}", i)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _lex_string(text: str, start: int) -> tuple[str, int]:
+    """Lex a single-quoted string with ``''`` escaping; returns (value, end)."""
+    i = start + 1
+    parts: list[str] = []
+    while i < len(text):
+        char = text[i]
+        if char == "'":
+            if i + 1 < len(text) and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(char)
+        i += 1
+    raise SqlError("unterminated string literal", start)

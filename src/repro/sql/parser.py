@@ -1,0 +1,469 @@
+"""Recursive-descent SQL parser for the TPC-H subset.
+
+Entry point: :func:`parse_select`.  The grammar, roughly::
+
+    select    := SELECT [DISTINCT] items FROM from_clause
+                 [WHERE expr] [GROUP BY exprs] [HAVING expr]
+                 [ORDER BY order_items] [LIMIT n]
+    from      := table_ref ((',' | join_kind JOIN) table_ref [ON expr])*
+    table_ref := ident [AS? alias] | '(' select ')' AS? alias ['(' idents ')']
+    expr      := or-precedence expression grammar (see _parse_or and below)
+
+Expression precedence, loosest first: OR, AND, NOT, predicates
+(comparison, LIKE, IN, BETWEEN, IS NULL), additive, multiplicative,
+unary minus, primary.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.common.errors import SqlError
+from repro.relational.expressions import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Exists,
+    Expr,
+    AggregateCall,
+    AGGREGATE_FUNCTIONS,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    ScalarSubquery,
+    UnaryOp,
+)
+from repro.relational.types import Interval, parse_date
+from repro.sql.ast import (
+    DerivedTable,
+    JoinClause,
+    NamedTable,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse one SELECT statement from ``text``.
+
+    Raises :class:`~repro.common.errors.SqlError` on any syntax problem,
+    with the character position of the offending token.
+    """
+    parser = _Parser(tokenize(text), text)
+    statement = parser.parse_statement()
+    parser.expect_eof()
+    return statement
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], text: str):
+        self._tokens = tokens
+        self._text = text
+        self._pos = 0
+
+    # Token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> SqlError:
+        token = self._peek()
+        return SqlError(f"{message} (near {token.value!r} at {token.position})", token.position)
+
+    def _accept_keyword(self, *keywords: str) -> bool:
+        if self._peek().matches_keyword(*keywords):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            raise self._error(f"expected {keyword.upper()}")
+
+    def _accept_symbol(self, *symbols: str) -> bool:
+        if self._peek().matches_symbol(*symbols):
+            self._advance()
+            return True
+        return False
+
+    def _expect_symbol(self, symbol: str) -> None:
+        if not self._accept_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENT:
+            raise self._error("expected identifier")
+        self._advance()
+        return token.value
+
+    def expect_eof(self) -> None:
+        self._accept_symbol(";")
+        if self._peek().type is not TokenType.EOF:
+            raise self._error("unexpected trailing input")
+
+    # Statement ---------------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        items = self._parse_select_items()
+        from_clause = None
+        if self._accept_keyword("from"):
+            from_clause = self._parse_from()
+        where = self._parse_expr() if self._accept_keyword("where") else None
+        group_by: tuple = ()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = tuple(self._parse_expr_list())
+        having = self._parse_expr() if self._accept_keyword("having") else None
+        order_by: tuple = ()
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by = tuple(self._parse_order_items())
+        limit = None
+        if self._accept_keyword("limit"):
+            token = self._peek()
+            if token.type is not TokenType.NUMBER or "." in token.value:
+                raise self._error("LIMIT expects an integer")
+            self._advance()
+            limit = int(token.value)
+        return SelectStatement(
+            items=tuple(items),
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_items(self) -> list:
+        items: list = [self._parse_select_item()]
+        while self._accept_symbol(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self):
+        if self._peek().matches_symbol("*"):
+            self._advance()
+            return Star()
+        if (
+            self._peek().type is TokenType.IDENT
+            and self._peek(1).matches_symbol(".")
+            and self._peek(2).matches_symbol("*")
+        ):
+            qualifier = self._expect_ident()
+            self._advance()
+            self._advance()
+            return Star(qualifier)
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._expect_ident()
+        return SelectItem(expr, alias)
+
+    # FROM clause -------------------------------------------------------
+
+    def _parse_from(self) -> TableRef:
+        left = self._parse_table_ref()
+        while True:
+            if self._accept_symbol(","):
+                right = self._parse_table_ref()
+                left = JoinClause(left, right, "cross", None)
+                continue
+            kind = self._parse_join_kind()
+            if kind is None:
+                return left
+            right = self._parse_table_ref()
+            condition = None
+            if self._accept_keyword("on"):
+                condition = self._parse_expr()
+            elif kind != "cross":
+                raise self._error("JOIN requires an ON condition")
+            left = JoinClause(left, right, kind, condition)
+
+    def _parse_join_kind(self) -> str | None:
+        if self._accept_keyword("join"):
+            return "inner"
+        if self._peek().matches_keyword("inner") and self._peek(1).matches_keyword("join"):
+            self._advance()
+            self._advance()
+            return "inner"
+        if self._peek().matches_keyword("left"):
+            self._advance()
+            self._accept_keyword("outer")
+            self._expect_keyword("join")
+            return "left"
+        if self._peek().matches_keyword("right"):
+            self._advance()
+            self._accept_keyword("outer")
+            self._expect_keyword("join")
+            return "right"
+        return None
+
+    def _parse_table_ref(self) -> TableRef:
+        if self._accept_symbol("("):
+            query = self.parse_statement()
+            self._expect_symbol(")")
+            self._accept_keyword("as")
+            alias = self._expect_ident()
+            column_aliases: tuple[str, ...] = ()
+            if self._accept_symbol("("):
+                names = [self._expect_ident()]
+                while self._accept_symbol(","):
+                    names.append(self._expect_ident())
+                self._expect_symbol(")")
+                column_aliases = tuple(names)
+            return DerivedTable(query, alias, column_aliases)
+        name = self._expect_ident()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._expect_ident()
+        return NamedTable(name, alias)
+
+    # ORDER BY ----------------------------------------------------------
+
+    def _parse_order_items(self) -> list[OrderItem]:
+        items = [self._parse_order_item()]
+        while self._accept_symbol(","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expr()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return OrderItem(expr, descending)
+
+    # Expressions -------------------------------------------------------
+
+    def _parse_expr_list(self) -> list[Expr]:
+        exprs = [self._parse_expr()]
+        while self._accept_symbol(","):
+            exprs.append(self._parse_expr())
+        return exprs
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept_keyword("not"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        negated = False
+        if self._peek().matches_keyword("not"):
+            following = self._peek(1)
+            if following.matches_keyword("like", "in", "between"):
+                self._advance()
+                negated = True
+        if self._accept_keyword("like"):
+            token = self._peek()
+            if token.type is not TokenType.STRING:
+                raise self._error("LIKE expects a string literal pattern")
+            self._advance()
+            return Like(left, token.value, negated)
+        if self._accept_keyword("in"):
+            return self._parse_in_tail(left, negated)
+        if self._accept_keyword("between"):
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return Between(left, low, high, negated)
+        if self._accept_keyword("is"):
+            is_negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            return IsNull(left, is_negated)
+        if negated:
+            raise self._error("dangling NOT")
+        for symbol in ("<>", "<=", ">=", "=", "<", ">"):
+            if self._accept_symbol(symbol):
+                return BinaryOp(symbol, left, self._parse_additive())
+        return left
+
+    def _parse_in_tail(self, operand: Expr, negated: bool) -> Expr:
+        self._expect_symbol("(")
+        if self._peek().matches_keyword("select"):
+            query = self.parse_statement()
+            self._expect_symbol(")")
+            return InSubquery(operand, query, negated)
+        values = [self._parse_expr()]
+        while self._accept_symbol(","):
+            values.append(self._parse_expr())
+        self._expect_symbol(")")
+        return InList(operand, tuple(values), negated)
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self._accept_symbol("+"):
+                left = BinaryOp("+", left, self._parse_multiplicative())
+            elif self._accept_symbol("-"):
+                left = BinaryOp("-", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            if self._accept_symbol("*"):
+                left = BinaryOp("*", left, self._parse_unary())
+            elif self._accept_symbol("/"):
+                left = BinaryOp("/", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept_symbol("-"):
+            return UnaryOp("-", self._parse_unary())
+        if self._accept_symbol("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if "." in token.value:
+                return Literal(float(token.value))
+            return Literal(int(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.matches_keyword("null"):
+            self._advance()
+            return Literal(None)
+        if token.matches_keyword("true"):
+            self._advance()
+            return Literal(True)
+        if token.matches_keyword("false"):
+            self._advance()
+            return Literal(False)
+        if token.matches_keyword("date"):
+            self._advance()
+            literal = self._peek()
+            if literal.type is not TokenType.STRING:
+                raise self._error("DATE expects a string literal")
+            self._advance()
+            return Literal(parse_date(literal.value))
+        if token.matches_keyword("interval"):
+            return self._parse_interval()
+        if token.matches_keyword("case"):
+            return self._parse_case()
+        if token.matches_keyword("exists"):
+            self._advance()
+            self._expect_symbol("(")
+            query = self.parse_statement()
+            self._expect_symbol(")")
+            return Exists(query, negated=False)
+        if token.matches_symbol("("):
+            self._advance()
+            if self._peek().matches_keyword("select"):
+                query = self.parse_statement()
+                self._expect_symbol(")")
+                return ScalarSubquery(query)
+            expr = self._parse_expr()
+            self._expect_symbol(")")
+            return expr
+        if token.type is TokenType.IDENT:
+            return self._parse_identifier_expression()
+        raise self._error("expected expression")
+
+    def _parse_interval(self) -> Expr:
+        self._expect_keyword("interval")
+        quantity_token = self._peek()
+        if quantity_token.type is TokenType.STRING:
+            self._advance()
+            try:
+                quantity = int(quantity_token.value)
+            except ValueError:
+                raise self._error("INTERVAL quantity must be an integer") from None
+        elif quantity_token.type is TokenType.NUMBER and "." not in quantity_token.value:
+            self._advance()
+            quantity = int(quantity_token.value)
+        else:
+            raise self._error("INTERVAL expects an integer quantity")
+        unit_token = self._peek()
+        if not unit_token.matches_keyword("year", "month", "day"):
+            raise self._error("INTERVAL unit must be YEAR, MONTH or DAY")
+        self._advance()
+        if unit_token.value == "year":
+            return Literal(Interval(years=quantity))
+        if unit_token.value == "month":
+            return Literal(Interval(months=quantity))
+        return Literal(Interval(days=quantity))
+
+    def _parse_case(self) -> Expr:
+        self._expect_keyword("case")
+        whens: list[tuple[Expr, Expr]] = []
+        while self._accept_keyword("when"):
+            condition = self._parse_expr()
+            self._expect_keyword("then")
+            value = self._parse_expr()
+            whens.append((condition, value))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN branch")
+        else_ = self._parse_expr() if self._accept_keyword("else") else None
+        self._expect_keyword("end")
+        return CaseWhen(tuple(whens), else_)
+
+    def _parse_identifier_expression(self) -> Expr:
+        name = self._expect_ident()
+        if self._peek().matches_symbol("("):
+            return self._parse_function_call(name)
+        if self._peek().matches_symbol(".") and self._peek(1).type is TokenType.IDENT:
+            self._advance()
+            column = self._expect_ident()
+            return ColumnRef(column, qualifier=name)
+        return ColumnRef(name)
+
+    def _parse_function_call(self, name: str) -> Expr:
+        lowered = name.lower()
+        self._expect_symbol("(")
+        if lowered not in AGGREGATE_FUNCTIONS:
+            raise self._error(f"unknown function {name!r}")
+        if self._accept_symbol("*"):
+            self._expect_symbol(")")
+            if lowered != "count":
+                raise self._error(f"{name}(*) is only valid for count")
+            return AggregateCall("count", None)
+        distinct = self._accept_keyword("distinct")
+        arg = self._parse_expr()
+        self._expect_symbol(")")
+        return AggregateCall(lowered, arg, distinct)

@@ -1,0 +1,34 @@
+"""TPC-H substrate: schema, deterministic generator, queries and datasets.
+
+The paper evaluates DREAM on TPC-H (100 MiB and 1 GiB) using the four
+queries that join exactly two tables: Q12, Q13, Q14 and Q17.  This package
+generates spec-shaped data at a configurable *physical* row count while
+tracking the *logical* scale (MiB) that cost models consume — see
+:class:`repro.tpch.dataset.TpchDataset`.
+"""
+
+from repro.tpch.schema import TPCH_SCHEMAS, tpch_schema
+from repro.tpch.generator import TpchGenerator, rows_per_table
+from repro.tpch.dataset import TpchDataset
+from repro.tpch.queries import (
+    TPCH_QUERIES,
+    QueryTemplate,
+    query_12,
+    query_13,
+    query_14,
+    query_17,
+)
+
+__all__ = [
+    "TPCH_SCHEMAS",
+    "tpch_schema",
+    "TpchGenerator",
+    "rows_per_table",
+    "TpchDataset",
+    "TPCH_QUERIES",
+    "QueryTemplate",
+    "query_12",
+    "query_13",
+    "query_14",
+    "query_17",
+]

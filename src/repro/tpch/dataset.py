@@ -1,0 +1,122 @@
+"""TPC-H dataset facade: logical scale vs physical rows.
+
+The paper's experiments reference dataset sizes (100 MiB, 1 GiB) that feed
+the *cost models*; actually materialising a gibibyte of Python rows would
+be pointless for a simulation whose ground-truth costs are analytic.  A
+:class:`TpchDataset` therefore tracks two scales:
+
+* **logical scale** (``scale_mib``) — drives the statistics handed to the
+  physical planner and engine simulators (dbgen-equivalent row counts and
+  byte sizes; 1 GiB corresponds to scale factor 1);
+* **physical scale** (``physical_scale_factor``) — the rows actually
+  generated, used by the local executor for semantic ground truth.
+
+Column statistics are computed exactly on the physical tables and then
+*re-scaled*: key-like columns (distinct ≈ rows) scale their distinct count
+and integer max with the logical row count; categorical columns keep their
+physical statistics.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.common.units import MIB, bytes_to_mib
+from repro.common.validation import require_positive
+from repro.plans.catalog import Catalog
+from repro.plans.statistics import ColumnStats, TableStats, compute_table_stats
+from repro.relational.table import Table
+from repro.tpch.generator import TpchGenerator
+from repro.tpch.schema import DBGEN_ROW_WIDTH_BYTES, ROWS_AT_SF1
+
+#: Logical bytes per scale factor 1 (dbgen output is ~1 GB at SF 1).
+BYTES_AT_SF1 = sum(ROWS_AT_SF1[t] * DBGEN_ROW_WIDTH_BYTES[t] for t in ROWS_AT_SF1)
+
+#: Default physical scale: small enough for pure-Python execution, large
+#: enough that per-query selectivities are meaningful.
+DEFAULT_PHYSICAL_SCALE_FACTOR = 0.002
+
+
+class TpchDataset:
+    """A TPC-H dataset with decoupled logical and physical scales."""
+
+    def __init__(
+        self,
+        scale_mib: float,
+        physical_scale_factor: float | None = None,
+        seed: int = 7,
+    ):
+        self.scale_mib = require_positive(scale_mib, "scale_mib")
+        self.scale_factor = scale_mib * MIB / BYTES_AT_SF1
+        if physical_scale_factor is None:
+            physical_scale_factor = min(self.scale_factor, DEFAULT_PHYSICAL_SCALE_FACTOR)
+        self.physical_scale_factor = require_positive(
+            physical_scale_factor, "physical_scale_factor"
+        )
+        self.seed = seed
+
+    @cached_property
+    def tables(self) -> dict[str, Table]:
+        """The physically generated tables."""
+        return TpchGenerator(self.physical_scale_factor, self.seed).generate_all()
+
+    @cached_property
+    def catalog(self) -> Catalog:
+        """A catalog over the physical tables (for the local executor)."""
+        return Catalog(self.tables.values())
+
+    @cached_property
+    def physical_stats(self) -> dict[str, TableStats]:
+        """Exact statistics of the physical tables."""
+        return {name: compute_table_stats(t) for name, t in self.tables.items()}
+
+    @cached_property
+    def logical_stats(self) -> dict[str, TableStats]:
+        """Statistics re-scaled to the logical size (what cost models see)."""
+        out: dict[str, TableStats] = {}
+        for name, physical in self.physical_stats.items():
+            out[name] = self._rescale(name, physical)
+        return out
+
+    def logical_size_bytes(self, table_name: str) -> int:
+        return self.logical_stats[table_name.lower()].size_bytes
+
+    def logical_size_mib(self, table_name: str) -> float:
+        return bytes_to_mib(self.logical_size_bytes(table_name))
+
+    def _rescale(self, name: str, physical: TableStats) -> TableStats:
+        if name in ("region", "nation"):
+            return physical
+        logical_rows = max(1, int(round(ROWS_AT_SF1[name] * self.scale_factor)))
+        if name == "lineitem":
+            # lineitem rows track orders x lines-per-order, keep the ratio.
+            per_order = physical.row_count / max(
+                1, self.physical_stats["orders"].row_count
+            )
+            logical_rows = max(
+                1, int(round(ROWS_AT_SF1["orders"] * self.scale_factor * per_order))
+            )
+        row_ratio = logical_rows / max(1, physical.row_count)
+        columns: dict[str, ColumnStats] = {}
+        for column_name, stats in physical.columns.items():
+            key_like = stats.distinct_count >= 0.8 * physical.row_count
+            if key_like:
+                scaled_max = stats.max_value
+                if isinstance(stats.max_value, int):
+                    scaled_max = max(1, int(stats.max_value * row_ratio))
+                columns[column_name] = ColumnStats(
+                    distinct_count=max(1, int(stats.distinct_count * row_ratio)),
+                    null_fraction=stats.null_fraction,
+                    min_value=stats.min_value,
+                    max_value=scaled_max,
+                )
+            else:
+                columns[column_name] = stats
+        size_bytes = logical_rows * DBGEN_ROW_WIDTH_BYTES[name]
+        return TableStats(logical_rows, size_bytes, columns)
+
+    def __repr__(self) -> str:
+        return (
+            f"TpchDataset(scale_mib={self.scale_mib}, sf={self.scale_factor:.4f}, "
+            f"physical_sf={self.physical_scale_factor})"
+        )

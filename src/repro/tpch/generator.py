@@ -1,0 +1,256 @@
+"""Deterministic TPC-H data generator.
+
+Generates the eight benchmark tables with specification-shaped value
+distributions at an arbitrary (fractional) scale factor.  Generation is a
+pure function of ``(seed, scale_factor)``: every table draws from its own
+named random stream, so tables are independently reproducible.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+
+from repro.common.rng import RngStream
+from repro.common.validation import require_positive
+from repro.relational.table import Table
+from repro.tpch import text
+from repro.tpch.schema import ROWS_AT_SF1, tpch_schema
+
+NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+ORDER_DATE_MIN = datetime.date(1992, 1, 1)
+ORDER_DATE_MAX = datetime.date(1998, 8, 2)
+
+
+def rows_per_table(scale_factor: float) -> dict[str, int]:
+    """Row counts at ``scale_factor`` (region/nation stay fixed)."""
+    require_positive(scale_factor, "scale_factor")
+    counts = {}
+    for name, at_sf1 in ROWS_AT_SF1.items():
+        if name in ("region", "nation"):
+            counts[name] = at_sf1
+        elif name == "lineitem":
+            continue  # derived from orders during generation
+        else:
+            counts[name] = max(1, int(round(at_sf1 * scale_factor)))
+    counts["lineitem"] = counts["orders"] * 4  # nominal; actual varies 1..7
+    return counts
+
+
+class TpchGenerator:
+    """Generates TPC-H tables at a fractional scale factor."""
+
+    def __init__(self, scale_factor: float, seed: int = 7):
+        self.scale_factor = require_positive(scale_factor, "scale_factor")
+        self.seed = seed
+        self._counts = rows_per_table(scale_factor)
+
+    def generate_all(self) -> dict[str, Table]:
+        """Generate every table, keyed by lower-case name."""
+        tables = {
+            "region": self.region(),
+            "nation": self.nation(),
+            "supplier": self.supplier(),
+            "customer": self.customer(),
+            "part": self.part(),
+            "partsupp": self.partsupp(),
+        }
+        orders, lineitem = self.orders_and_lineitem()
+        tables["orders"] = orders
+        tables["lineitem"] = lineitem
+        return tables
+
+    # Individual tables ---------------------------------------------------
+
+    def _stream(self, table: str) -> RngStream:
+        return RngStream(self.seed, "tpch", table)
+
+    def region(self) -> Table:
+        rng = self._stream("region")
+        rows = [
+            [key, name, text.random_comment(rng)] for key, name in enumerate(REGIONS)
+        ]
+        return Table.from_rows("region", tpch_schema("region"), rows)
+
+    def nation(self) -> Table:
+        rng = self._stream("nation")
+        rows = [
+            [key, name, region_key, text.random_comment(rng)]
+            for key, (name, region_key) in enumerate(NATIONS)
+        ]
+        return Table.from_rows("nation", tpch_schema("nation"), rows)
+
+    def supplier(self) -> Table:
+        rng = self._stream("supplier")
+        rows = []
+        for key in range(1, self._counts["supplier"] + 1):
+            nation_key = int(rng.integers(0, len(NATIONS)))
+            rows.append(
+                [
+                    key,
+                    f"Supplier#{key:09d}",
+                    _address(rng),
+                    nation_key,
+                    text.phone_number(rng, nation_key),
+                    round(float(rng.uniform(-999.99, 9999.99)), 2),
+                    text.random_comment(rng),
+                ]
+            )
+        return Table.from_rows("supplier", tpch_schema("supplier"), rows)
+
+    def customer(self) -> Table:
+        rng = self._stream("customer")
+        rows = []
+        for key in range(1, self._counts["customer"] + 1):
+            nation_key = int(rng.integers(0, len(NATIONS)))
+            rows.append(
+                [
+                    key,
+                    f"Customer#{key:09d}",
+                    _address(rng),
+                    nation_key,
+                    text.phone_number(rng, nation_key),
+                    round(float(rng.uniform(-999.99, 9999.99)), 2),
+                    text.P_SEGMENTS[int(rng.integers(0, len(text.P_SEGMENTS)))],
+                    text.random_comment(rng),
+                ]
+            )
+        return Table.from_rows("customer", tpch_schema("customer"), rows)
+
+    def part(self) -> Table:
+        rng = self._stream("part")
+        rows = []
+        for key in range(1, self._counts["part"] + 1):
+            brand = f"Brand#{int(rng.integers(1, 6))}{int(rng.integers(1, 6))}"
+            retail_price = (90000 + (key % 20001) + 100 * (key % 1000)) / 100.0
+            rows.append(
+                [
+                    key,
+                    text.part_name(rng),
+                    f"Manufacturer#{int(rng.integers(1, 6))}",
+                    brand,
+                    text.part_type(rng),
+                    int(rng.integers(1, 51)),
+                    text.CONTAINERS[int(rng.integers(0, len(text.CONTAINERS)))],
+                    retail_price,
+                    text.random_comment(rng),
+                ]
+            )
+        return Table.from_rows("part", tpch_schema("part"), rows)
+
+    def partsupp(self) -> Table:
+        rng = self._stream("partsupp")
+        supplier_count = self._counts["supplier"]
+        rows = []
+        for part_key in range(1, self._counts["part"] + 1):
+            for replica in range(4):
+                supp_key = 1 + (part_key + replica * max(1, supplier_count // 4)) % supplier_count
+                rows.append(
+                    [
+                        part_key,
+                        supp_key,
+                        int(rng.integers(1, 10000)),
+                        round(float(rng.uniform(1.0, 1000.0)), 2),
+                        text.random_comment(rng),
+                    ]
+                )
+        return Table.from_rows("partsupp", tpch_schema("partsupp"), rows)
+
+    def orders_and_lineitem(self) -> tuple[Table, Table]:
+        """Orders and their lineitems (generated together to share keys)."""
+        rng = self._stream("orders")
+        line_rng = self._stream("lineitem")
+        customer_count = self._counts["customer"]
+        part_count = self._counts["part"]
+        supplier_count = self._counts["supplier"]
+        date_span = (ORDER_DATE_MAX - ORDER_DATE_MIN).days
+
+        order_rows = []
+        line_rows = []
+        for order_key in range(1, self._counts["orders"] + 1):
+            cust_key = int(rng.integers(1, customer_count + 1))
+            order_date = ORDER_DATE_MIN + datetime.timedelta(
+                days=int(rng.integers(0, date_span + 1))
+            )
+            priority = text.PRIORITIES[int(rng.integers(0, len(text.PRIORITIES)))]
+            line_count = int(line_rng.integers(1, 8))
+            total_price = 0.0
+            status_counts = [0, 0]  # fulfilled, open
+            for line_number in range(1, line_count + 1):
+                part_key = int(line_rng.integers(1, part_count + 1))
+                supp_key = 1 + (part_key + line_number) % supplier_count
+                quantity = float(line_rng.integers(1, 51))
+                part_price = (90000 + (part_key % 20001) + 100 * (part_key % 1000)) / 100.0
+                extended = round(quantity * part_price, 2)
+                discount = round(float(line_rng.integers(0, 11)) / 100.0, 2)
+                tax = round(float(line_rng.integers(0, 9)) / 100.0, 2)
+                ship_date = order_date + datetime.timedelta(days=int(line_rng.integers(1, 122)))
+                commit_date = order_date + datetime.timedelta(days=int(line_rng.integers(30, 91)))
+                receipt_date = ship_date + datetime.timedelta(days=int(line_rng.integers(1, 31)))
+                shipped = ship_date <= datetime.date(1995, 6, 17)
+                return_flag = (
+                    ("R" if line_rng.random() < 0.5 else "A") if shipped else "N"
+                )
+                line_status = "F" if shipped else "O"
+                status_counts[0 if line_status == "F" else 1] += 1
+                total_price += extended * (1 + tax) * (1 - discount)
+                line_rows.append(
+                    [
+                        order_key,
+                        part_key,
+                        supp_key,
+                        line_number,
+                        quantity,
+                        extended,
+                        discount,
+                        tax,
+                        return_flag,
+                        line_status,
+                        ship_date,
+                        commit_date,
+                        receipt_date,
+                        text.SHIP_INSTRUCTIONS[
+                            int(line_rng.integers(0, len(text.SHIP_INSTRUCTIONS)))
+                        ],
+                        text.SHIP_MODES[int(line_rng.integers(0, len(text.SHIP_MODES)))],
+                        text.random_comment(line_rng, 2, 5),
+                    ]
+                )
+            if status_counts[1] == 0:
+                order_status = "F"
+            elif status_counts[0] == 0:
+                order_status = "O"
+            else:
+                order_status = "P"
+            order_rows.append(
+                [
+                    order_key,
+                    cust_key,
+                    order_status,
+                    round(total_price, 2),
+                    order_date,
+                    priority,
+                    f"Clerk#{int(rng.integers(1, 1001)):09d}",
+                    0,
+                    text.order_comment(rng),
+                ]
+            )
+        orders = Table.from_rows("orders", tpch_schema("orders"), order_rows)
+        lineitem = Table.from_rows("lineitem", tpch_schema("lineitem"), line_rows)
+        return orders, lineitem
+
+
+def _address(rng: RngStream) -> str:
+    length = int(rng.integers(10, 30))
+    alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,"
+    return "".join(alphabet[int(i)] for i in rng.integers(0, len(alphabet), size=length))

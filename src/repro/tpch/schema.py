@@ -1,0 +1,153 @@
+"""TPC-H schema: the eight benchmark tables.
+
+Column order and names follow the TPC-H specification revision 2.x.
+Average dbgen row widths (bytes) are recorded per table so the *logical*
+size of a scale factor can be computed without generating the data.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SchemaError
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DataType
+
+I = DataType.INTEGER
+F = DataType.FLOAT
+S = DataType.STRING
+D = DataType.DATE
+
+TPCH_SCHEMAS: dict[str, Schema] = {
+    "region": Schema(
+        [
+            Column("r_regionkey", I, nullable=False),
+            Column("r_name", S, nullable=False),
+            Column("r_comment", S),
+        ]
+    ),
+    "nation": Schema(
+        [
+            Column("n_nationkey", I, nullable=False),
+            Column("n_name", S, nullable=False),
+            Column("n_regionkey", I, nullable=False),
+            Column("n_comment", S),
+        ]
+    ),
+    "supplier": Schema(
+        [
+            Column("s_suppkey", I, nullable=False),
+            Column("s_name", S, nullable=False),
+            Column("s_address", S, nullable=False),
+            Column("s_nationkey", I, nullable=False),
+            Column("s_phone", S, nullable=False),
+            Column("s_acctbal", F, nullable=False),
+            Column("s_comment", S),
+        ]
+    ),
+    "customer": Schema(
+        [
+            Column("c_custkey", I, nullable=False),
+            Column("c_name", S, nullable=False),
+            Column("c_address", S, nullable=False),
+            Column("c_nationkey", I, nullable=False),
+            Column("c_phone", S, nullable=False),
+            Column("c_acctbal", F, nullable=False),
+            Column("c_mktsegment", S, nullable=False),
+            Column("c_comment", S),
+        ]
+    ),
+    "part": Schema(
+        [
+            Column("p_partkey", I, nullable=False),
+            Column("p_name", S, nullable=False),
+            Column("p_mfgr", S, nullable=False),
+            Column("p_brand", S, nullable=False),
+            Column("p_type", S, nullable=False),
+            Column("p_size", I, nullable=False),
+            Column("p_container", S, nullable=False),
+            Column("p_retailprice", F, nullable=False),
+            Column("p_comment", S),
+        ]
+    ),
+    "partsupp": Schema(
+        [
+            Column("ps_partkey", I, nullable=False),
+            Column("ps_suppkey", I, nullable=False),
+            Column("ps_availqty", I, nullable=False),
+            Column("ps_supplycost", F, nullable=False),
+            Column("ps_comment", S),
+        ]
+    ),
+    "orders": Schema(
+        [
+            Column("o_orderkey", I, nullable=False),
+            Column("o_custkey", I, nullable=False),
+            Column("o_orderstatus", S, nullable=False),
+            Column("o_totalprice", F, nullable=False),
+            Column("o_orderdate", D, nullable=False),
+            Column("o_orderpriority", S, nullable=False),
+            Column("o_clerk", S, nullable=False),
+            Column("o_shippriority", I, nullable=False),
+            Column("o_comment", S),
+        ]
+    ),
+    "lineitem": Schema(
+        [
+            Column("l_orderkey", I, nullable=False),
+            Column("l_partkey", I, nullable=False),
+            Column("l_suppkey", I, nullable=False),
+            Column("l_linenumber", I, nullable=False),
+            Column("l_quantity", F, nullable=False),
+            Column("l_extendedprice", F, nullable=False),
+            Column("l_discount", F, nullable=False),
+            Column("l_tax", F, nullable=False),
+            Column("l_returnflag", S, nullable=False),
+            Column("l_linestatus", S, nullable=False),
+            Column("l_shipdate", D, nullable=False),
+            Column("l_commitdate", D, nullable=False),
+            Column("l_receiptdate", D, nullable=False),
+            Column("l_shipinstruct", S, nullable=False),
+            Column("l_shipmode", S, nullable=False),
+            Column("l_comment", S),
+        ]
+    ),
+}
+
+#: Average dbgen row widths in bytes (used for logical size accounting).
+DBGEN_ROW_WIDTH_BYTES: dict[str, int] = {
+    "region": 124,
+    "nation": 128,
+    "supplier": 140,
+    "customer": 160,
+    "part": 119,
+    "partsupp": 144,
+    "orders": 104,
+    "lineitem": 112,
+}
+
+#: Row counts at scale factor 1, per the TPC-H specification.
+ROWS_AT_SF1: dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_001_215,
+}
+
+
+def tpch_schema(table_name: str) -> Schema:
+    """The schema of one TPC-H table."""
+    try:
+        return TPCH_SCHEMAS[table_name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(TPCH_SCHEMAS))
+        raise SchemaError(f"unknown TPC-H table {table_name!r}; one of: {known}") from None
+
+
+def logical_size_bytes(table_name: str, scale_factor: float) -> int:
+    """dbgen-equivalent size of ``table_name`` at ``scale_factor``."""
+    name = table_name.lower()
+    rows = ROWS_AT_SF1[name] if name in ("region", "nation") else ROWS_AT_SF1[name] * scale_factor
+    return int(rows * DBGEN_ROW_WIDTH_BYTES[name])

@@ -1,0 +1,101 @@
+"""Tiny text grammar for TPC-H string columns.
+
+dbgen builds comments from a grammar over a fixed vocabulary; we reproduce
+the parts the workload's predicates touch.  Q13 filters orders on
+``o_comment NOT LIKE '%special%requests%'``, so a controlled fraction of
+order comments must contain the two words in that order.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import RngStream
+
+NOUNS = (
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas",
+    "theodolites", "pinto beans", "instructions", "dependencies", "excuses",
+    "platelets", "asymptotes", "courts", "dolphins", "multipliers",
+)
+
+VERBS = (
+    "sleep", "wake", "are", "cajole", "haggle", "nag", "use", "boost",
+    "affix", "detect", "integrate", "maintain", "nod", "was", "lose", "run",
+)
+
+ADJECTIVES = (
+    "special", "pending", "unusual", "express", "furious", "sly", "careful",
+    "blithe", "quick", "fluffy", "slow", "quiet", "ruthless", "thin", "close",
+)
+
+ADVERBS = (
+    "sometimes", "always", "never", "furiously", "slyly", "carefully",
+    "blithely", "quickly", "fluffily", "slowly", "quietly", "ruthlessly",
+)
+
+P_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+SHIP_MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+SHIP_INSTRUCTIONS = ("DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN")
+CONTAINERS = tuple(
+    f"{size} {kind}"
+    for size in ("SM", "LG", "MED", "JUMBO", "WRAP")
+    for kind in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+)
+TYPE_SYLLABLE_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+TYPE_SYLLABLE_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+TYPE_SYLLABLE_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+PART_NAME_WORDS = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+)
+
+#: Fraction of order comments carrying the '%special%requests%' shape.
+SPECIAL_REQUESTS_FRACTION = 0.12
+
+
+def random_comment(rng: RngStream, min_words: int = 4, max_words: int = 9) -> str:
+    """A grammar-shaped comment: adverb verb adjective noun, repeated."""
+    word_count = int(rng.integers(min_words, max_words + 1))
+    words = []
+    for position in range(word_count):
+        bucket = position % 4
+        if bucket == 0:
+            words.append(ADVERBS[int(rng.integers(0, len(ADVERBS)))])
+        elif bucket == 1:
+            words.append(VERBS[int(rng.integers(0, len(VERBS)))])
+        elif bucket == 2:
+            words.append(ADJECTIVES[int(rng.integers(0, len(ADJECTIVES)))])
+        else:
+            words.append(NOUNS[int(rng.integers(0, len(NOUNS)))])
+    return " ".join(words)
+
+
+def order_comment(rng: RngStream) -> str:
+    """An order comment; a controlled fraction match '%special%requests%'."""
+    comment = random_comment(rng)
+    if rng.random() < SPECIAL_REQUESTS_FRACTION:
+        filler = ADVERBS[int(rng.integers(0, len(ADVERBS)))]
+        comment = f"{comment} special {filler} requests"
+    return comment
+
+
+def part_name(rng: RngStream) -> str:
+    indices = rng.choice(len(PART_NAME_WORDS), size=5, replace=False)
+    return " ".join(PART_NAME_WORDS[int(i)] for i in indices)
+
+
+def part_type(rng: RngStream) -> str:
+    return " ".join(
+        (
+            TYPE_SYLLABLE_1[int(rng.integers(0, len(TYPE_SYLLABLE_1)))],
+            TYPE_SYLLABLE_2[int(rng.integers(0, len(TYPE_SYLLABLE_2)))],
+            TYPE_SYLLABLE_3[int(rng.integers(0, len(TYPE_SYLLABLE_3)))],
+        )
+    )
+
+
+def phone_number(rng: RngStream, nation_key: int) -> str:
+    country = 10 + (nation_key % 25)
+    local = rng.integers(100, 1000), rng.integers(100, 1000), rng.integers(1000, 10000)
+    return f"{country}-{local[0]}-{local[1]}-{local[2]}"

@@ -1,0 +1,14 @@
+"""Workload runners: build execution histories for the experiments."""
+
+from repro.workloads.tpch_runner import (
+    TpchFederationConfig,
+    TpchFederationWorkload,
+)
+from repro.workloads.drift import drift_scenario, DRIFT_SCENARIOS
+
+__all__ = [
+    "TpchFederationConfig",
+    "TpchFederationWorkload",
+    "drift_scenario",
+    "DRIFT_SCENARIOS",
+]

@@ -1,0 +1,57 @@
+"""Named drift scenarios for experiments and ablations."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cloud.variability import (
+    Ar1LoadProcess,
+    CompositeLoadProcess,
+    ConstantLoad,
+    DiurnalLoadProcess,
+    LoadProcess,
+    RegimeShiftProcess,
+    default_federation_load,
+)
+from repro.common.errors import ValidationError
+from repro.common.rng import RngStream
+
+
+def _none(rng: RngStream) -> LoadProcess:
+    return ConstantLoad(1.0)
+
+
+def _mild(rng: RngStream) -> LoadProcess:
+    return Ar1LoadProcess(rng.child("ar1"), phi=0.99, sigma=0.02)
+
+
+def _paper(rng: RngStream) -> LoadProcess:
+    return default_federation_load(rng)
+
+
+def _harsh(rng: RngStream) -> LoadProcess:
+    return CompositeLoadProcess(
+        [
+            Ar1LoadProcess(rng.child("ar1"), phi=0.97, sigma=0.10),
+            DiurnalLoadProcess(period_ticks=120, amplitude=0.25),
+            RegimeShiftProcess(rng.child("regime"), mean_regime_length=80, low=0.5, high=3.0),
+        ]
+    )
+
+
+DRIFT_SCENARIOS: dict[str, Callable[[RngStream], LoadProcess]] = {
+    "none": _none,
+    "mild": _mild,
+    "paper": _paper,
+    "harsh": _harsh,
+}
+
+
+def drift_scenario(name: str, rng: RngStream) -> LoadProcess:
+    """Instantiate a named drift scenario."""
+    try:
+        factory = DRIFT_SCENARIOS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(DRIFT_SCENARIOS))
+        raise ValidationError(f"unknown drift scenario {name!r}; one of: {known}") from None
+    return factory(rng)

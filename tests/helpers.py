@@ -1,0 +1,84 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.plans import Catalog
+from repro.relational import Column, DataType, Schema, Table
+
+
+def date(text: str) -> datetime.date:
+    return datetime.date.fromisoformat(text)
+
+
+def make_orders() -> Table:
+    schema = Schema(
+        [
+            Column("o_orderkey", DataType.INTEGER, nullable=False),
+            Column("o_custkey", DataType.INTEGER, nullable=False),
+            Column("o_orderdate", DataType.DATE, nullable=False),
+            Column("o_orderpriority", DataType.STRING, nullable=False),
+            Column("o_comment", DataType.STRING),
+        ]
+    )
+    return Table.from_rows(
+        "orders",
+        schema,
+        [
+            [1, 10, date("1994-01-05"), "1-URGENT", "quiet packages"],
+            [2, 11, date("1994-03-05"), "3-MEDIUM", "special late requests"],
+            [3, 10, date("1995-01-05"), "2-HIGH", "furious special sly requests"],
+            [4, 12, date("1996-07-01"), "5-LOW", None],
+        ],
+    )
+
+
+def make_lineitem() -> Table:
+    schema = Schema(
+        [
+            Column("l_orderkey", DataType.INTEGER, nullable=False),
+            Column("l_partkey", DataType.INTEGER, nullable=False),
+            Column("l_shipmode", DataType.STRING, nullable=False),
+            Column("l_commitdate", DataType.DATE, nullable=False),
+            Column("l_receiptdate", DataType.DATE, nullable=False),
+            Column("l_shipdate", DataType.DATE, nullable=False),
+            Column("l_quantity", DataType.FLOAT, nullable=False),
+            Column("l_extendedprice", DataType.FLOAT, nullable=False),
+        ]
+    )
+    return Table.from_rows(
+        "lineitem",
+        schema,
+        [
+            [1, 100, "MAIL", date("1994-02-01"), date("1994-02-10"), date("1994-01-20"), 10.0, 100.0],
+            [1, 101, "AIR", date("1994-02-05"), date("1994-02-20"), date("1994-01-25"), 5.0, 50.0],
+            [2, 100, "SHIP", date("1994-04-01"), date("1994-03-20"), date("1994-03-10"), 20.0, 200.0],
+            [3, 102, "MAIL", date("1995-02-01"), date("1995-02-10"), date("1995-01-20"), 30.0, 300.0],
+            [3, 100, "RAIL", date("1995-03-01"), date("1995-03-15"), date("1995-02-20"), 40.0, 400.0],
+        ],
+    )
+
+
+def make_part() -> Table:
+    schema = Schema(
+        [
+            Column("p_partkey", DataType.INTEGER, nullable=False),
+            Column("p_brand", DataType.STRING, nullable=False),
+            Column("p_container", DataType.STRING, nullable=False),
+            Column("p_type", DataType.STRING, nullable=False),
+        ]
+    )
+    return Table.from_rows(
+        "part",
+        schema,
+        [
+            [100, "Brand#12", "SM BOX", "PROMO PLATED TIN"],
+            [101, "Brand#23", "LG CASE", "STANDARD BRUSHED STEEL"],
+            [102, "Brand#12", "SM BOX", "PROMO ANODIZED BRASS"],
+        ],
+    )
+
+
+def tiny_catalog() -> Catalog:
+    return Catalog([make_orders(), make_lineitem(), make_part()])

@@ -1,0 +1,255 @@
+"""Tests for the cloud federation substrate."""
+
+import pytest
+
+from repro.cloud import (
+    AMAZON_INSTANCES,
+    BillingPolicy,
+    CloudFederation,
+    CloudProvider,
+    Cluster,
+    MICROSOFT_INSTANCES,
+    NetworkModel,
+    PAPER_TABLE1_CATALOG,
+    PricingModel,
+    find_instance,
+    instance_catalog,
+)
+from repro.cloud.federation import paper_federation
+from repro.cloud.network import INTER_PROVIDER_LINK, LOCAL_LINK, LinkSpec
+from repro.common.errors import CloudError
+from repro.common.units import GIB, MIB
+
+
+class TestTable1Catalog:
+    """The catalog must reproduce the paper's Table 1 verbatim."""
+
+    def test_amazon_rows(self):
+        expected = [
+            ("a1.medium", 1, 2, 0.0049),
+            ("a1.large", 2, 4, 0.0098),
+            ("a1.xlarge", 4, 8, 0.0197),
+            ("a1.2xlarge", 8, 16, 0.0394),
+            ("a1.4xlarge", 16, 32, 0.0788),
+        ]
+        actual = [
+            (i.name, i.vcpus, i.memory_gib, i.price_per_hour) for i in AMAZON_INSTANCES
+        ]
+        assert actual == expected
+
+    def test_amazon_storage_is_ebs_only(self):
+        assert all(i.storage_description == "EBS-Only" for i in AMAZON_INSTANCES)
+
+    def test_microsoft_rows(self):
+        expected = [
+            ("B1S", 1, 1, 2, 0.011),
+            ("B1MS", 1, 2, 4, 0.021),
+            ("B2S", 2, 4, 8, 0.042),
+            ("B2MS", 2, 8, 16, 0.084),
+            ("B4MS", 4, 16, 32, 0.166),
+            ("B8MS", 8, 32, 64, 0.333),
+        ]
+        actual = [
+            (i.name, i.vcpus, i.memory_gib, i.storage_gib, i.price_per_hour)
+            for i in MICROSOFT_INSTANCES
+        ]
+        assert actual == expected
+
+    def test_paper_catalog_order(self):
+        assert len(PAPER_TABLE1_CATALOG) == 11
+        assert PAPER_TABLE1_CATALOG[0].provider is CloudProvider.AMAZON
+        assert PAPER_TABLE1_CATALOG[-1].provider is CloudProvider.MICROSOFT
+
+    def test_find_instance_case_insensitive(self):
+        assert find_instance(CloudProvider.MICROSOFT, "b2s").name == "B2S"
+
+    def test_find_instance_unknown(self):
+        with pytest.raises(CloudError):
+            find_instance(CloudProvider.AMAZON, "m5.large")
+
+    def test_google_catalog_exists_for_figure1(self):
+        assert len(instance_catalog(CloudProvider.GOOGLE)) >= 3
+
+    def test_amazon_cheaper_than_microsoft_at_same_shape(self):
+        # The paper's observation: Amazon instance prices are lower, but
+        # exclude storage.
+        a1_large = find_instance(CloudProvider.AMAZON, "a1.large")
+        b2s = find_instance(CloudProvider.MICROSOFT, "B2S")
+        assert a1_large.vcpus == b2s.vcpus
+        assert a1_large.price_per_hour < b2s.price_per_hour
+        assert not a1_large.includes_storage and b2s.includes_storage
+
+
+class TestCluster:
+    def make(self, count=3) -> Cluster:
+        return Cluster("site", find_instance(CloudProvider.AMAZON, "a1.xlarge"), count)
+
+    def test_totals(self):
+        cluster = self.make(3)
+        assert cluster.total_vcpus == 12
+        assert cluster.total_memory_gib == 24
+        assert cluster.price_per_hour == pytest.approx(3 * 0.0197)
+
+    def test_resized(self):
+        assert self.make(3).resized(5).node_count == 5
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(CloudError):
+            self.make(0)
+
+
+class TestPricing:
+    def test_per_second_billing(self):
+        pricing = PricingModel(billing=BillingPolicy.PER_SECOND, minimum_billed_seconds=0)
+        cluster = Cluster("s", find_instance(CloudProvider.AMAZON, "a1.medium"), 1)
+        assert pricing.compute_cost(cluster, 3600) == pytest.approx(0.0049)
+        assert pricing.compute_cost(cluster, 1800) == pytest.approx(0.0049 / 2)
+
+    def test_per_hour_billing_rounds_up(self):
+        pricing = PricingModel(billing=BillingPolicy.PER_HOUR)
+        cluster = Cluster("s", find_instance(CloudProvider.AMAZON, "a1.medium"), 1)
+        assert pricing.compute_cost(cluster, 10) == pytest.approx(0.0049)
+        assert pricing.compute_cost(cluster, 3601) == pytest.approx(0.0098)
+
+    def test_minimum_billed_seconds(self):
+        pricing = PricingModel(minimum_billed_seconds=60)
+        cluster = Cluster("s", find_instance(CloudProvider.AMAZON, "a1.medium"), 1)
+        assert pricing.compute_cost(cluster, 1) == pricing.compute_cost(cluster, 60)
+
+    def test_zero_duration_costs_nothing(self):
+        pricing = PricingModel()
+        cluster = Cluster("s", find_instance(CloudProvider.AMAZON, "a1.medium"), 1)
+        assert pricing.compute_cost(cluster, 0) == 0.0
+
+    def test_egress_inter_vs_intra(self):
+        pricing = PricingModel()
+        assert pricing.egress_cost(GIB, True) == pytest.approx(0.09)
+        assert pricing.egress_cost(GIB, False) == pytest.approx(0.01)
+
+    def test_storage_prorated(self):
+        pricing = PricingModel()
+        month_s = 30 * 24 * 3600
+        assert pricing.storage_cost(GIB, month_s) == pytest.approx(0.10)
+
+    def test_query_cost_combines(self):
+        pricing = PricingModel(minimum_billed_seconds=0)
+        cluster = Cluster("s", find_instance(CloudProvider.AMAZON, "a1.medium"), 1)
+        cost = pricing.query_cost([cluster], 3600, inter_cloud_bytes=GIB)
+        assert cost == pytest.approx(0.0049 + 0.09)
+
+
+class TestNetwork:
+    def test_local_link_is_fast(self):
+        model = NetworkModel()
+        assert model.link("a", "a").bandwidth_bytes_per_s == LOCAL_LINK.bandwidth_bytes_per_s
+
+    def test_unknown_pair_defaults_to_wan(self):
+        model = NetworkModel()
+        assert model.link("a", "b") == INTER_PROVIDER_LINK
+
+    def test_override(self):
+        model = NetworkModel()
+        custom = LinkSpec(10 * MIB, 0.5)
+        model.set_link("a", "b", custom)
+        assert model.link("a", "b") == custom
+
+    def test_transfer_time_zero_bytes(self):
+        assert LinkSpec(MIB, 0.1).transfer_time(0) == 0.0
+
+    def test_transfer_time_includes_rtt(self):
+        link = LinkSpec(MIB, 0.1)
+        assert link.transfer_time(MIB) == pytest.approx(1.1)
+
+
+class TestFederation:
+    def test_paper_federation_sites(self):
+        fed = paper_federation()
+        assert {s.name for s in fed.sites()} == {"cloud-a", "cloud-b", "cloud-c"}
+        assert fed.site("cloud-a").provider is CloudProvider.AMAZON
+        assert fed.site("cloud-b").provider is CloudProvider.MICROSOFT
+
+    def test_duplicate_site_rejected(self):
+        fed = CloudFederation()
+        fed.add_site("x", CloudProvider.AMAZON)
+        with pytest.raises(CloudError):
+            fed.add_site("x", CloudProvider.GOOGLE)
+
+    def test_unknown_site(self):
+        with pytest.raises(CloudError, match="unknown site"):
+            CloudFederation().site("nowhere")
+
+    def test_provision_uses_provider_catalog(self):
+        fed = paper_federation()
+        cluster = fed.provision("cloud-b", "B2MS", 4)
+        assert cluster.instance_type.provider is CloudProvider.MICROSOFT
+        assert cluster.node_count == 4
+
+    def test_provision_wrong_catalog_rejected(self):
+        fed = paper_federation()
+        with pytest.raises(CloudError):
+            fed.provision("cloud-b", "a1.medium", 1)  # Amazon type on Azure
+
+    def test_cross_provider_transfer_slower(self):
+        fed = paper_federation()
+        same = fed.transfer_time(100 * MIB, "cloud-a", "cloud-a")
+        cross = fed.transfer_time(100 * MIB, "cloud-a", "cloud-b")
+        assert cross > same
+
+    def test_crosses_provider(self):
+        fed = paper_federation()
+        assert fed.crosses_provider("cloud-a", "cloud-b")
+        assert not fed.crosses_provider("cloud-a", "cloud-a")
+
+
+class TestVariability:
+    def test_constant_load(self):
+        from repro.cloud import ConstantLoad
+
+        load = ConstantLoad(1.5)
+        assert load.factor(0) == load.factor(1000) == 1.5
+
+    def test_ar1_deterministic_under_seed(self):
+        from repro.cloud import Ar1LoadProcess
+        from repro.common.rng import RngStream
+
+        a = Ar1LoadProcess(RngStream(1, "load")).series(50)
+        b = Ar1LoadProcess(RngStream(1, "load")).series(50)
+        assert a == b
+
+    def test_ar1_positive_and_floored(self):
+        from repro.cloud import Ar1LoadProcess
+        from repro.common.rng import RngStream
+
+        load = Ar1LoadProcess(RngStream(2, "load"), sigma=0.5, floor=0.25)
+        assert all(f >= 0.25 for f in load.series(500))
+
+    def test_ar1_random_access_consistent(self):
+        from repro.cloud import Ar1LoadProcess
+        from repro.common.rng import RngStream
+
+        load = Ar1LoadProcess(RngStream(3, "load"))
+        later = load.factor(20)
+        assert load.factor(20) == later  # memoised, not redrawn
+
+    def test_diurnal_period(self):
+        from repro.cloud import DiurnalLoadProcess
+
+        load = DiurnalLoadProcess(period_ticks=100, amplitude=0.3)
+        assert load.factor(0) == pytest.approx(load.factor(100))
+        assert max(load.series(100)) <= 1.3 + 1e-9
+        assert min(load.series(100)) >= 0.7 - 1e-9
+
+    def test_regime_shift_piecewise_constant(self):
+        from repro.cloud import RegimeShiftProcess
+        from repro.common.rng import RngStream
+
+        load = RegimeShiftProcess(RngStream(4, "load"), mean_regime_length=50)
+        series = load.series(300)
+        changes = sum(1 for a, b in zip(series, series[1:]) if a != b)
+        assert 0 < changes < 60  # piecewise constant with a few shifts
+
+    def test_composite_multiplies(self):
+        from repro.cloud import CompositeLoadProcess, ConstantLoad
+
+        load = CompositeLoadProcess([ConstantLoad(2.0), ConstantLoad(0.5)])
+        assert load.factor(7) == pytest.approx(1.0)

@@ -1,0 +1,130 @@
+"""Tests for repro.common: rng streams, units, validation, table rendering."""
+
+import pytest
+
+from repro.common import (
+    GIB,
+    MIB,
+    RngStream,
+    ValidationError,
+    bytes_to_gib,
+    bytes_to_mib,
+    derive_seed,
+    gib,
+    mib,
+    render_table,
+    require,
+    require_in_range,
+    require_positive,
+    seconds_to_hours,
+    usd,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_differs_by_name(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_differs_by_master(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_is_not_concatenation(self):
+        # ("ab",) and ("a", "b") must not collide.
+        assert derive_seed(42, "ab") != derive_seed(42, "a", "b")
+
+    def test_accepts_ints(self):
+        assert derive_seed(42, 1, 2) == derive_seed(42, 1, 2)
+        assert derive_seed(42, 1, 2) != derive_seed(42, 12)
+
+
+class TestRngStream:
+    def test_same_path_same_draws(self):
+        a = RngStream(7, "x").uniform(size=5)
+        b = RngStream(7, "x").uniform(size=5)
+        assert list(a) == list(b)
+
+    def test_child_streams_independent(self):
+        parent = RngStream(7, "x")
+        child1 = parent.child("one")
+        child2 = parent.child("two")
+        assert list(child1.uniform(size=3)) != list(child2.uniform(size=3))
+
+    def test_child_derivation_stable(self):
+        a = RngStream(7, "x").child("y").uniform()
+        b = RngStream(7, "x").child("y").uniform()
+        assert a == b
+
+    def test_integers_bounds(self):
+        stream = RngStream(7, "ints")
+        values = stream.integers(3, 9, size=200)
+        assert all(3 <= v < 9 for v in values)
+
+    def test_choice_without_replacement(self):
+        stream = RngStream(7, "choice")
+        picked = stream.choice(10, size=10, replace=False)
+        assert sorted(int(i) for i in picked) == list(range(10))
+
+
+class TestUnits:
+    def test_mib_round_trip(self):
+        assert bytes_to_mib(mib(100)) == pytest.approx(100)
+
+    def test_gib_round_trip(self):
+        assert bytes_to_gib(gib(2)) == pytest.approx(2)
+
+    def test_gib_is_1024_mib(self):
+        assert GIB == 1024 * MIB
+
+    def test_seconds_to_hours(self):
+        assert seconds_to_hours(7200) == pytest.approx(2.0)
+
+    def test_usd_small_amounts_four_decimals(self):
+        assert usd(0.0049) == "$0.0049"
+
+    def test_usd_large_amounts_two_decimals(self):
+        assert usd(12.5) == "$12.50"
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never raised")
+
+    def test_require_raises(self):
+        with pytest.raises(ValidationError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive_returns_value(self):
+        assert require_positive(3.5, "x") == 3.5
+
+    def test_require_positive_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            require_positive(0, "x")
+
+    def test_require_in_range(self):
+        assert require_in_range(0.5, 0.0, 1.0, "r") == 0.5
+        with pytest.raises(ValidationError):
+            require_in_range(1.5, 0.0, 1.0, "r")
+
+
+class TestRenderTable:
+    def test_renders_headers_and_rows(self):
+        out = render_table(["name", "value"], [["a", 1], ["bb", 2]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "a" in lines[2]
+        assert "bb" in lines[3]
+
+    def test_floats_three_decimals(self):
+        out = render_table(["v"], [[0.12345]])
+        assert "0.123" in out
+
+    def test_title_line(self):
+        out = render_table(["v"], [[1]], title="Table 9")
+        assert out.splitlines()[0] == "Table 9"
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])

@@ -1,0 +1,253 @@
+"""Tests for DREAM (Algorithm 1), the BML baseline and the history store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import EstimationError
+from repro.common.rng import RngStream
+from repro.core import DreamEstimator, ExecutionHistory, MultiCostModel
+from repro.ml import (
+    BestModelSelector,
+    Dataset,
+    MultipleLinearRegression,
+    ObservationWindow,
+    minimum_observations,
+)
+from repro.ml.selection import PAPER_WINDOWS
+
+
+def drifting_history(
+    n=80, dimension=2, drift_at=60, slope_shift=4.0, noise=0.05, seed=11
+) -> Dataset:
+    """Linear data whose coefficients change at ``drift_at`` (regime shift)."""
+    rng = RngStream(seed, "drift")
+    X = rng.uniform(1, 10, size=(n, dimension))
+    y = np.empty(n)
+    for i in range(n):
+        slope = 2.0 if i < drift_at else 2.0 + slope_shift
+        y[i] = 5.0 + slope * X[i].sum() + float(rng.normal(0, noise))
+    names = tuple(f"x{j}" for j in range(dimension))
+    return Dataset(X, y, names)
+
+
+class TestHistory:
+    def make(self) -> ExecutionHistory:
+        return ExecutionHistory(("size_a", "size_b"), ("time", "money"))
+
+    def test_append_and_dataset(self):
+        history = self.make()
+        history.append(0, {"size_a": 1.0, "size_b": 2.0}, {"time": 10.0, "money": 0.1})
+        history.append(1, {"size_a": 2.0, "size_b": 3.0}, {"time": 20.0, "money": 0.2})
+        data = history.dataset("time")
+        assert data.size == 2
+        assert list(data.targets) == [10.0, 20.0]
+        assert data.feature_names == ("size_a", "size_b")
+
+    def test_missing_feature_rejected(self):
+        history = self.make()
+        with pytest.raises(EstimationError, match="missing features"):
+            history.append(0, {"size_a": 1.0}, {"time": 1.0, "money": 1.0})
+
+    def test_missing_metric_rejected(self):
+        history = self.make()
+        with pytest.raises(EstimationError, match="missing metrics"):
+            history.append(0, {"size_a": 1.0, "size_b": 1.0}, {"time": 1.0})
+
+    def test_ticks_must_not_decrease(self):
+        history = self.make()
+        history.append(5, {"size_a": 1.0, "size_b": 1.0}, {"time": 1.0, "money": 1.0})
+        with pytest.raises(EstimationError, match="non-decreasing"):
+            history.append(4, {"size_a": 1.0, "size_b": 1.0}, {"time": 1.0, "money": 1.0})
+
+    def test_unknown_metric_dataset(self):
+        with pytest.raises(EstimationError, match="unknown metric"):
+            self.make().dataset("energy")
+
+    def test_datasets_share_features(self):
+        history = self.make()
+        for t in range(3):
+            history.append(t, {"size_a": t, "size_b": t}, {"time": t, "money": t})
+        views = history.datasets()
+        assert np.array_equal(views["time"].features, views["money"].features)
+
+
+class TestDream:
+    def test_stops_at_minimum_when_fresh_window_fits(self):
+        """Clean linear data: R^2 = 1 at m = L + 2 already."""
+        data = drifting_history(n=50, drift_at=50, noise=0.0)  # no drift, no noise
+        result = DreamEstimator(r2_required=0.8).fit({"time": data})
+        assert result.window_size == minimum_observations(2)
+        assert result.converged
+        assert result.r_squared["time"] >= 0.99
+
+    def test_grows_until_mmax_on_pure_noise(self):
+        rng = RngStream(3, "purenoise")
+        data = Dataset(
+            rng.uniform(0, 1, size=(30, 2)), rng.uniform(0, 1, size=30), ("a", "b")
+        )
+        result = DreamEstimator(r2_required=0.999, max_window=12).fit({"time": data})
+        assert result.window_size == 12
+        assert not result.converged
+
+    def test_window_never_exceeds_history(self):
+        data = drifting_history(n=10, noise=5.0)
+        result = DreamEstimator(r2_required=0.9999).fit({"time": data})
+        assert result.window_size <= 10
+
+    def test_multi_metric_uses_worst_r2(self):
+        """The window grows until EVERY metric clears the bar.
+
+        The second metric is unfittable by construction: feature rows are
+        duplicated with wildly different targets, so no linear model of
+        any window size can explain it.
+        """
+        clean = drifting_history(n=40, drift_at=40, noise=0.0, seed=1)
+        features = np.repeat(clean.features[:20], 2, axis=0)
+        conflicting = np.tile([0.0, 100.0], 20)
+        unfittable = Dataset(features, conflicting, clean.feature_names)
+        clean_features_shared = Dataset(features, features.sum(axis=1), clean.feature_names)
+        alone = DreamEstimator(r2_required=0.8, max_window=20).fit(
+            {"time": clean_features_shared}
+        )
+        paired = DreamEstimator(r2_required=0.8, max_window=20).fit(
+            {"time": clean_features_shared, "money": unfittable}
+        )
+        assert alone.converged
+        assert paired.window_size >= alone.window_size
+        assert not paired.converged
+        assert paired.window_size == 20  # grew all the way to Mmax
+
+    def test_per_metric_thresholds(self):
+        data = drifting_history(n=40, drift_at=40, noise=0.0)
+        estimator = DreamEstimator(r2_required={"time": 0.8})
+        assert estimator.fit({"time": data}).converged
+        with pytest.raises(EstimationError, match="no R\\^2 requirement"):
+            DreamEstimator(r2_required={"money": 0.8}).fit({"time": data})
+
+    def test_requires_l_plus_2_observations(self):
+        data = drifting_history(n=3)
+        with pytest.raises(EstimationError, match="L \\+ 2"):
+            DreamEstimator().fit({"time": data})
+
+    def test_mismatched_datasets_rejected(self):
+        a = drifting_history(n=20)
+        b = drifting_history(n=10)
+        with pytest.raises(EstimationError, match="share"):
+            DreamEstimator().fit({"time": a, "money": b})
+
+    def test_threshold_validation(self):
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            DreamEstimator(r2_required=1.5)
+        with pytest.raises(ValidationError):
+            DreamEstimator(r2_required={"time": -0.1})
+
+    def test_predict_returns_all_metrics(self):
+        data = drifting_history(n=30, drift_at=30, noise=0.0)
+        result = DreamEstimator().fit({"time": data, "money": data})
+        prediction = result.predict(np.array([5.0, 5.0]))
+        assert set(prediction) == {"time", "money"}
+
+    def test_estimate_cost_values_one_shot(self):
+        data = drifting_history(n=30, drift_at=30, noise=0.0)
+        values = DreamEstimator().estimate_cost_values({"time": data}, np.array([2.0, 2.0]))
+        # True function: 5 + 2 * (x1 + x2) = 13.  x = (2, 2) sits below
+        # the training window's feature range, so allow a wider band.
+        assert values["time"] == pytest.approx(13.0, rel=0.10)
+
+    def test_adapts_after_regime_shift(self):
+        """Post-drift, DREAM's fresh window beats the full-history model."""
+        data = drifting_history(n=100, drift_at=70, slope_shift=5.0, noise=0.1)
+        x_new = np.array([5.0, 5.0])
+        true_value = 5.0 + 7.0 * x_new.sum()  # post-drift slope = 2 + 5
+        dream = DreamEstimator(r2_required=0.8).fit({"time": data})
+        full = MultipleLinearRegression().fit(data.features, data.targets)
+        dream_error = abs(dream.predict(x_new)["time"] - true_value)
+        full_error = abs(full.predict_one(x_new) - true_value)
+        assert dream_error < full_error
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_window_bounds_invariant(self, seed):
+        data = drifting_history(n=30, noise=1.0, seed=seed)
+        result = DreamEstimator(r2_required=0.9).fit({"time": data})
+        assert minimum_observations(2) <= result.window_size <= 30
+        assert all(r <= 1.0 + 1e-9 for r in result.r_squared.values())
+
+
+class TestBestModelSelector:
+    def test_picks_linear_on_linear_data(self):
+        data = drifting_history(n=40, drift_at=40, noise=0.0)
+        selector = BestModelSelector()
+        best = selector.fit(data)
+        assert best.name == "least-squares"
+        assert selector.best_name == "least-squares"
+
+    def test_training_errors_recorded_for_all(self):
+        data = drifting_history(n=30)
+        selector = BestModelSelector()
+        selector.fit(data)
+        assert set(selector.training_errors_) == {
+            "least-squares",
+            "bagging",
+            "multilayer-perceptron",
+        }
+
+    def test_windows_label(self):
+        labels = [w.label() for w in PAPER_WINDOWS]
+        assert labels == ["BML_N", "BML_2N", "BML_3N", "BML"]
+
+    def test_window_sizes(self):
+        assert ObservationWindow(1).size(4) == 6
+        assert ObservationWindow(3).size(4) == 18
+        assert ObservationWindow(None).size(4) is None
+
+    def test_window_apply(self):
+        data = drifting_history(n=50)
+        assert ObservationWindow(1).apply(data).size == minimum_observations(2)
+        assert ObservationWindow(None).apply(data).size == 50
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(EstimationError):
+            BestModelSelector(pool=[])
+
+    def test_empty_dataset_rejected(self):
+        empty = Dataset(np.zeros((0, 2)), np.zeros(0), ("a", "b"))
+        with pytest.raises(EstimationError):
+            BestModelSelector().fit(empty)
+
+
+class TestMultiCostModel:
+    def make(self) -> MultiCostModel:
+        data = drifting_history(n=30, drift_at=30, noise=0.0)
+        model = MultipleLinearRegression().fit(data.features, data.targets)
+        return MultiCostModel({"time": model}, data.feature_names)
+
+    def test_predict_vector_order(self):
+        data = drifting_history(n=30, drift_at=30, noise=0.0)
+        time_model = MultipleLinearRegression().fit(data.features, data.targets)
+        money_model = MultipleLinearRegression().fit(data.features, data.targets * 0.1)
+        multi = MultiCostModel(
+            {"time": time_model, "money": money_model}, data.feature_names
+        )
+        vector = multi.predict_vector(np.array([5.0, 5.0]), ("money", "time"))
+        assert vector[1] == pytest.approx(10 * vector[0], rel=1e-6)
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(EstimationError, match="not fitted"):
+            MultiCostModel({"time": MultipleLinearRegression()}, ("a",))
+
+    def test_wrong_feature_count(self):
+        multi = self.make()
+        with pytest.raises(EstimationError, match="expected 2 features"):
+            multi.predict(np.array([1.0]))
+
+    def test_features_dict_to_vector(self):
+        multi = self.make()
+        vector = multi.features_dict_to_vector({"x0": 1.0, "x1": 2.0})
+        assert list(vector) == [1.0, 2.0]
+        with pytest.raises(EstimationError, match="missing feature"):
+            multi.features_dict_to_vector({"x0": 1.0})

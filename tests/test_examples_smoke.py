@@ -1,0 +1,59 @@
+"""Smoke tests: the runnable examples must execute end to end.
+
+The two heaviest examples (full medical federation walk, reduced Table
+3) are exercised by their underlying experiment tests elsewhere; here we
+run the fast ones completely and import-check the rest, so a broken
+public API surfaces in CI rather than in a user's terminal.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "medical_federation.py",
+    "tpch_federation_mre.py",
+    "dream_window_adaptation.py",
+    "pareto_regions.py",
+]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_has_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None)), name
+
+
+class TestFastExamplesRun:
+    def test_dream_window_adaptation(self, capsys):
+        load_example("dream_window_adaptation.py").main()
+        out = capsys.readouterr().out
+        assert "regime shift" in out
+        assert "MRE" in out
+
+    def test_pareto_regions(self, capsys):
+        load_example("pareto_regions.py").main()
+        out = capsys.readouterr().out
+        assert "PaReg" in out
+        assert "StriDom" in out
+
+    def test_quickstart(self, capsys):
+        load_example("quickstart.py").main()
+        out = capsys.readouterr().out
+        assert "Chosen QEP" in out
+        assert "Pareto set" in out

@@ -1,0 +1,231 @@
+"""Tests for expression evaluation: SQL three-valued logic, dates, LIKE."""
+
+import datetime
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.relational.expressions import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    BoundColumn,
+    CaseWhen,
+    ColumnRef,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+    collect_aggregates,
+    contains_aggregate,
+    evaluate,
+    infer_dtype,
+    like_regex,
+    transform,
+    walk,
+)
+from repro.relational.types import DataType, Interval
+
+
+def col(i: int, dtype=DataType.INTEGER) -> BoundColumn:
+    return BoundColumn(i, dtype)
+
+
+def lit(v) -> Literal:
+    return Literal(v)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        row = (6, 3)
+        assert evaluate(BinaryOp("+", col(0), col(1)), row) == 9
+        assert evaluate(BinaryOp("-", col(0), col(1)), row) == 3
+        assert evaluate(BinaryOp("*", col(0), col(1)), row) == 18
+        assert evaluate(BinaryOp("/", col(0), col(1)), row) == 2.0
+
+    def test_null_propagates(self):
+        row = (None, 3)
+        for op in "+-*/":
+            assert evaluate(BinaryOp(op, col(0), col(1)), row) is None
+
+    def test_division_by_zero_is_null(self):
+        assert evaluate(BinaryOp("/", lit(1), lit(0)), ()) is None
+
+    def test_unary_minus(self):
+        assert evaluate(UnaryOp("-", lit(5)), ()) == -5
+        assert evaluate(UnaryOp("-", lit(None)), ()) is None
+
+
+class TestDateArithmetic:
+    def test_date_plus_interval(self):
+        expr = BinaryOp("+", lit(datetime.date(1994, 1, 1)), lit(Interval(years=1)))
+        assert evaluate(expr, ()) == datetime.date(1995, 1, 1)
+
+    def test_date_minus_interval(self):
+        expr = BinaryOp("-", lit(datetime.date(1994, 3, 1)), lit(Interval(months=2)))
+        assert evaluate(expr, ()) == datetime.date(1994, 1, 1)
+
+    def test_date_difference_in_days(self):
+        expr = BinaryOp("-", lit(datetime.date(1994, 1, 10)), lit(datetime.date(1994, 1, 1)))
+        assert evaluate(expr, ()) == 9
+
+    def test_date_comparison(self):
+        expr = BinaryOp("<", lit(datetime.date(1994, 1, 1)), lit(datetime.date(1995, 1, 1)))
+        assert evaluate(expr, ()) is True
+
+
+class TestThreeValuedLogic:
+    def test_comparison_with_null_is_null(self):
+        assert evaluate(BinaryOp("=", lit(None), lit(1)), ()) is None
+        assert evaluate(BinaryOp("<", lit(1), lit(None)), ()) is None
+
+    def test_and_kleene(self):
+        T, F, N = lit(True), lit(False), lit(None)
+        assert evaluate(BinaryOp("AND", T, N), ()) is None
+        assert evaluate(BinaryOp("AND", F, N), ()) is False
+        assert evaluate(BinaryOp("AND", N, F), ()) is False
+        assert evaluate(BinaryOp("AND", T, T), ()) is True
+
+    def test_or_kleene(self):
+        T, F, N = lit(True), lit(False), lit(None)
+        assert evaluate(BinaryOp("OR", T, N), ()) is True
+        assert evaluate(BinaryOp("OR", N, T), ()) is True
+        assert evaluate(BinaryOp("OR", F, N), ()) is None
+        assert evaluate(BinaryOp("OR", F, F), ()) is False
+
+    def test_not_null_is_null(self):
+        assert evaluate(UnaryOp("NOT", lit(None)), ()) is None
+        assert evaluate(UnaryOp("NOT", lit(True)), ()) is False
+
+
+class TestPredicates:
+    def test_like_percent(self):
+        expr = Like(lit("special urgent requests"), "%special%requests%")
+        assert evaluate(expr, ()) is True
+
+    def test_like_underscore(self):
+        assert evaluate(Like(lit("cat"), "c_t"), ()) is True
+        assert evaluate(Like(lit("cart"), "c_t"), ()) is False
+
+    def test_like_escapes_regex_chars(self):
+        assert evaluate(Like(lit("a.c"), "a.c"), ()) is True
+        assert evaluate(Like(lit("abc"), "a.c"), ()) is False
+
+    def test_like_null_operand(self):
+        assert evaluate(Like(lit(None), "%x%"), ()) is None
+
+    def test_not_like(self):
+        assert evaluate(Like(lit("plain"), "%special%", negated=True), ()) is True
+
+    def test_like_regex_cached(self):
+        assert like_regex("%abc%") is like_regex("%abc%")
+
+    def test_in_list(self):
+        expr = InList(col(0, DataType.STRING), (lit("MAIL"), lit("SHIP")))
+        assert evaluate(expr, ("MAIL",)) is True
+        assert evaluate(expr, ("AIR",)) is False
+
+    def test_in_list_null_semantics(self):
+        # value NOT in list but list contains NULL -> NULL
+        expr = InList(lit(1), (lit(2), lit(None)))
+        assert evaluate(expr, ()) is None
+        # value present -> TRUE even with NULLs around
+        expr2 = InList(lit(2), (lit(2), lit(None)))
+        assert evaluate(expr2, ()) is True
+
+    def test_not_in_with_match(self):
+        expr = InList(lit(2), (lit(2), lit(3)), negated=True)
+        assert evaluate(expr, ()) is False
+
+    def test_between_inclusive(self):
+        assert evaluate(Between(lit(5), lit(5), lit(10)), ()) is True
+        assert evaluate(Between(lit(10), lit(5), lit(10)), ()) is True
+        assert evaluate(Between(lit(11), lit(5), lit(10)), ()) is False
+
+    def test_between_null(self):
+        assert evaluate(Between(lit(None), lit(1), lit(2)), ()) is None
+
+    def test_is_null(self):
+        assert evaluate(IsNull(lit(None)), ()) is True
+        assert evaluate(IsNull(lit(1)), ()) is False
+        assert evaluate(IsNull(lit(None), negated=True), ()) is False
+
+
+class TestCase:
+    def test_first_matching_branch(self):
+        expr = CaseWhen(
+            (
+                (BinaryOp("<", col(0), lit(5)), lit("small")),
+                (BinaryOp("<", col(0), lit(50)), lit("medium")),
+            ),
+            lit("large"),
+        )
+        assert evaluate(expr, (1,)) == "small"
+        assert evaluate(expr, (10,)) == "medium"
+        assert evaluate(expr, (100,)) == "large"
+
+    def test_no_else_yields_null(self):
+        expr = CaseWhen(((lit(False), lit(1)),))
+        assert evaluate(expr, ()) is None
+
+    def test_null_condition_skips_branch(self):
+        expr = CaseWhen(((lit(None), lit(1)),), lit(2))
+        assert evaluate(expr, ()) == 2
+
+
+class TestErrorsAndTraversal:
+    def test_unbound_column_raises(self):
+        with pytest.raises(PlanError, match="unbound"):
+            evaluate(ColumnRef("x"), ())
+
+    def test_aggregate_in_row_context_raises(self):
+        with pytest.raises(PlanError, match="aggregate"):
+            evaluate(AggregateCall("sum", col(0)), (1,))
+
+    def test_walk_covers_children(self):
+        expr = BinaryOp("+", col(0), BinaryOp("*", col(1), lit(2)))
+        kinds = [type(n).__name__ for n in walk(expr)]
+        assert kinds.count("BinaryOp") == 2
+        assert kinds.count("BoundColumn") == 2
+
+    def test_contains_and_collect_aggregates(self):
+        expr = BinaryOp("/", AggregateCall("sum", col(0)), AggregateCall("count", None))
+        assert contains_aggregate(expr)
+        assert len(collect_aggregates(expr)) == 2
+
+    def test_transform_replaces_nodes(self):
+        expr = BinaryOp("+", col(0), col(1))
+        shifted = transform(
+            expr,
+            lambda e: BoundColumn(e.index + 10, e.dtype) if isinstance(e, BoundColumn) else None,
+        )
+        assert evaluate(shifted, tuple(range(20))) == 10 + 11
+
+
+class TestTypeInference:
+    def test_comparison_is_boolean(self):
+        assert infer_dtype(BinaryOp("<", lit(1), lit(2))) is DataType.BOOLEAN
+
+    def test_division_is_float(self):
+        assert infer_dtype(BinaryOp("/", lit(1), lit(2))) is DataType.FLOAT
+
+    def test_mixed_arith_promotes_to_float(self):
+        assert infer_dtype(BinaryOp("+", lit(1), lit(2.0))) is DataType.FLOAT
+
+    def test_case_mixed_numeric(self):
+        expr = CaseWhen(((lit(True), lit(1)),), lit(2.0))
+        assert infer_dtype(expr) is DataType.FLOAT
+
+    def test_count_is_integer(self):
+        assert infer_dtype(AggregateCall("count", None)) is DataType.INTEGER
+
+    def test_avg_is_float(self):
+        assert infer_dtype(AggregateCall("avg", col(0))) is DataType.FLOAT
+
+    def test_sum_keeps_arg_type(self):
+        assert infer_dtype(AggregateCall("sum", col(0, DataType.FLOAT))) is DataType.FLOAT
+
+    def test_date_plus_interval_is_date(self):
+        expr = BinaryOp("+", lit(datetime.date(2000, 1, 1)), lit(Interval(days=1)))
+        assert infer_dtype(expr) is DataType.DATE

@@ -1,0 +1,90 @@
+"""Tests for ML metrics (paper Eq. 11, 14, 15) with hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import EstimationError
+from repro.ml import (
+    mean_absolute_error,
+    mean_relative_error,
+    r_squared,
+    root_mean_squared_error,
+    sum_squared_errors,
+    total_sum_of_squares,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestBasics:
+    def test_sse(self):
+        assert sum_squared_errors([1, 2], [2, 4]) == pytest.approx(1 + 4)
+
+    def test_sst(self):
+        assert total_sum_of_squares([1, 3]) == pytest.approx(2.0)
+
+    def test_r_squared_perfect(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_r_squared_mean_predictor_is_zero(self):
+        actual = [1.0, 2.0, 3.0]
+        mean = [2.0, 2.0, 2.0]
+        assert r_squared(actual, mean) == pytest.approx(0.0)
+
+    def test_r_squared_constant_target(self):
+        assert r_squared([2, 2], [2, 2]) == 1.0
+        assert r_squared([2, 2], [3, 3]) == 0.0
+
+    def test_mre_paper_equation(self):
+        # (|4-5|/5 + |9-10|/10) / 2 = (0.2 + 0.1) / 2
+        assert mean_relative_error([5, 10], [4, 9]) == pytest.approx(0.15)
+
+    def test_mre_rejects_nonpositive_actuals(self):
+        with pytest.raises(EstimationError):
+            mean_relative_error([0.0], [1.0])
+
+    def test_mae_rmse(self):
+        assert mean_absolute_error([1, 2], [2, 4]) == pytest.approx(1.5)
+        assert root_mean_squared_error([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            sum_squared_errors([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            r_squared([], [])
+
+
+class TestProperties:
+    @given(st.lists(finite, min_size=2, max_size=30))
+    def test_r_squared_never_exceeds_one(self, values):
+        predicted = [v + 0.5 for v in values]
+        assert r_squared(values, predicted) <= 1.0 + 1e-12
+
+    @given(st.lists(positive, min_size=1, max_size=30))
+    def test_mre_zero_for_exact_predictions(self, values):
+        assert mean_relative_error(values, values) == 0.0
+
+    @given(st.lists(finite, min_size=1, max_size=30))
+    def test_sse_nonnegative(self, values):
+        noisy = [v + 1 for v in values]
+        assert sum_squared_errors(values, noisy) >= 0.0
+
+    @given(
+        st.lists(positive, min_size=1, max_size=20),
+        st.floats(min_value=1.01, max_value=3.0),
+    )
+    def test_mre_scales_with_multiplicative_error(self, values, factor):
+        predicted = [v * factor for v in values]
+        assert mean_relative_error(values, predicted) == pytest.approx(factor - 1.0)
+
+    @given(st.lists(finite, min_size=2, max_size=30), finite)
+    def test_sst_translation_invariant(self, values, shift):
+        shifted = [v + shift for v in values]
+        assert total_sum_of_squares(shifted) == pytest.approx(
+            total_sum_of_squares(values), rel=1e-6, abs=1e-6
+        )

@@ -1,0 +1,76 @@
+"""Tests for the MOEA/D extension optimizer."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.moqp.moead import Moead, MoeadConfig, tchebycheff
+from repro.moqp.pareto import hypervolume_2d, pareto_front_indices
+from repro.moqp.problem import EnumeratedProblem
+from repro.moqp.wsm import normalise_objectives
+
+from tests.test_moqp import concave_problem
+
+
+class TestTchebycheff:
+    def test_at_ideal_is_zero(self):
+        assert tchebycheff((1.0, 2.0), (0.5, 0.5), [1.0, 2.0]) == 0.0
+
+    def test_max_weighted_distance(self):
+        value = tchebycheff((3.0, 2.0), (1.0, 1.0), [0.0, 0.0])
+        assert value == pytest.approx(3.0)
+
+    def test_zero_weight_floored(self):
+        value = tchebycheff((3.0, 2.0), (0.0, 1.0), [0.0, 0.0])
+        assert value > 0
+
+
+class TestMoead:
+    def test_returns_nondominated(self):
+        front = Moead(MoeadConfig(seed=3)).optimise(concave_problem())
+        objectives = [c.objectives for c in front]
+        assert pareto_front_indices(objectives) == list(range(len(objectives)))
+
+    def test_deterministic_under_seed(self):
+        a = Moead(MoeadConfig(seed=5)).optimise(concave_problem())
+        b = Moead(MoeadConfig(seed=5)).optimise(concave_problem())
+        assert [c.objectives for c in a] == [c.objectives for c in b]
+
+    def test_covers_front_hypervolume(self):
+        problem = concave_problem()
+        exact = problem.evaluate_all()
+        vectors = [c.objectives for c in exact]
+        normalised = normalise_objectives(vectors)
+        reference = (1.1, 1.1)
+        exact_hv = hypervolume_2d(
+            [normalised[i] for i in pareto_front_indices(vectors)], reference
+        )
+        front = Moead(MoeadConfig(subproblems=40, generations=40, seed=3)).optimise(
+            concave_problem()
+        )
+        index = {c.payload: i for i, c in enumerate(exact)}
+        approx_hv = hypervolume_2d(
+            [normalised[index[c.payload]] for c in front], reference
+        )
+        assert approx_hv >= 0.80 * exact_hv
+
+    def test_spreads_along_front(self):
+        front = Moead(MoeadConfig(subproblems=40, generations=40, seed=3)).optimise(
+            concave_problem()
+        )
+        # Decomposition should find both extremes of the front region.
+        xs = [c.objectives[0] for c in front]
+        assert max(xs) - min(xs) > 0.4
+
+    def test_rejects_three_objectives(self):
+        problem = EnumeratedProblem([0, 1, 2], lambda i: (i, i, i), 3)
+        with pytest.raises(ValidationError, match="biobjective"):
+            Moead().optimise(problem)
+
+    def test_rejects_tiny_config(self):
+        with pytest.raises(ValidationError):
+            Moead(MoeadConfig(subproblems=1))
+
+    def test_small_problem(self):
+        problem = EnumeratedProblem([0, 1], lambda i: (float(i), 1.0 - i), 2)
+        front = Moead(MoeadConfig(subproblems=5, generations=5)).optimise(problem)
+        assert 1 <= len(front) <= 2

@@ -1,0 +1,363 @@
+"""Tests for the MOQP substrate: dominance, Pareto, NSGA-II/G, WSM, Alg. 2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ValidationError
+from repro.common.rng import RngStream
+from repro.moqp import (
+    Candidate,
+    EnumeratedProblem,
+    Nsga2,
+    Nsga2Config,
+    NsgaG,
+    NsgaGConfig,
+    WeightedSumModel,
+    best_in_pareto,
+    dominance_region,
+    dominates,
+    hypervolume_2d,
+    normalise_objectives,
+    pareto_front,
+    pareto_front_indices,
+    pareto_region,
+    strict_dominance_region,
+    strictly_dominates,
+)
+from repro.moqp.dominance import pareto_dominates
+from repro.moqp.nsga2 import crowding_distance, fast_non_dominated_sort
+from repro.moqp.pareto import spread_2d
+from repro.moqp.scalar_ga import ScalarGaConfig, ScalarGeneticOptimizer
+
+vectors2 = st.tuples(
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+
+
+class TestDominance:
+    def test_dominates_equal_vectors(self):
+        assert dominates((1, 2), (1, 2))
+        assert not strictly_dominates((1, 2), (1, 2))
+
+    def test_strict_implies_weak(self):
+        assert strictly_dominates((1, 1), (2, 2))
+        assert dominates((1, 1), (2, 2))
+
+    def test_incomparable(self):
+        assert not dominates((1, 3), (2, 2))
+        assert not dominates((2, 2), (1, 3))
+
+    def test_pareto_dominates_needs_strict_somewhere(self):
+        assert pareto_dominates((1, 2), (1, 3))
+        assert not pareto_dominates((1, 2), (1, 2))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            dominates((1,), (1, 2))
+
+    def test_empty_vectors_rejected(self):
+        with pytest.raises(ValidationError):
+            dominates((), ())
+
+    @given(vectors2, vectors2, vectors2)
+    def test_transitivity(self, a, b, c):
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+    @given(vectors2, vectors2)
+    def test_strict_antisymmetry(self, a, b):
+        if strictly_dominates(a, b):
+            assert not strictly_dominates(b, a)
+
+
+class TestParametricRegions:
+    """The paper's Dom / StriDom / PaReg over a sampled parameter space."""
+
+    @staticmethod
+    def cost(plan, x):
+        # plan is (slope, intercept); costs = (time, money) linear in x.
+        slope, intercept = plan
+        return (slope * x + intercept, (2 - slope) * x + intercept)
+
+    def test_dominance_region_partitions(self):
+        samples = [i / 10 for i in range(11)]
+        plan_a, plan_b = (1.0, 0.0), (1.0, 1.0)  # b = a + 1 everywhere
+        assert dominance_region(plan_a, plan_b, samples, self.cost) == samples
+        assert strict_dominance_region(plan_a, plan_b, samples, self.cost) == samples
+        assert dominance_region(plan_b, plan_a, samples, self.cost) == []
+
+    def test_pareto_region_excludes_beaten_samples(self):
+        samples = [0.0, 0.5, 1.0]
+        good = (1.0, 0.0)
+        bad = (1.0, 5.0)
+        region = pareto_region(bad, [good, bad], samples, self.cost)
+        assert region == []
+        assert pareto_region(good, [good, bad], samples, self.cost) == samples
+
+    def test_incomparable_plans_share_pareto_region(self):
+        # One plan cheap on time, the other cheap on money: neither is
+        # strictly dominated anywhere.
+        samples = [0.1 * i for i in range(1, 11)]
+        fast = (0.5, 0.0)
+        cheap = (1.5, 0.0)
+        assert pareto_region(fast, [fast, cheap], samples, self.cost) == samples
+        assert pareto_region(cheap, [fast, cheap], samples, self.cost) == samples
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = [(1, 5), (2, 4), (3, 3), (2, 6), (5, 5)]
+        front = pareto_front(points)
+        assert (1, 5) in front and (2, 4) in front and (3, 3) in front
+        assert (2, 6) not in front and (5, 5) not in front
+
+    def test_duplicates_kept(self):
+        points = [(1, 1), (1, 1), (2, 2)]
+        assert len(pareto_front_indices(points)) == 2
+
+    def test_single_point(self):
+        assert pareto_front_indices([(3, 3)]) == [0]
+
+    @given(st.lists(vectors2, min_size=1, max_size=40))
+    def test_front_members_mutually_incomparable(self, points):
+        front = pareto_front(points)
+        for i, a in enumerate(front):
+            for j, b in enumerate(front):
+                if i != j:
+                    assert not pareto_dominates(a, b)
+
+    @given(st.lists(vectors2, min_size=1, max_size=40))
+    def test_every_point_dominated_by_front_or_on_it(self, points):
+        front = pareto_front(points)
+        for point in points:
+            covered = point in front or any(
+                pareto_dominates(f, point) for f in front
+            )
+            assert covered
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d([(1, 1)], (2, 2)) == pytest.approx(1.0)
+
+    def test_staircase(self):
+        points = [(0, 2), (1, 1), (2, 0)]
+        # Reference (3,3): union of rectangles = 3+2+2 = 7? Compute: sorted
+        # fronts sweep: (0,2): (3-0)*(3-2)=3; (1,1): (3-1)*(2-1)=2; (2,0):
+        # (3-2)*(1-0)=1 -> total 6.
+        assert hypervolume_2d(points, (3, 3)) == pytest.approx(6.0)
+
+    def test_points_outside_reference_ignored(self):
+        assert hypervolume_2d([(5, 5)], (2, 2)) == 0.0
+
+    def test_dominated_points_do_not_add(self):
+        base = hypervolume_2d([(1, 1)], (3, 3))
+        with_dominated = hypervolume_2d([(1, 1), (2, 2)], (3, 3))
+        assert with_dominated == pytest.approx(base)
+
+    def test_monotone_in_points(self):
+        small = hypervolume_2d([(1, 2)], (3, 3))
+        more = hypervolume_2d([(1, 2), (2, 0.5)], (3, 3))
+        assert more >= small
+
+    def test_bad_reference(self):
+        with pytest.raises(ValidationError):
+            hypervolume_2d([(1, 1)], (1, 1, 1))
+
+    def test_spread(self):
+        assert spread_2d([(0, 0), (2, 3)]) == pytest.approx(5.0)
+        assert spread_2d([]) == 0.0
+
+
+def concave_problem(size: int = 200) -> EnumeratedProblem:
+    """A discrete biobjective problem with a concave-ish front."""
+
+    def evaluate(i: int):
+        x = i / (size - 1)
+        return (x, (1 - x**0.5) ** 2 + 0.002 * ((i * 7919) % 13))
+
+    return EnumeratedProblem(list(range(size)), evaluate, 2)
+
+
+class TestFastNonDominatedSort:
+    def test_layers(self):
+        objectives = [(1, 1), (2, 2), (1, 2), (2, 1), (3, 3)]
+        fronts = fast_non_dominated_sort(objectives)
+        assert fronts[0] == [0]
+        assert set(fronts[1]) == {2, 3}  # (1,2) and (2,1): incomparable
+        assert fronts[2] == [1]  # (2,2) dominated by both of front 1
+        assert fronts[3] == [4]
+
+    def test_all_incomparable_single_front(self):
+        objectives = [(1, 3), (2, 2), (3, 1)]
+        assert len(fast_non_dominated_sort(objectives)) == 1
+
+    def test_crowding_extremes_infinite(self):
+        objectives = [(0.0, 3.0), (1.0, 2.0), (2.0, 1.0), (3.0, 0.0)]
+        front = [0, 1, 2, 3]
+        distances = crowding_distance(objectives, front)
+        assert distances[0] == float("inf")
+        assert distances[3] == float("inf")
+        assert 0 < distances[1] < float("inf")
+
+
+class TestNsga2:
+    def test_returns_nondominated_candidates(self):
+        problem = concave_problem()
+        front = Nsga2(Nsga2Config(seed=3)).optimise(problem)
+        objectives = [c.objectives for c in front]
+        assert pareto_front_indices(objectives) == list(range(len(objectives)))
+
+    def test_deterministic_under_seed(self):
+        a = Nsga2(Nsga2Config(seed=5)).optimise(concave_problem())
+        b = Nsga2(Nsga2Config(seed=5)).optimise(concave_problem())
+        assert [c.objectives for c in a] == [c.objectives for c in b]
+
+    def test_covers_most_of_exact_front_hypervolume(self):
+        problem = concave_problem()
+        exact = problem.evaluate_all()
+        exact_vectors = [c.objectives for c in exact]
+        normalised = normalise_objectives(exact_vectors)
+        exact_hv = hypervolume_2d(
+            [normalised[i] for i in pareto_front_indices(exact_vectors)], (1.1, 1.1)
+        )
+        approx = Nsga2(Nsga2Config(population_size=40, generations=40, seed=3)).optimise(
+            concave_problem()
+        )
+        index = {c.payload: i for i, c in enumerate(exact)}
+        approx_hv = hypervolume_2d(
+            [normalised[index[c.payload]] for c in approx], (1.1, 1.1)
+        )
+        assert approx_hv >= 0.85 * exact_hv
+
+    def test_small_problem_handled(self):
+        problem = EnumeratedProblem([0, 1], lambda i: (i, 1 - i), 2)
+        front = Nsga2(Nsga2Config(population_size=10, generations=5)).optimise(problem)
+        assert 1 <= len(front) <= 2
+
+
+class TestNsgaG:
+    def test_returns_nondominated(self):
+        front = NsgaG(NsgaGConfig(seed=3)).optimise(concave_problem())
+        objectives = [c.objectives for c in front]
+        assert pareto_front_indices(objectives) == list(range(len(objectives)))
+
+    def test_deterministic(self):
+        a = NsgaG(NsgaGConfig(seed=9)).optimise(concave_problem())
+        b = NsgaG(NsgaGConfig(seed=9)).optimise(concave_problem())
+        assert [c.objectives for c in a] == [c.objectives for c in b]
+
+    def test_grid_cell_mapping(self):
+        from repro.moqp.nsga_g import grid_cell
+
+        cell = grid_cell((0.0, 1.0), [0.0, 0.0], [1.0, 1.0], 4)
+        assert cell == (0, 3)
+        # Degenerate axis collapses to cell 0.
+        assert grid_cell((5.0, 0.5), [5.0, 0.0], [5.0, 1.0], 4)[0] == 0
+
+
+class TestWsm:
+    def test_weights_normalised(self):
+        model = WeightedSumModel((2.0, 2.0))
+        assert model.weights == (0.5, 0.5)
+
+    def test_scalarise(self):
+        model = WeightedSumModel((1.0, 0.0))
+        assert model.scalarise((0.3, 0.9)) == pytest.approx(0.3)
+
+    def test_best_index_uses_normalisation(self):
+        # Money in dollars (~1e-3) and time in seconds (~1e1): without
+        # normalisation time would drown money.
+        vectors = [(10.0, 0.009), (11.0, 0.001)]
+        model = WeightedSumModel((0.1, 0.9))
+        assert model.best_index(vectors) == 1
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValidationError):
+            WeightedSumModel(())
+        with pytest.raises(ValidationError):
+            WeightedSumModel((-1.0, 2.0))
+        with pytest.raises(ValidationError):
+            WeightedSumModel((0.0, 0.0))
+
+    def test_vector_length_check(self):
+        with pytest.raises(ValidationError):
+            WeightedSumModel((1.0,)).scalarise((1.0, 2.0))
+
+    def test_normalise_degenerate_axis(self):
+        rows = normalise_objectives([(1.0, 5.0), (2.0, 5.0)])
+        assert rows[0][1] == 0.0 and rows[1][1] == 0.0
+
+
+class TestBestInPareto:
+    def make_set(self):
+        return [
+            Candidate("fast-expensive", (1.0, 10.0)),
+            Candidate("balanced", (5.0, 5.0)),
+            Candidate("slow-cheap", (10.0, 1.0)),
+        ]
+
+    def test_weights_drive_choice(self):
+        pareto = self.make_set()
+        assert best_in_pareto(pareto, (1.0, 0.0)).payload == "fast-expensive"
+        assert best_in_pareto(pareto, (0.0, 1.0)).payload == "slow-cheap"
+
+    def test_constraints_filter_first(self):
+        pareto = self.make_set()
+        # Time weight dominates, but the time-optimal plan violates the
+        # money bound, so Algorithm 2 must pick inside PB.
+        chosen = best_in_pareto(pareto, (1.0, 0.0), constraints=(None, 6.0))
+        assert chosen.payload == "balanced"
+
+    def test_unsatisfiable_constraints_fall_back_to_full_set(self):
+        pareto = self.make_set()
+        chosen = best_in_pareto(pareto, (1.0, 0.0), constraints=(0.1, 0.1))
+        assert chosen.payload == "fast-expensive"  # argmin over whole set
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValidationError):
+            best_in_pareto([], (1.0,))
+
+    def test_too_many_constraints_rejected(self):
+        with pytest.raises(ValidationError):
+            best_in_pareto(self.make_set(), (1.0, 0.0), constraints=(1.0, 1.0, 1.0))
+
+
+class TestScalarGa:
+    def test_finds_near_optimum(self):
+        problem = concave_problem()
+        exact = problem.evaluate_all()
+        model = WeightedSumModel((0.5, 0.5))
+        normalised = normalise_objectives([c.objectives for c in exact])
+        true_best = min(model.scalarise(v) for v in normalised)
+        span = max(model.scalarise(v) for v in normalised) - true_best
+        chosen = ScalarGeneticOptimizer((0.5, 0.5), ScalarGaConfig(seed=3)).optimise(
+            concave_problem()
+        )
+        index = {c.payload: i for i, c in enumerate(exact)}
+        achieved = model.scalarise(normalised[index[chosen.payload]])
+        assert (achieved - true_best) / span < 0.15
+
+    def test_deterministic(self):
+        a = ScalarGeneticOptimizer((0.7, 0.3), ScalarGaConfig(seed=4)).optimise(concave_problem())
+        b = ScalarGeneticOptimizer((0.7, 0.3), ScalarGaConfig(seed=4)).optimise(concave_problem())
+        assert a.objectives == b.objectives
+
+
+class TestEnumeratedProblem:
+    def test_caching_counts_evaluations_once(self):
+        problem = concave_problem(50)
+        problem.objectives(3)
+        problem.objectives(3)
+        assert problem.evaluation_count == 1
+
+    def test_bad_objective_arity(self):
+        problem = EnumeratedProblem([1], lambda i: (1.0,), 2)
+        with pytest.raises(ValidationError):
+            problem.objectives(0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            EnumeratedProblem([], lambda i: (1.0,), 1)

@@ -1,0 +1,173 @@
+"""Tests for the physical plan profiler (sizes, transfers, placement)."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.plans.binder import plan_sql
+from repro.plans.catalog import Catalog
+from repro.plans.optimizer import optimize
+from repro.plans.physical import (
+    EnginePlacement,
+    Placement,
+    profile_plan,
+)
+from repro.plans.statistics import compute_table_stats
+from repro.tpch import TpchDataset, TPCH_QUERIES
+
+from tests.helpers import make_lineitem, make_orders, make_part
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return TpchDataset(scale_mib=100, physical_scale_factor=0.0005)
+
+
+@pytest.fixture(scope="module")
+def placement():
+    return Placement(
+        tables={
+            "orders": EnginePlacement("hive", "cloud-a"),
+            "part": EnginePlacement("hive", "cloud-a"),
+            "lineitem": EnginePlacement("postgresql", "cloud-b"),
+            "customer": EnginePlacement("postgresql", "cloud-b"),
+        },
+        execution=EnginePlacement("hive", "cloud-a"),
+    )
+
+
+def q12_plan(dataset):
+    sql = TPCH_QUERIES["q12"].render(
+        {"shipmode1": "MAIL", "shipmode2": "SHIP", "year": 1994}
+    )
+    return optimize(plan_sql(sql, dataset.catalog))
+
+
+class TestProfileStructure:
+    def test_scans_at_table_sites(self, dataset, placement):
+        profile = profile_plan(q12_plan(dataset), dataset.logical_stats, placement)
+        scans = {op.detail: op for op in profile.operators if op.kind == "scan"}
+        assert scans["orders"].site == "cloud-a"
+        assert scans["lineitem"].site == "cloud-b"
+        assert scans["lineitem"].engine == "postgresql"
+
+    def test_join_at_execution_site(self, dataset, placement):
+        profile = profile_plan(q12_plan(dataset), dataset.logical_stats, placement)
+        joins = [op for op in profile.operators if op.kind == "join"]
+        assert joins and all(op.site == "cloud-a" for op in joins)
+
+    def test_transfer_recorded_for_remote_input(self, dataset, placement):
+        profile = profile_plan(q12_plan(dataset), dataset.logical_stats, placement)
+        assert len(profile.transfers) == 1
+        transfer = profile.transfers[0]
+        assert (transfer.from_site, transfer.to_site) == ("cloud-b", "cloud-a")
+        # The moved payload is the *filtered* lineitem, much smaller than
+        # the table itself.
+        lineitem_bytes = dataset.logical_stats["lineitem"].size_bytes
+        assert 0 < transfer.payload_bytes < 0.25 * lineitem_bytes
+
+    def test_no_transfer_when_colocated(self, dataset, placement):
+        colocated = Placement(
+            tables=placement.tables,
+            execution=EnginePlacement("postgresql", "cloud-b"),
+        )
+        profile = profile_plan(q12_plan(dataset), dataset.logical_stats, colocated)
+        froms = {t.from_site for t in profile.transfers}
+        assert froms == {"cloud-a"}  # only orders moves now
+
+    def test_filter_shrinks_rows(self, dataset, placement):
+        profile = profile_plan(q12_plan(dataset), dataset.logical_stats, placement)
+        filters = [op for op in profile.operators if op.kind == "filter"]
+        assert filters
+        for op in filters:
+            assert op.output_rows <= op.input_rows
+
+    def test_effective_table_bytes_tracks_filters(self, dataset, placement):
+        profile = profile_plan(q12_plan(dataset), dataset.logical_stats, placement)
+        effective = profile.effective_table_bytes
+        # orders is unfiltered in Q12; lineitem is heavily filtered.
+        assert effective["orders"] == pytest.approx(
+            dataset.logical_stats["orders"].size_bytes
+        )
+        assert effective["lineitem"] < 0.25 * dataset.logical_stats["lineitem"].size_bytes
+
+    def test_aggregate_groups_bounded(self, dataset, placement):
+        profile = profile_plan(q12_plan(dataset), dataset.logical_stats, placement)
+        aggregates = [op for op in profile.operators if op.kind == "aggregate"]
+        assert aggregates
+        # Q12 groups by l_shipmode: at most 7 ship modes exist.
+        assert aggregates[0].output_rows <= 7
+
+    def test_intermediate_bytes_positive(self, dataset, placement):
+        profile = profile_plan(q12_plan(dataset), dataset.logical_stats, placement)
+        assert profile.intermediate_bytes() > 0
+        assert profile.transferred_bytes() > 0
+
+    def test_participating_engines(self, dataset, placement):
+        profile = profile_plan(q12_plan(dataset), dataset.logical_stats, placement)
+        participants = {(p.engine, p.site) for p in profile.participating()}
+        assert participants == {("hive", "cloud-a"), ("postgresql", "cloud-b")}
+
+    def test_scanned_bytes_by_site(self, dataset, placement):
+        profile = profile_plan(q12_plan(dataset), dataset.logical_stats, placement)
+        total = profile.scanned_bytes()
+        at_a = profile.scanned_bytes("cloud-a")
+        at_b = profile.scanned_bytes("cloud-b")
+        assert total == pytest.approx(at_a + at_b)
+
+
+class TestSubqueryProfiling:
+    def test_q17_subquery_operators_profiled(self, dataset, placement):
+        sql = TPCH_QUERIES["q17"].render({"brand": "Brand#11", "container": "SM BOX"})
+        plan = optimize(plan_sql(sql, dataset.catalog))
+        profile = profile_plan(plan, dataset.logical_stats, placement)
+        lineitem_scans = [
+            op for op in profile.operators if op.kind == "scan" and op.detail == "lineitem"
+        ]
+        # Main scan + the correlated subquery's rewritten aggregate scan.
+        assert len(lineitem_scans) == 2
+
+
+class TestErrors:
+    def test_missing_stats(self, placement):
+        catalog = Catalog([make_orders(), make_lineitem(), make_part()])
+        plan = plan_sql("select o_orderkey from orders", catalog)
+        with pytest.raises(PlanError, match="no statistics"):
+            profile_plan(plan, {}, placement)
+
+    def test_missing_placement(self, dataset):
+        plan = q12_plan(dataset)
+        incomplete = Placement(
+            tables={"orders": EnginePlacement("hive", "cloud-a")},
+            execution=EnginePlacement("hive", "cloud-a"),
+        )
+        with pytest.raises(PlanError, match="no placement"):
+            profile_plan(plan, dataset.logical_stats, incomplete)
+
+
+class TestSampledStats:
+    def test_sampled_scales_rows_and_bytes(self):
+        stats = compute_table_stats(make_orders())
+        half = stats.sampled(0.5)
+        assert half.row_count == 2
+        assert half.size_bytes == pytest.approx(stats.size_bytes / 2, rel=0.3)
+
+    def test_sampled_keeps_categorical_distincts(self, dataset):
+        stats = dataset.logical_stats["orders"]
+        sampled = stats.sampled(0.5)
+        original = stats.column("o_orderpriority").distinct_count
+        assert sampled.column("o_orderpriority").distinct_count == min(
+            original, sampled.row_count
+        )
+
+    def test_sampled_scales_key_distincts(self, dataset):
+        stats = dataset.logical_stats["orders"]
+        sampled = stats.sampled(0.5)
+        assert sampled.column("o_orderkey").distinct_count < stats.column(
+            "o_orderkey"
+        ).distinct_count
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(PlanError):
+            dataset.logical_stats["orders"].sampled(0.0)
+        with pytest.raises(PlanError):
+            dataset.logical_stats["orders"].sampled(1.5)

@@ -1,0 +1,295 @@
+"""Tests for binder + executor: end-to-end SQL semantics on tiny tables."""
+
+import datetime
+
+import pytest
+
+from repro.common.errors import ExecutionError, PlanError, SchemaError
+from repro.plans import Catalog, execute_sql
+from repro.plans.binder import plan_sql
+from repro.plans.logical import Aggregate, Filter, Join, Project, Sort
+from repro.relational import Column, DataType, Schema, Table
+
+from tests.helpers import date, make_lineitem, make_orders, make_part, tiny_catalog
+
+
+def run(sql: str) -> list[tuple]:
+    return execute_sql(sql, tiny_catalog()).to_rows()
+
+
+class TestProjectionAndFilter:
+    def test_select_columns(self):
+        rows = run("select o_orderkey, o_custkey from orders")
+        assert rows == [(1, 10), (2, 11), (3, 10), (4, 12)]
+
+    def test_star(self):
+        rows = run("select * from part")
+        assert len(rows) == 3 and len(rows[0]) == 4
+
+    def test_qualified_star(self):
+        rows = run("select o.* from orders o where o.o_orderkey = 1")
+        assert len(rows) == 1 and rows[0][0] == 1
+
+    def test_computed_expression(self):
+        rows = run("select l_quantity * 2 from lineitem where l_orderkey = 1")
+        assert rows == [(20.0,), (10.0,)]
+
+    def test_filter_excludes_null_predicate_rows(self):
+        # o_comment of order 4 is NULL: LIKE yields NULL -> row dropped in
+        # both the positive and negated filter.
+        liked = run("select o_orderkey from orders where o_comment like '%special%'")
+        not_liked = run(
+            "select o_orderkey from orders where o_comment not like '%special%'"
+        )
+        keys = {r[0] for r in liked} | {r[0] for r in not_liked}
+        assert 4 not in keys
+
+    def test_where_with_dates(self):
+        rows = run(
+            "select o_orderkey from orders "
+            "where o_orderdate >= date '1994-01-01' "
+            "and o_orderdate < date '1994-01-01' + interval '1' year"
+        )
+        assert [r[0] for r in rows] == [1, 2]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            run("select nope from orders")
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(SchemaError, match="unknown table"):
+            run("select a from missing_table")
+
+    def test_ambiguous_column_raises(self):
+        with pytest.raises(SchemaError, match="ambiguous"):
+            run("select o_orderkey from orders o1, orders o2")
+
+
+class TestJoins:
+    def test_inner_join_via_where(self):
+        rows = run(
+            "select o_orderkey, l_shipmode from orders, lineitem "
+            "where o_orderkey = l_orderkey and o_orderpriority = '1-URGENT'"
+        )
+        assert sorted(rows) == [(1, "AIR"), (1, "MAIL")]
+
+    def test_explicit_inner_join(self):
+        rows = run(
+            "select o_orderkey, l_partkey from orders "
+            "join lineitem on o_orderkey = l_orderkey where l_partkey = 102"
+        )
+        assert rows == [(3, 102)]
+
+    def test_left_join_preserves_unmatched(self):
+        rows = run(
+            "select o_orderkey, l_orderkey from orders "
+            "left join lineitem on o_orderkey = l_orderkey"
+        )
+        unmatched = [r for r in rows if r[1] is None]
+        assert [r[0] for r in unmatched] == [4]
+
+    def test_left_join_with_residual_condition(self):
+        rows = run(
+            "select o_orderkey, l_shipmode from orders "
+            "left join lineitem on o_orderkey = l_orderkey and l_shipmode = 'MAIL'"
+        )
+        by_key = {}
+        for key, mode in rows:
+            by_key.setdefault(key, []).append(mode)
+        assert by_key[1] == ["MAIL"]
+        assert by_key[2] == [None]  # order 2's only line is SHIP
+        assert by_key[4] == [None]
+
+    def test_cross_join_cardinality(self):
+        rows = run("select o_orderkey, p_partkey from orders, part")
+        assert len(rows) == 4 * 3
+
+    def test_non_equi_join(self):
+        rows = run(
+            "select o_orderkey, l_orderkey from orders join lineitem "
+            "on l_orderkey < o_orderkey where o_orderkey = 2"
+        )
+        assert sorted(rows) == [(2, 1), (2, 1)]
+
+    def test_join_null_keys_never_match(self):
+        schema = Schema([Column("k", DataType.INTEGER)])
+        left = Table.from_rows("l", schema, [[1], [None]])
+        right = Table.from_rows("r", Schema([Column("k2", DataType.INTEGER)]), [[1], [None]])
+        catalog = Catalog([left, right])
+        rows = execute_sql("select k, k2 from l join r on k = k2", catalog).to_rows()
+        assert rows == [(1, 1)]
+
+
+class TestAggregation:
+    def test_group_by_counts(self):
+        rows = run(
+            "select o_custkey, count(*) as c from orders group by o_custkey "
+            "order by o_custkey"
+        )
+        assert rows == [(10, 2), (11, 1), (12, 1)]
+
+    def test_global_aggregate_on_empty_input(self):
+        rows = run("select count(*), sum(l_quantity) from lineitem where l_orderkey = 99")
+        assert rows == [(0, None)]
+
+    def test_sum_avg_min_max(self):
+        rows = run(
+            "select sum(l_quantity), avg(l_quantity), min(l_quantity), max(l_quantity) "
+            "from lineitem where l_orderkey = 1"
+        )
+        assert rows == [(15.0, 7.5, 5.0, 10.0)]
+
+    def test_count_column_ignores_nulls(self):
+        rows = run("select count(o_comment) from orders")
+        assert rows == [(3,)]
+
+    def test_count_distinct(self):
+        rows = run("select count(distinct l_partkey) from lineitem")
+        assert rows == [(3,)]
+
+    def test_expression_over_aggregates(self):
+        rows = run(
+            "select 100.0 * sum(case when l_shipmode = 'MAIL' then l_extendedprice "
+            "else 0 end) / sum(l_extendedprice) as pct from lineitem"
+        )
+        assert rows[0][0] == pytest.approx(100.0 * 400.0 / 1050.0)
+
+    def test_having(self):
+        rows = run(
+            "select o_custkey, count(*) as c from orders group by o_custkey "
+            "having count(*) > 1"
+        )
+        assert rows == [(10, 2)]
+
+    def test_group_by_expression(self):
+        rows = run(
+            "select l_quantity / 10 as bucket, count(*) from lineitem "
+            "group by l_quantity / 10 order by bucket"
+        )
+        assert [r[0] for r in rows] == [0.5, 1.0, 2.0, 3.0, 4.0]
+
+    def test_bare_column_not_in_group_by_rejected(self):
+        with pytest.raises(PlanError, match="GROUP BY"):
+            run("select o_custkey, o_orderkey from orders group by o_custkey")
+
+    def test_aggregate_in_where_rejected(self):
+        with pytest.raises(PlanError, match="WHERE"):
+            run("select o_orderkey from orders where count(*) > 1")
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_alias_desc(self):
+        rows = run(
+            "select o_custkey, count(*) as c from orders group by o_custkey "
+            "order by c desc, o_custkey"
+        )
+        assert rows[0] == (10, 2)
+
+    def test_order_by_position(self):
+        rows = run("select o_orderkey, o_custkey from orders order by 2, 1")
+        assert [r[1] for r in rows] == [10, 10, 11, 12]
+
+    def test_order_by_nulls_last_both_directions(self):
+        asc = run("select o_comment from orders order by o_comment")
+        desc = run("select o_comment from orders order by o_comment desc")
+        assert asc[-1][0] is None
+        assert desc[-1][0] is None
+
+    def test_limit(self):
+        rows = run("select o_orderkey from orders order by o_orderkey limit 2")
+        assert rows == [(1,), (2,)]
+
+    def test_distinct(self):
+        rows = run("select distinct o_custkey from orders order by o_custkey")
+        assert rows == [(10,), (11,), (12,)]
+
+    def test_unbindable_order_key_rejected(self):
+        with pytest.raises(PlanError, match="ORDER BY"):
+            run("select o_orderkey from orders order by o_missing")
+
+
+class TestSubqueries:
+    def test_uncorrelated_scalar(self):
+        rows = run(
+            "select o_orderkey from orders "
+            "where o_orderkey > (select avg(l_orderkey) from lineitem)"
+        )
+        assert [r[0] for r in rows] == [3, 4]
+
+    def test_correlated_scalar(self):
+        rows = run(
+            "select l_orderkey, l_quantity from lineitem "
+            "where l_quantity > (select avg(l2.l_quantity) from lineitem l2 "
+            "where l2.l_orderkey = lineitem.l_orderkey) order by l_orderkey"
+        )
+        assert rows == [(1, 10.0), (3, 40.0)]
+
+    def test_scalar_subquery_empty_is_null(self):
+        rows = run(
+            "select o_orderkey from orders "
+            "where o_orderkey > (select avg(l_orderkey) from lineitem where l_orderkey = 99)"
+        )
+        assert rows == []
+
+    def test_scalar_subquery_multi_row_raises(self):
+        with pytest.raises(ExecutionError, match="more than one row"):
+            run(
+                "select o_orderkey from orders "
+                "where o_orderkey = (select l_orderkey from lineitem)"
+            )
+
+    def test_in_subquery(self):
+        rows = run(
+            "select o_orderkey from orders "
+            "where o_orderkey in (select l_orderkey from lineitem where l_shipmode = 'MAIL')"
+        )
+        assert [r[0] for r in rows] == [1, 3]
+
+    def test_not_in_subquery(self):
+        rows = run(
+            "select o_orderkey from orders "
+            "where o_orderkey not in (select l_orderkey from lineitem)"
+        )
+        assert [r[0] for r in rows] == [4]
+
+    def test_exists_correlated(self):
+        rows = run(
+            "select o_orderkey from orders where exists "
+            "(select l_orderkey from lineitem where l_orderkey = o_orderkey "
+            "and l_shipmode = 'RAIL')"
+        )
+        assert [r[0] for r in rows] == [3]
+
+    def test_derived_table(self):
+        rows = run(
+            "select big.k from (select o_orderkey as k from orders "
+            "where o_orderkey > 2) as big order by big.k"
+        )
+        assert rows == [(3,), (4,)]
+
+    def test_derived_table_alias_arity_mismatch(self):
+        with pytest.raises(PlanError, match="aliases"):
+            run("select x from (select o_orderkey from orders) as d (x, y)")
+
+
+class TestPlanShapes:
+    def test_plan_pretty_prints(self):
+        plan = plan_sql(
+            "select o_custkey, count(*) as c from orders group by o_custkey "
+            "order by c desc limit 1",
+            tiny_catalog(),
+        )
+        text = plan.pretty()
+        assert "Aggregate" in text
+        assert "Scan(orders" in text
+
+    def test_output_fields_named(self):
+        plan = plan_sql("select o_orderkey as k, o_custkey from orders", tiny_catalog())
+        names = [f.name for f in plan.output_fields()]
+        assert names == ["k", "o_custkey"]
+
+    def test_duplicate_output_names_deduplicated_in_result(self):
+        result = execute_sql(
+            "select o_orderkey, o_orderkey from orders limit 1", tiny_catalog()
+        )
+        assert len(set(result.schema.names)) == 2

@@ -1,0 +1,182 @@
+"""Property-based tests: SQL round-trips and executor invariants.
+
+Hypothesis generates random (bounded) expressions and predicates; the
+properties assert structural round-trips through ``Expr.sql()`` +
+re-parsing, and classic relational-algebra equivalences on the executor
+(filter decomposition, join commutativity up to column order, distinct
+idempotence).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plans import Catalog, execute_sql
+from repro.relational import Column, DataType, Schema, Table
+from repro.relational.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.sql import parse_select
+
+# ---------------------------------------------------------------------------
+# Expression generators (over columns a, b: integers; s: string)
+# ---------------------------------------------------------------------------
+
+int_column = st.sampled_from([ColumnRef("a"), ColumnRef("b")])
+int_literal = st.integers(min_value=-50, max_value=50).map(Literal)
+
+
+def int_expr(depth: int = 2) -> st.SearchStrategy[Expr]:
+    base = st.one_of(int_column, int_literal)
+    if depth == 0:
+        return base
+    sub = int_expr(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(BinaryOp, st.sampled_from(["+", "-", "*"]), sub, sub),
+    )
+
+
+def predicate(depth: int = 2) -> st.SearchStrategy[Expr]:
+    comparison = st.builds(
+        BinaryOp, st.sampled_from(["=", "<>", "<", "<=", ">", ">="]), int_expr(1), int_expr(1)
+    )
+    like = st.builds(
+        Like,
+        st.just(ColumnRef("s")),
+        st.text(alphabet="xy%_", min_size=1, max_size=4),
+        st.booleans(),
+    )
+    between = st.builds(Between, int_column, int_literal, int_literal, st.booleans())
+    in_list = st.builds(
+        InList,
+        int_column,
+        st.lists(int_literal, min_size=1, max_size=3).map(tuple),
+        st.booleans(),
+    )
+    is_null = st.builds(IsNull, int_column, st.booleans())
+    base = st.one_of(comparison, like, between, in_list, is_null)
+    if depth == 0:
+        return base
+    sub = predicate(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(BinaryOp, st.sampled_from(["AND", "OR"]), sub, sub),
+        st.builds(UnaryOp, st.just("NOT"), sub),
+    )
+
+
+def make_table() -> Table:
+    schema = Schema(
+        [
+            Column("a", DataType.INTEGER),
+            Column("b", DataType.INTEGER),
+            Column("s", DataType.STRING),
+        ]
+    )
+    rows = []
+    values = [-7, -1, 0, 1, 2, 5, 13, None]
+    strings = ["", "x", "xy", "yx", "xxy", None]
+    for i, a in enumerate(values):
+        rows.append([a, values[(i + 3) % len(values)], strings[i % len(strings)]])
+    return Table.from_rows("t", schema, rows)
+
+
+CATALOG = Catalog([make_table()])
+
+
+class TestSqlRoundTrip:
+    @given(predicate())
+    @settings(max_examples=120, deadline=None)
+    def test_predicate_survives_sql_round_trip(self, expr):
+        """parse(expr.sql()) produces a semantically identical WHERE."""
+        sql = f"select a from t where {expr.sql()}"
+        statement = parse_select(sql)
+        # Execute both: original (via its SQL) twice must agree; and the
+        # re-rendered SQL of the parsed tree must agree with the first.
+        first = execute_sql(sql, CATALOG).sorted_rows()
+        re_rendered = f"select a from t where {statement.where.sql()}"
+        second = execute_sql(re_rendered, CATALOG).sorted_rows()
+        assert first == second
+
+    @given(int_expr())
+    @settings(max_examples=80, deadline=None)
+    def test_projection_round_trip(self, expr):
+        sql = f"select {expr.sql()} as v from t"
+        first = execute_sql(sql, CATALOG).sorted_rows()
+        statement = parse_select(sql)
+        item_sql = statement.items[0].expr.sql()
+        second = execute_sql(f"select {item_sql} as v from t", CATALOG).sorted_rows()
+        assert first == second
+
+
+class TestExecutorAlgebraicLaws:
+    @given(predicate(1), predicate(1))
+    @settings(max_examples=60, deadline=None)
+    def test_conjunctive_filter_decomposition(self, p, q):
+        """sigma_{p AND q}(t) == sigma_p(sigma_q(t)) — via nested query."""
+        combined = execute_sql(
+            f"select a, b from t where ({p.sql()}) and ({q.sql()})", CATALOG
+        ).sorted_rows()
+        nested = execute_sql(
+            f"select a, b from (select * from t where {q.sql()}) as u "
+            f"where {p.sql()}",
+            CATALOG,
+        ).sorted_rows()
+        assert combined == nested
+
+    @given(predicate(1))
+    @settings(max_examples=60, deadline=None)
+    def test_filter_partition(self, p):
+        """|sigma_p| + |sigma_NOT p| <= |t| (NULL rows satisfy neither)."""
+        total = make_table().num_rows
+        kept = execute_sql(f"select a from t where {p.sql()}", CATALOG).num_rows
+        dropped = execute_sql(
+            f"select a from t where not ({p.sql()})", CATALOG
+        ).num_rows
+        assert kept + dropped <= total
+
+    @given(predicate(1))
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_idempotent(self, p):
+        once = execute_sql(
+            f"select distinct a from t where {p.sql()}", CATALOG
+        ).sorted_rows()
+        twice = execute_sql(
+            f"select distinct a from (select distinct a from t where {p.sql()}) as u",
+            CATALOG,
+        ).sorted_rows()
+        assert once == twice
+
+    def test_join_commutative_up_to_column_order(self):
+        left = execute_sql(
+            "select t1.a, t2.b from t t1 join t t2 on t1.a = t2.a", CATALOG
+        ).sorted_rows()
+        right = execute_sql(
+            "select t1.a, t2.b from t t2 join t t1 on t2.a = t1.a", CATALOG
+        ).sorted_rows()
+        assert left == right
+
+    @given(st.integers(min_value=0, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_limit_bounds_cardinality(self, n):
+        result = execute_sql(f"select a from t limit {n}", CATALOG)
+        assert result.num_rows == min(n, make_table().num_rows)
+
+    def test_union_of_complement_with_null_bucket_partitions(self):
+        """sigma_p + sigma_!p + sigma_{p IS NULL-ish} covers t exactly."""
+        p = "a > 0"
+        kept = execute_sql(f"select a from t where {p}", CATALOG).num_rows
+        dropped = execute_sql(f"select a from t where not ({p})", CATALOG).num_rows
+        nulls = execute_sql("select a from t where a is null", CATALOG).num_rows
+        assert kept + dropped + nulls == make_table().num_rows

@@ -1,0 +1,94 @@
+"""Tests for the relational type system and interval arithmetic."""
+
+import datetime
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.relational.types import DataType, Interval, parse_date
+
+
+class TestCoercion:
+    def test_integer_accepts_int(self):
+        assert DataType.INTEGER.coerce(5) == 5
+
+    def test_integer_accepts_whole_float(self):
+        assert DataType.INTEGER.coerce(5.0) == 5
+
+    def test_integer_rejects_fractional(self):
+        with pytest.raises(SchemaError):
+            DataType.INTEGER.coerce(5.5)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            DataType.INTEGER.coerce(True)
+
+    def test_float_accepts_int(self):
+        assert DataType.FLOAT.coerce(5) == 5.0
+        assert isinstance(DataType.FLOAT.coerce(5), float)
+
+    def test_string_rejects_number(self):
+        with pytest.raises(SchemaError):
+            DataType.STRING.coerce(5)
+
+    def test_date_accepts_iso_string(self):
+        assert DataType.DATE.coerce("1994-01-05") == datetime.date(1994, 1, 5)
+
+    def test_date_rejects_datetime(self):
+        with pytest.raises(SchemaError):
+            DataType.DATE.coerce(datetime.datetime(1994, 1, 5, 12, 0))
+
+    def test_null_passes_through_all_types(self):
+        for dtype in DataType:
+            assert dtype.coerce(None) is None
+
+    def test_boolean(self):
+        assert DataType.BOOLEAN.coerce(True) is True
+        with pytest.raises(SchemaError):
+            DataType.BOOLEAN.coerce(1)
+
+    def test_of_infers(self):
+        assert DataType.of(True) is DataType.BOOLEAN
+        assert DataType.of(1) is DataType.INTEGER
+        assert DataType.of(1.5) is DataType.FLOAT
+        assert DataType.of("x") is DataType.STRING
+        assert DataType.of(datetime.date(2000, 1, 1)) is DataType.DATE
+
+
+class TestParseDate:
+    def test_valid(self):
+        assert parse_date("1998-08-02") == datetime.date(1998, 8, 2)
+
+    def test_invalid_raises_schema_error(self):
+        with pytest.raises(SchemaError):
+            parse_date("not-a-date")
+
+
+class TestInterval:
+    def test_add_months(self):
+        d = datetime.date(1994, 11, 15)
+        assert Interval(months=3).add_to(d) == datetime.date(1995, 2, 15)
+
+    def test_add_year(self):
+        d = datetime.date(1994, 1, 1)
+        assert Interval(years=1).add_to(d) == datetime.date(1995, 1, 1)
+
+    def test_add_days(self):
+        d = datetime.date(1994, 12, 30)
+        assert Interval(days=5).add_to(d) == datetime.date(1995, 1, 4)
+
+    def test_month_end_clamping(self):
+        d = datetime.date(1994, 1, 31)
+        assert Interval(months=1).add_to(d) == datetime.date(1994, 2, 28)
+
+    def test_subtract(self):
+        d = datetime.date(1995, 2, 15)
+        assert Interval(months=3).subtract_from(d) == datetime.date(1994, 11, 15)
+
+    def test_negation(self):
+        assert (-Interval(months=2)).months == -2
+
+    def test_subtract_is_inverse_of_add_mid_month(self):
+        d = datetime.date(1994, 6, 15)
+        for interval in (Interval(months=1), Interval(years=2), Interval(days=40)):
+            assert interval.subtract_from(interval.add_to(d)) == d

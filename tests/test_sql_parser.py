@@ -1,0 +1,277 @@
+"""Tests for the SQL lexer and parser."""
+
+import datetime
+
+import pytest
+
+from repro.common.errors import SqlError
+from repro.relational.expressions import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Exists,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    ScalarSubquery,
+    UnaryOp,
+)
+from repro.relational.types import Interval
+from repro.sql import parse_select
+from repro.sql.ast import DerivedTable, JoinClause, NamedTable, SelectItem, Star
+from repro.sql.lexer import TokenType, tokenize
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt FROM")
+        assert tokens[0].value == "select"
+        assert tokens[1].value == "from"
+
+    def test_string_escaping(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 0.125")
+        assert [t.value for t in tokens[:3]] == ["1", "2.5", "0.125"]
+
+    def test_double_dot_number_rejected(self):
+        with pytest.raises(SqlError):
+            tokenize("1.2.3")
+
+    def test_two_char_symbols(self):
+        tokens = tokenize("<> <= >=")
+        assert [t.value for t in tokens[:3]] == ["<>", "<=", ">="]
+
+    def test_line_comments_skipped(self):
+        tokens = tokenize("select -- a comment\n 1")
+        assert [t.value for t in tokens[:2]] == ["select", "1"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError):
+            tokenize("select @")
+
+    def test_eof_token(self):
+        assert tokenize("")[0].type is TokenType.EOF
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        stmt = parse_select("select a, b from t")
+        assert len(stmt.items) == 2
+        assert isinstance(stmt.from_clause, NamedTable)
+        assert stmt.from_clause.name == "t"
+
+    def test_star(self):
+        stmt = parse_select("select * from t")
+        assert isinstance(stmt.items[0], Star)
+
+    def test_qualified_star(self):
+        stmt = parse_select("select t.* from t")
+        assert stmt.items[0] == Star("t")
+
+    def test_alias_with_and_without_as(self):
+        stmt = parse_select("select a as x, b y from t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_table_alias(self):
+        stmt = parse_select("select a from t1 as x")
+        assert stmt.from_clause.alias == "x"
+
+    def test_distinct(self):
+        assert parse_select("select distinct a from t").distinct
+
+    def test_limit(self):
+        assert parse_select("select a from t limit 10").limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlError):
+            parse_select("select a from t limit 1.5")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select("select a from t xx yy")
+
+    def test_trailing_semicolon_ok(self):
+        parse_select("select a from t;")
+
+    def test_group_by_and_having(self):
+        stmt = parse_select("select a, count(*) from t group by a having count(*) > 2")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_select("select a, b from t order by a desc, b asc, a")
+        assert [o.descending for o in stmt.order_by] == [True, False, False]
+
+
+class TestParserJoins:
+    def test_comma_join_is_cross(self):
+        stmt = parse_select("select a from t1, t2")
+        join = stmt.from_clause
+        assert isinstance(join, JoinClause)
+        assert join.kind == "cross"
+
+    def test_inner_join_on(self):
+        stmt = parse_select("select a from t1 join t2 on t1.x = t2.y")
+        assert stmt.from_clause.kind == "inner"
+        assert isinstance(stmt.from_clause.condition, BinaryOp)
+
+    def test_left_outer_join(self):
+        stmt = parse_select("select a from t1 left outer join t2 on t1.x = t2.y")
+        assert stmt.from_clause.kind == "left"
+
+    def test_left_join_without_outer(self):
+        stmt = parse_select("select a from t1 left join t2 on t1.x = t2.y")
+        assert stmt.from_clause.kind == "left"
+
+    def test_join_requires_on(self):
+        with pytest.raises(SqlError):
+            parse_select("select a from t1 join t2")
+
+    def test_derived_table_with_column_aliases(self):
+        stmt = parse_select(
+            "select c from (select a, b from t) as d (x, y)"
+        )
+        derived = stmt.from_clause
+        assert isinstance(derived, DerivedTable)
+        assert derived.alias == "d"
+        assert derived.column_aliases == ("x", "y")
+
+    def test_three_way_comma_join_left_deep(self):
+        stmt = parse_select("select a from t1, t2, t3")
+        outer = stmt.from_clause
+        assert isinstance(outer, JoinClause)
+        assert isinstance(outer.left, JoinClause)
+        assert outer.right.name == "t3"
+
+
+class TestParserExpressions:
+    def where(self, condition: str):
+        return parse_select(f"select a from t where {condition}").where
+
+    def test_precedence_or_and(self):
+        expr = self.where("a = 1 or b = 2 and c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_precedence_arithmetic(self):
+        expr = self.where("a + b * c = 7")
+        assert expr.op == "="
+        assert expr.left.op == "+"
+        assert expr.left.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = self.where("(a + b) * c = 7")
+        assert expr.left.op == "*"
+
+    def test_not_precedence(self):
+        expr = self.where("not a = 1 and b = 2")
+        assert expr.op == "AND"
+        assert isinstance(expr.left, UnaryOp)
+
+    def test_between(self):
+        expr = self.where("a between 1 and 10")
+        assert isinstance(expr, Between)
+
+    def test_not_between(self):
+        expr = self.where("a not between 1 and 10")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = self.where("mode in ('MAIL', 'SHIP')")
+        assert isinstance(expr, InList)
+        assert len(expr.values) == 2
+
+    def test_not_in_list(self):
+        assert self.where("mode not in ('A')").negated
+
+    def test_like_and_not_like(self):
+        assert isinstance(self.where("c like '%x%'"), Like)
+        assert self.where("c not like '%x%'").negated
+
+    def test_like_requires_string(self):
+        with pytest.raises(SqlError):
+            self.where("c like 5")
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(self.where("a is null"), IsNull)
+        assert self.where("a is not null").negated
+
+    def test_date_literal(self):
+        expr = self.where("d >= date '1994-01-01'")
+        assert expr.right == Literal(datetime.date(1994, 1, 1))
+
+    def test_interval_literals(self):
+        expr = self.where("d < date '1994-01-01' + interval '1' year")
+        assert expr.right.right == Literal(Interval(years=1))
+        expr2 = self.where("d < date '1994-01-01' + interval '3' month")
+        assert expr2.right.right == Literal(Interval(months=3))
+
+    def test_interval_bad_unit(self):
+        with pytest.raises(SqlError):
+            self.where("d < date '1994-01-01' + interval '1' hour")
+
+    def test_case_when(self):
+        expr = parse_select(
+            "select case when a = 1 then 'one' else 'many' end from t"
+        ).items[0].expr
+        assert isinstance(expr, CaseWhen)
+        assert expr.else_ == Literal("many")
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlError):
+            parse_select("select case end from t")
+
+    def test_unary_minus(self):
+        expr = parse_select("select -a from t").items[0].expr
+        assert isinstance(expr, UnaryOp)
+
+    def test_qualified_column(self):
+        expr = self.where("t.a = 1")
+        assert expr.left == ColumnRef("a", qualifier="t")
+
+
+class TestParserAggregatesAndSubqueries:
+    def test_count_star(self):
+        expr = parse_select("select count(*) from t").items[0].expr
+        assert expr == AggregateCall("count", None)
+
+    def test_count_distinct(self):
+        expr = parse_select("select count(distinct a) from t").items[0].expr
+        assert expr.distinct
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select("select sum(*) from t")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select("select median(a) from t")
+
+    def test_scalar_subquery(self):
+        stmt = parse_select("select a from t where a < (select avg(b) from u)")
+        assert isinstance(stmt.where.right, ScalarSubquery)
+
+    def test_in_subquery(self):
+        stmt = parse_select("select a from t where a in (select b from u)")
+        assert isinstance(stmt.where, InSubquery)
+
+    def test_exists(self):
+        stmt = parse_select("select a from t where exists (select b from u)")
+        assert isinstance(stmt.where, Exists)
+
+    def test_nested_parenthesised_expression_not_subquery(self):
+        stmt = parse_select("select a from t where a < (1 + 2)")
+        assert isinstance(stmt.where.right, BinaryOp)

@@ -1,0 +1,149 @@
+"""Tests for table statistics and selectivity estimation."""
+
+import datetime
+
+import pytest
+
+from repro.plans.statistics import (
+    ColumnStats,
+    StatsContext,
+    TableStats,
+    compute_table_stats,
+    estimate_equi_join_rows,
+    estimate_selectivity,
+)
+from repro.relational.expressions import (
+    Between,
+    BinaryOp,
+    BoundColumn,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.relational.types import DataType, Interval
+
+from tests.helpers import make_orders
+
+
+def ctx(stats_by_index: dict | None = None) -> StatsContext:
+    slots: list = [None] * 10
+    for index, stats in (stats_by_index or {}).items():
+        slots[index] = stats
+    return StatsContext(slots)
+
+
+INT_COL = BoundColumn(0, DataType.INTEGER)
+UNIFORM = ColumnStats(distinct_count=100, min_value=0, max_value=100)
+
+
+class TestComputeStats:
+    def test_row_count_and_size(self):
+        stats = compute_table_stats(make_orders())
+        assert stats.row_count == 4
+        assert stats.size_bytes == make_orders().size_bytes()
+
+    def test_distinct_counts(self):
+        stats = compute_table_stats(make_orders())
+        assert stats.column("o_custkey").distinct_count == 3
+        assert stats.column("o_orderkey").distinct_count == 4
+
+    def test_null_fraction(self):
+        stats = compute_table_stats(make_orders())
+        assert stats.column("o_comment").null_fraction == pytest.approx(0.25)
+
+    def test_min_max(self):
+        stats = compute_table_stats(make_orders())
+        assert stats.column("o_orderkey").min_value == 1
+        assert stats.column("o_orderkey").max_value == 4
+
+    def test_row_width(self):
+        stats = TableStats(10, 1000)
+        assert stats.row_width == 100
+
+
+class TestSelectivity:
+    def test_equality_uses_distinct(self):
+        expr = BinaryOp("=", INT_COL, Literal(5))
+        assert estimate_selectivity(expr, ctx({0: UNIFORM})) == pytest.approx(0.01)
+
+    def test_inequality(self):
+        expr = BinaryOp("<>", INT_COL, Literal(5))
+        assert estimate_selectivity(expr, ctx({0: UNIFORM})) == pytest.approx(0.99)
+
+    def test_range_interpolation(self):
+        expr = BinaryOp("<", INT_COL, Literal(25))
+        assert estimate_selectivity(expr, ctx({0: UNIFORM})) == pytest.approx(0.25)
+
+    def test_flipped_comparison(self):
+        expr = BinaryOp(">", Literal(25), INT_COL)  # same as col < 25
+        assert estimate_selectivity(expr, ctx({0: UNIFORM})) == pytest.approx(0.25)
+
+    def test_greater_than(self):
+        expr = BinaryOp(">=", INT_COL, Literal(80))
+        assert estimate_selectivity(expr, ctx({0: UNIFORM})) == pytest.approx(0.2)
+
+    def test_between(self):
+        expr = Between(INT_COL, Literal(10), Literal(30))
+        assert estimate_selectivity(expr, ctx({0: UNIFORM})) == pytest.approx(0.2)
+
+    def test_date_range_with_constant_folding(self):
+        date_stats = ColumnStats(
+            distinct_count=365,
+            min_value=datetime.date(1994, 1, 1),
+            max_value=datetime.date(1995, 1, 1),
+        )
+        low = Literal(datetime.date(1994, 1, 1))
+        bound = BinaryOp("+", low, Literal(Interval(months=6)))
+        expr = BinaryOp("<", BoundColumn(0, DataType.DATE), bound)
+        result = estimate_selectivity(expr, ctx({0: date_stats}))
+        assert 0.45 < result < 0.55
+
+    def test_and_multiplies(self):
+        a = BinaryOp("<", INT_COL, Literal(50))
+        expr = BinaryOp("AND", a, a)
+        assert estimate_selectivity(expr, ctx({0: UNIFORM})) == pytest.approx(0.25)
+
+    def test_or_inclusion_exclusion(self):
+        a = BinaryOp("<", INT_COL, Literal(50))
+        expr = BinaryOp("OR", a, a)
+        assert estimate_selectivity(expr, ctx({0: UNIFORM})) == pytest.approx(0.75)
+
+    def test_not_complements(self):
+        a = BinaryOp("<", INT_COL, Literal(30))
+        expr = UnaryOp("NOT", a)
+        assert estimate_selectivity(expr, ctx({0: UNIFORM})) == pytest.approx(0.7)
+
+    def test_in_list_scales_with_size(self):
+        expr = InList(INT_COL, (Literal(1), Literal(2)))
+        assert estimate_selectivity(expr, ctx({0: UNIFORM})) == pytest.approx(0.02)
+
+    def test_is_null_uses_null_fraction(self):
+        stats = ColumnStats(distinct_count=10, null_fraction=0.3)
+        assert estimate_selectivity(IsNull(INT_COL), ctx({0: stats})) == pytest.approx(0.3)
+
+    def test_like_defaults(self):
+        expr = Like(BoundColumn(0, DataType.STRING), "%special%")
+        assert estimate_selectivity(expr, ctx()) == pytest.approx(0.1)
+
+    def test_missing_stats_fall_back(self):
+        expr = BinaryOp("<", INT_COL, Literal(5))
+        assert estimate_selectivity(expr, ctx()) == pytest.approx(1 / 3)
+
+    def test_result_clamped(self):
+        stats = ColumnStats(distinct_count=1, min_value=0, max_value=0)
+        expr = BinaryOp("=", INT_COL, Literal(0))
+        assert 0.0 <= estimate_selectivity(expr, ctx({0: stats})) <= 1.0
+
+
+class TestJoinCardinality:
+    def test_classic_formula(self):
+        assert estimate_equi_join_rows(1000, 500, 100, 50) == pytest.approx(5000)
+
+    def test_zero_distinct_guard(self):
+        assert estimate_equi_join_rows(10, 10, 0, 0) == pytest.approx(100)
+
+    def test_scaled_column_stats(self):
+        scaled = UNIFORM.scaled(10.0)
+        assert scaled.distinct_count == 1000

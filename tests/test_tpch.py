@@ -1,0 +1,201 @@
+"""Tests for the TPC-H substrate: generator, dataset scaling, queries."""
+
+import datetime
+
+import pytest
+
+from repro.common.rng import RngStream
+from repro.plans import execute_sql
+from repro.tpch import (
+    TPCH_QUERIES,
+    TpchDataset,
+    TpchGenerator,
+    rows_per_table,
+    tpch_schema,
+)
+from repro.tpch.schema import DBGEN_ROW_WIDTH_BYTES, ROWS_AT_SF1
+from repro.tpch.text import SPECIAL_REQUESTS_FRACTION
+
+SMALL_SF = 0.0005
+
+
+@pytest.fixture(scope="module")
+def dataset() -> TpchDataset:
+    return TpchDataset(scale_mib=100, physical_scale_factor=SMALL_SF, seed=7)
+
+
+class TestRowCounts:
+    def test_fixed_tables(self):
+        counts = rows_per_table(0.01)
+        assert counts["region"] == 5
+        assert counts["nation"] == 25
+
+    def test_scaling(self):
+        counts = rows_per_table(0.01)
+        assert counts["orders"] == 15_000
+        assert counts["customer"] == 1_500
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(Exception):
+            rows_per_table(0)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = TpchGenerator(SMALL_SF, seed=3).generate_all()
+        b = TpchGenerator(SMALL_SF, seed=3).generate_all()
+        for name in a:
+            assert a[name].to_rows() == b[name].to_rows(), name
+
+    def test_seed_changes_data(self):
+        a = TpchGenerator(SMALL_SF, seed=3).orders_and_lineitem()[0]
+        b = TpchGenerator(SMALL_SF, seed=4).orders_and_lineitem()[0]
+        assert a.to_rows() != b.to_rows()
+
+    def test_schemas_match(self, dataset):
+        for name, table in dataset.tables.items():
+            assert table.schema == tpch_schema(name), name
+
+    def test_lineitem_foreign_keys_valid(self, dataset):
+        order_keys = set(dataset.tables["orders"].column("o_orderkey"))
+        part_count = dataset.tables["part"].num_rows
+        lineitem = dataset.tables["lineitem"]
+        assert set(lineitem.column("l_orderkey")) <= order_keys
+        assert all(1 <= pk <= part_count for pk in lineitem.column("l_partkey"))
+
+    def test_orders_reference_customers(self, dataset):
+        customer_count = dataset.tables["customer"].num_rows
+        assert all(
+            1 <= ck <= customer_count
+            for ck in dataset.tables["orders"].column("o_custkey")
+        )
+
+    def test_date_invariants(self, dataset):
+        lineitem = dataset.tables["lineitem"]
+        ship = lineitem.column("l_shipdate")
+        receipt = lineitem.column("l_receiptdate")
+        assert all(r > s for s, r in zip(ship, receipt))
+
+    def test_quantity_range(self, dataset):
+        quantities = dataset.tables["lineitem"].column("l_quantity")
+        assert all(1 <= q <= 50 for q in quantities)
+
+    def test_order_status_consistent_with_lines(self, dataset):
+        lineitem = dataset.tables["lineitem"]
+        status_by_order: dict[int, set] = {}
+        for key, status in zip(
+            lineitem.column("l_orderkey"), lineitem.column("l_linestatus")
+        ):
+            status_by_order.setdefault(key, set()).add(status)
+        orders = dataset.tables["orders"]
+        for key, status in zip(
+            orders.column("o_orderkey"), orders.column("o_orderstatus")
+        ):
+            lines = status_by_order[key]
+            if status == "F":
+                assert lines == {"F"}
+            elif status == "O":
+                assert lines == {"O"}
+            else:
+                assert lines == {"F", "O"}
+
+    def test_special_requests_fraction_in_comments(self):
+        # Large enough sample to test the Q13 predicate's target fraction.
+        orders = TpchGenerator(0.002, seed=11).orders_and_lineitem()[0]
+        comments = orders.column("o_comment")
+        matched = sum(
+            1 for c in comments if "special" in c and "requests" in c.split("special", 1)[1]
+        )
+        fraction = matched / len(comments)
+        assert SPECIAL_REQUESTS_FRACTION * 0.5 < fraction < SPECIAL_REQUESTS_FRACTION * 2
+
+    def test_priorities_all_appear(self, dataset):
+        priorities = set(dataset.tables["orders"].column("o_orderpriority"))
+        assert "1-URGENT" in priorities and "5-LOW" in priorities
+
+
+class TestDatasetScaling:
+    def test_scale_factor_from_mib(self):
+        ds = TpchDataset(scale_mib=1024, physical_scale_factor=SMALL_SF)
+        assert ds.scale_factor == pytest.approx(1.1, abs=0.25)
+
+    def test_logical_rows_scale_linearly(self):
+        small = TpchDataset(100, physical_scale_factor=SMALL_SF)
+        large = TpchDataset(1024, physical_scale_factor=SMALL_SF)
+        ratio = (
+            large.logical_stats["orders"].row_count
+            / small.logical_stats["orders"].row_count
+        )
+        assert ratio == pytest.approx(10.24, rel=0.01)
+
+    def test_logical_sizes_use_dbgen_widths(self, dataset):
+        stats = dataset.logical_stats["orders"]
+        assert stats.size_bytes == stats.row_count * DBGEN_ROW_WIDTH_BYTES["orders"]
+
+    def test_key_columns_distinct_scales(self, dataset):
+        logical = dataset.logical_stats["orders"].column("o_orderkey")
+        physical = dataset.physical_stats["orders"].column("o_orderkey")
+        assert logical.distinct_count > physical.distinct_count
+
+    def test_categorical_distinct_preserved(self, dataset):
+        logical = dataset.logical_stats["orders"].column("o_orderpriority")
+        physical = dataset.physical_stats["orders"].column("o_orderpriority")
+        assert logical.distinct_count == physical.distinct_count
+
+    def test_fixed_tables_not_scaled(self, dataset):
+        assert dataset.logical_stats["nation"].row_count == 25
+
+    def test_catalog_has_all_tables(self, dataset):
+        assert set(dataset.catalog.table_names()) == set(ROWS_AT_SF1)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("key", list(TPCH_QUERIES))
+    def test_query_executes(self, dataset, key):
+        template = TPCH_QUERIES[key]
+        rng = RngStream(5, "params", key)
+        sql = template.render(rng=rng)
+        result = execute_sql(sql, dataset.catalog)
+        assert result.num_rows >= 0  # executes without error
+
+    def test_q12_returns_two_modes(self, dataset):
+        sql = TPCH_QUERIES["q12"].render(
+            {"shipmode1": "MAIL", "shipmode2": "SHIP", "year": 1994}
+        )
+        result = execute_sql(sql, dataset.catalog)
+        assert result.num_rows <= 2
+        assert set(result.schema.names) == {"l_shipmode", "high_line_count", "low_line_count"}
+
+    def test_q13_includes_zero_order_customers(self, dataset):
+        sql = TPCH_QUERIES["q13"].render({"word1": "special", "word2": "requests"})
+        result = execute_sql(sql, dataset.catalog)
+        counts = dict(result.to_rows())
+        customers = dataset.tables["customer"].num_rows
+        assert sum(counts.values()) == customers
+
+    def test_q14_is_percentage(self, dataset):
+        sql = TPCH_QUERIES["q14"].render({"date": "1994-03-01"})
+        result = execute_sql(sql, dataset.catalog)
+        value = result.row(0)[0]
+        if value is not None:  # empty month possible at tiny physical scale
+            assert 0.0 <= value <= 100.0
+
+    def test_q17_single_row(self, dataset):
+        sql = TPCH_QUERIES["q17"].render({"brand": "Brand#11", "container": "SM BOX"})
+        result = execute_sql(sql, dataset.catalog)
+        assert result.num_rows == 1
+
+    def test_render_requires_params_or_rng(self):
+        with pytest.raises(Exception):
+            TPCH_QUERIES["q12"].render()
+
+    def test_param_generators_vary(self):
+        rng = RngStream(5, "vary")
+        samples = {tuple(sorted(TPCH_QUERIES["q12"].sample_params(rng).items())) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_tables_attribute_matches_paper(self):
+        assert TPCH_QUERIES["q12"].tables == ("orders", "lineitem")
+        assert TPCH_QUERIES["q13"].tables == ("customer", "orders")
+        assert TPCH_QUERIES["q14"].tables == ("lineitem", "part")
+        assert TPCH_QUERIES["q17"].tables == ("lineitem", "part")

@@ -1,0 +1,180 @@
+"""Tests for workload runners and experiment drivers (small configs)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.rng import RngStream
+from repro.experiments import (
+    PAPER_TABLE2_ROWS,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    format_example31,
+    format_mre_table,
+    format_table1,
+    format_table2,
+    run_example31,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.mre import (
+    ESTIMATOR_ORDER,
+    MreExperimentConfig,
+    MreExperimentResult,
+    evaluate_history,
+    run_mre_experiment,
+)
+from repro.workloads import DRIFT_SCENARIOS, drift_scenario
+from repro.workloads.tpch_runner import TpchFederationConfig, TpchFederationWorkload
+
+
+class TestDriftScenarios:
+    def test_all_scenarios_instantiate(self):
+        rng = RngStream(1, "drift")
+        for name in DRIFT_SCENARIOS:
+            load = drift_scenario(name, rng.child(name))
+            series = load.series(50)
+            assert all(f > 0 for f in series), name
+
+    def test_none_is_flat(self):
+        load = drift_scenario("none", RngStream(1, "x"))
+        assert load.series(10) == [1.0] * 10
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            drift_scenario("hurricane", RngStream(1, "x"))
+
+    def test_harsh_has_more_variance_than_mild(self):
+        import statistics
+
+        mild = drift_scenario("mild", RngStream(5, "m")).series(300)
+        harsh = drift_scenario("harsh", RngStream(5, "h")).series(300)
+        assert statistics.pstdev(harsh) > statistics.pstdev(mild)
+
+
+class TestWorkloadRunner:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return TpchFederationWorkload(
+            TpchFederationConfig(scale_mib=100, queries=("q12",), drift="mild")
+        )
+
+    def test_history_size_and_order(self, workload):
+        history = workload.build_history("q12", 15)
+        assert history.size == 15
+        ticks = [obs.tick for obs in history.observations]
+        assert ticks == sorted(ticks)
+
+    def test_history_has_positive_times(self, workload):
+        history = workload.build_history("q12", 10)
+        times = [obs.costs["time"] for obs in history.observations]
+        assert all(t > 0 for t in times)
+
+    def test_features_match_enumerator(self, workload):
+        history = workload.build_history("q12", 5)
+        expected = workload.enumerator.feature_names(("orders", "lineitem"))
+        assert history.feature_names == expected
+
+    def test_deterministic_under_seed(self):
+        def build():
+            wl = TpchFederationWorkload(
+                TpchFederationConfig(scale_mib=100, queries=("q12",), seed=9)
+            )
+            return [o.costs["time"] for o in wl.build_history("q12", 8).observations]
+
+        assert build() == build()
+
+    def test_sampled_sizes_vary(self, workload):
+        history = workload.build_history("q12", 12)
+        sizes = {round(o.features["size_orders_mib"], 4) for o in history.observations}
+        assert len(sizes) > 1
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        result = run_table1()
+        assert result.matches_paper
+        assert len(result.rows) == 11
+
+    def test_format_mentions_match(self):
+        text = format_table1(run_table1())
+        assert "matches the paper verbatim" in text
+        assert "$0.0049" in text
+
+
+class TestTable2:
+    def test_r2_matches_paper_closely(self):
+        result = run_table2()
+        assert result.max_abs_difference < 1e-3
+
+    def test_threshold_crossing_at_m6(self):
+        assert run_table2().first_m_above_08 == 6
+
+    def test_dataset_is_ten_rows(self):
+        assert len(PAPER_TABLE2_ROWS) == 10
+
+    def test_format(self):
+        text = format_table2(run_table2())
+        assert "M = 6" in text
+
+
+class TestMreExperiment:
+    @pytest.fixture(scope="class")
+    def result(self) -> MreExperimentResult:
+        return run_mre_experiment(
+            MreExperimentConfig(
+                scale_mib=100,
+                train_runs=40,
+                test_runs=8,
+                seeds=(7,),
+                queries=("q12",),
+            )
+        )
+
+    def test_all_estimators_reported(self, result):
+        assert set(result.mre["q12"]) == set(ESTIMATOR_ORDER)
+
+    def test_mre_positive(self, result):
+        assert all(v > 0 for v in result.mre["q12"].values())
+
+    def test_dream_window_bounded(self, result):
+        assert 6 <= result.dream_window_mean["q12"] <= 4 * 6
+
+    def test_format_contains_paper_values(self, result):
+        text = format_mre_table(result, {"q12": PAPER_TABLE3["q12"]}, "t")
+        assert "(0.265)" in text
+
+    def test_paper_reference_tables_complete(self):
+        for table in (PAPER_TABLE3, PAPER_TABLE4):
+            assert set(table) == {"q12", "q13", "q14", "q17"}
+            for row in table.values():
+                assert set(row) == set(ESTIMATOR_ORDER)
+
+    def test_paper_dream_always_smallest(self):
+        """Sanity on the digitised paper numbers themselves."""
+        for table in (PAPER_TABLE3, PAPER_TABLE4):
+            for row in table.values():
+                assert row["DREAM"] == min(row.values())
+
+    def test_evaluate_history_insufficient_data(self):
+        from repro.core.history import ExecutionHistory
+
+        history = ExecutionHistory(("a",), ("time",))
+        for t in range(4):
+            history.append(t, {"a": float(t)}, {"time": 1.0 + t})
+        with pytest.raises(ValueError, match="at least"):
+            evaluate_history(history, test_runs=3)
+
+
+class TestExample31:
+    def test_count_matches_paper(self):
+        result = run_example31(window_sizes=(6, 24), repeats=1)
+        assert result.configuration_count == 18_200
+        assert result.matches_paper
+
+    def test_estimation_cost_grows_with_window(self):
+        result = run_example31(window_sizes=(6, 1536), repeats=2)
+        assert result.estimation_seconds[1536] > result.estimation_seconds[6]
+
+    def test_format(self):
+        text = format_example31(run_example31(window_sizes=(6, 96), repeats=1))
+        assert "18,200" in text or "18200" in text
