@@ -1,0 +1,188 @@
+"""Incremental DREAM vs the seed batch path at Example 3.1 scale.
+
+The hot loop of the paper's optimizer: every query submission must cost
+*every* equivalent QEP (Example 3.1: thousands of configurations for one
+plan) from a freshly chosen training window, under a drifting load
+(``cloud/variability.py``).  This benchmark replays that loop over a
+TPC-H federation history two ways:
+
+* **seed path** — batch :class:`DreamEstimator` refits every window size
+  from scratch on each call and predictions walk the candidate set in a
+  per-row Python loop (the repository's original behaviour);
+* **incremental path** — :class:`OnlineDreamEstimator` reuses state
+  across ticks (version cache + rank-one window growth) and
+  ``DreamResult.predict_batch`` costs the whole candidate set with one
+  matmul + vectorised clamp per metric.
+
+Both paths must choose identical windows and agree on every prediction
+to 1e-6; the incremental path must be at least 5x faster end to end.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_dream_incremental.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.core import DreamEstimator, ExecutionHistory, OnlineDreamEstimator
+from repro.plans.binder import plan_sql
+from repro.plans.optimizer import optimize
+from repro.tpch.queries import TPCH_QUERIES
+from repro.workloads.tpch_runner import TpchFederationConfig, TpchFederationWorkload
+
+R2_REQUIRED = 0.8
+MAX_WINDOW = 40
+#: Optimizer calls per executed query (plan costing happens more often
+#: than execution — e.g. re-planning under different user policies).
+CALLS_PER_TICK = 2
+
+
+@dataclass(frozen=True)
+class IncrementalReport:
+    candidate_count: int
+    ticks: int
+    seed_seconds: float
+    incremental_seconds: float
+    max_relative_difference: float
+    windows_identical: bool
+    mean_window: float
+
+    @property
+    def speedup(self) -> float:
+        return self.seed_seconds / self.incremental_seconds
+
+
+def _qep_space_workload(quick: bool) -> TpchFederationWorkload:
+    """A q12 federation whose QEP space tops 1000 candidates."""
+    return TpchFederationWorkload(
+        TpchFederationConfig(
+            scale_mib=100.0,
+            queries=("q12",),
+            drift="paper",  # default_federation_load drift
+            fixed_execution=None,  # both engines -> indicator feature
+            node_options={
+                "cloud-a": list(range(2, 22)),  # 20 options
+                "cloud-b": list(range(2, 28)),  # 26 options
+            },
+        )
+    )
+
+
+def run_dream_incremental(quick: bool = False) -> IncrementalReport:
+    warmup_runs = 20 if quick else 40
+    ticks = 10 if quick else 30
+
+    workload = _qep_space_workload(quick)
+    template = TPCH_QUERIES["q12"]
+    source = workload.build_history("q12", warmup_runs + ticks)
+
+    params = template.sample_params(RngStream(23, "bench-params"))
+    plan = optimize(plan_sql(template.render(params), workload.dataset.catalog))
+    candidates = workload.enumerator.enumerate(
+        "q12", plan, workload.dataset.logical_stats, template.tables
+    )
+    feature_names = source.feature_names
+    matrix = np.array(
+        [[c.features[name] for name in feature_names] for c in candidates],
+        dtype=float,
+    )
+
+    # Replay the stream: warm up, then per tick append one execution and
+    # run CALLS_PER_TICK optimizer costings of the full candidate set.
+    replay = ExecutionHistory(feature_names, source.metric_names)
+    observations = source.observations
+    for obs in observations[:warmup_runs]:
+        replay.append(obs.tick, obs.features, obs.costs)
+
+    batch = DreamEstimator(r2_required=R2_REQUIRED, max_window=MAX_WINDOW)
+    online = OnlineDreamEstimator(r2_required=R2_REQUIRED, max_window=MAX_WINDOW)
+    metrics = source.metric_names
+
+    seed_seconds = 0.0
+    incremental_seconds = 0.0
+    max_diff = 0.0
+    windows_identical = True
+    windows: list[int] = []
+
+    for obs in observations[warmup_runs:]:
+        replay.append(obs.tick, obs.features, obs.costs)
+
+        started = time.perf_counter()
+        for _ in range(CALLS_PER_TICK):
+            seed_result = batch.fit(replay.datasets())
+            seed_rows = [seed_result.predict(row) for row in matrix]
+        seed_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        for _ in range(CALLS_PER_TICK):
+            fast_result = online.fit(replay)
+            fast_columns = fast_result.predict_batch(matrix)
+        incremental_seconds += time.perf_counter() - started
+
+        windows_identical &= seed_result.window_size == fast_result.window_size
+        windows_identical &= seed_result.window_sizes == fast_result.window_sizes
+        windows.append(fast_result.window_size)
+        for j, metric in enumerate(metrics):
+            seed_column = np.array([row[metric] for row in seed_rows])
+            scale = np.maximum(np.abs(seed_column), 1e-9)
+            max_diff = max(
+                max_diff,
+                float(np.max(np.abs(seed_column - fast_columns[metric]) / scale)),
+            )
+
+    return IncrementalReport(
+        candidate_count=len(candidates),
+        ticks=ticks,
+        seed_seconds=seed_seconds,
+        incremental_seconds=incremental_seconds,
+        max_relative_difference=max_diff,
+        windows_identical=windows_identical,
+        mean_window=float(np.mean(windows)),
+    )
+
+
+def format_report(report: IncrementalReport) -> str:
+    lines = [
+        "Incremental DREAM vs seed batch path (Example 3.1-scale QEP space)",
+        "------------------------------------------------------------------",
+        f"QEP candidates per costing    : {report.candidate_count}",
+        f"ticks x optimizer calls       : {report.ticks} x {CALLS_PER_TICK}",
+        f"mean DREAM window             : {report.mean_window:.1f}",
+        f"seed path (refit + row loop)  : {report.seed_seconds * 1e3:8.1f} ms",
+        f"incremental (RLS + batch)     : {report.incremental_seconds * 1e3:8.1f} ms",
+        f"speedup                       : {report.speedup:8.1f}x",
+        f"max relative prediction diff  : {report.max_relative_difference:.2e}",
+        f"windows identical             : {report.windows_identical}",
+    ]
+    return "\n".join(lines)
+
+
+def check_report(report: IncrementalReport) -> None:
+    assert report.candidate_count >= 1000, report.candidate_count
+    assert report.windows_identical
+    assert report.max_relative_difference <= 1e-6
+    assert report.speedup >= 5.0, f"speedup only {report.speedup:.1f}x"
+
+
+def test_dream_incremental_speedup(benchmark):
+    from conftest import record_result
+
+    report = benchmark.pedantic(run_dream_incremental, rounds=1, iterations=1)
+    record_result("dream_incremental", format_report(report))
+    check_report(report)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller stream for CI smoke runs"
+    )
+    arguments = parser.parse_args()
+    final = run_dream_incremental(quick=arguments.quick)
+    print(format_report(final))
+    check_report(final)

@@ -9,7 +9,7 @@ it trains on fresh observations only.
 """
 
 from repro.core.history import ExecutionHistory, Observation
-from repro.core.dream import DreamEstimator, DreamResult
+from repro.core.dream import DreamEstimator, DreamResult, OnlineDreamEstimator
 from repro.core.cost_model import MultiCostModel
 
 __all__ = [
@@ -17,5 +17,6 @@ __all__ = [
     "Observation",
     "DreamEstimator",
     "DreamResult",
+    "OnlineDreamEstimator",
     "MultiCostModel",
 ]

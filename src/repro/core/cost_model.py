@@ -53,6 +53,34 @@ class MultiCostModel:
         predictions = self.predict(features)
         return tuple(predictions[metric] for metric in order)
 
+    def predict_batch(self, features_matrix) -> dict[str, np.ndarray]:
+        """Predict every row at once: metric -> (n,) vector.
+
+        Each per-metric regressor receives the full (n, L) matrix in one
+        call, so vectorised models (DREAM's clamped MLR) cost the whole
+        QEP candidate set with a single matmul instead of n Python calls.
+        """
+        matrix = np.asarray(features_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.feature_names):
+            raise EstimationError(
+                f"expected (n, {len(self.feature_names)}) features "
+                f"({', '.join(self.feature_names)}), got shape {matrix.shape}"
+            )
+        return {
+            metric: np.asarray(model.predict(matrix), dtype=float)
+            for metric, model in self._models.items()
+        }
+
+    def predict_matrix(self, features_matrix, order: tuple[str, ...]) -> np.ndarray:
+        """Batched :meth:`predict_vector`: an (n, len(order)) objective matrix."""
+        predictions = self.predict_batch(features_matrix)
+        try:
+            return np.column_stack([predictions[metric] for metric in order])
+        except KeyError as exc:
+            raise EstimationError(
+                f"unknown metric {exc.args[0]!r}; have {sorted(self._models)}"
+            ) from None
+
     def features_dict_to_vector(self, features: dict[str, float]) -> np.ndarray:
         try:
             return np.array([features[name] for name in self.feature_names], dtype=float)

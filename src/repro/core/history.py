@@ -41,6 +41,12 @@ class ExecutionHistory:
         self.feature_names = tuple(feature_names)
         self.metric_names = tuple(metric_names)
         self._observations: list[Observation] = []
+        #: Monotonically increasing change counter, bumped on every
+        #: append.  Incremental estimators key their per-metric state on
+        #: this, so an unchanged history means a cache hit.
+        self._version = 0
+        self._observations_view: tuple[Observation, ...] | None = None
+        self._matrix_cache: np.ndarray | None = None
 
     # Mutation ------------------------------------------------------------
 
@@ -62,6 +68,9 @@ class ExecutionHistory:
                 {name: float(costs[name]) for name in self.metric_names},
             )
         )
+        self._version += 1
+        self._observations_view = None
+        self._matrix_cache = None
 
     # Introspection ---------------------------------------------------------
 
@@ -70,8 +79,16 @@ class ExecutionHistory:
         return len(self._observations)
 
     @property
-    def observations(self) -> list[Observation]:
-        return list(self._observations)
+    def version(self) -> int:
+        """Bumped on every append; equal versions mean identical content."""
+        return self._version
+
+    @property
+    def observations(self) -> tuple[Observation, ...]:
+        """Read-only view, cached until the next append (no per-access copy)."""
+        if self._observations_view is None:
+            self._observations_view = tuple(self._observations)
+        return self._observations_view
 
     def last_tick(self) -> int:
         if not self._observations:
@@ -81,25 +98,48 @@ class ExecutionHistory:
     # Dataset views -----------------------------------------------------------
 
     def feature_matrix(self) -> np.ndarray:
-        return np.array(
-            [[obs.features[name] for name in self.feature_names] for obs in self._observations],
-            dtype=float,
-        ).reshape(len(self._observations), len(self.feature_names))
+        """The (M, L) feature matrix, cached until the next append.
 
-    def dataset(self, metric: str) -> Dataset:
-        """The full history as a Dataset targeting one metric."""
+        The returned array is marked read-only: every per-metric Dataset
+        shares it, so mutating it would corrupt all of them.
+        """
+        if self._matrix_cache is None:
+            matrix = np.array(
+                [
+                    [obs.features[name] for name in self.feature_names]
+                    for obs in self._observations
+                ],
+                dtype=float,
+            ).reshape(len(self._observations), len(self.feature_names))
+            matrix.flags.writeable = False
+            self._matrix_cache = matrix
+        return self._matrix_cache
+
+    def targets(self, metric: str) -> np.ndarray:
+        """The (M,) target vector of one metric."""
         if metric not in self.metric_names:
             raise EstimationError(
                 f"unknown metric {metric!r}; history tracks {self.metric_names}"
             )
-        targets = np.array(
+        return np.array(
             [obs.costs[metric] for obs in self._observations], dtype=float
         )
-        return Dataset(self.feature_matrix(), targets, self.feature_names)
+
+    def dataset(self, metric: str) -> Dataset:
+        """The full history as a Dataset targeting one metric."""
+        return Dataset(self.feature_matrix(), self.targets(metric), self.feature_names)
 
     def datasets(self) -> dict[str, Dataset]:
-        """One Dataset per tracked metric (shared feature matrix)."""
-        return {metric: self.dataset(metric) for metric in self.metric_names}
+        """One Dataset per tracked metric, sharing ONE feature matrix.
+
+        The matrix is materialised once (and cached); each per-metric
+        Dataset holds a reference to the same array object.
+        """
+        features = self.feature_matrix()
+        return {
+            metric: Dataset(features, self.targets(metric), self.feature_names)
+            for metric in self.metric_names
+        }
 
     def __len__(self) -> int:
         return self.size

@@ -3,6 +3,9 @@
 Bridges the optimizer's choice to the engine simulators and logs the
 measured costs as a new observation — closing the loop of Figure 2
 (executions continuously refresh the training set DREAM draws from).
+Logging bumps ``ExecutionHistory.version``, which is the signal the
+incremental estimator keys on: between executions every Modelling fit
+is a cache hit; after one, only the new observation is folded in.
 """
 
 from __future__ import annotations
@@ -36,6 +39,8 @@ class Executor:
             plan, stats, candidate.placement, candidate.clusters, tick
         )
         if history is not None:
+            # ExecutionHistory.append keeps only the metrics the history
+            # tracks and bumps its version for the incremental estimator.
             history.append(tick, candidate.features, self.costs_of(execution.metrics))
         return execution
 

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.common.errors import EstimationError
 from repro.core.cost_model import MultiCostModel
-from repro.core.dream import DreamEstimator, DreamResult
+from repro.core.dream import DreamEstimator, DreamResult, OnlineDreamEstimator
 from repro.core.history import ExecutionHistory
 from repro.ml.base import Regressor
 from repro.ml.selection import BestModelSelector, ObservationWindow
@@ -40,6 +40,10 @@ class FittedCostModel:
 
     def predict(self, features) -> dict[str, float]:
         return self.model.predict(features)
+
+    def predict_batch(self, features_matrix) -> dict[str, np.ndarray]:
+        """Cost a whole candidate set in one vectorised call per metric."""
+        return self.model.predict_batch(features_matrix)
 
 
 class EstimationStrategy(ABC):
@@ -67,21 +71,53 @@ class _ClampedDreamModel(Regressor):
         raise EstimationError("clamped DREAM models are fitted by DreamEstimator")
 
     def _predict(self, features: np.ndarray) -> np.ndarray:
-        return np.array(
-            [self._result.predict_metric(self._metric, row) for row in features]
-        )
+        # One design-matrix multiplication + vectorised clamp for ALL
+        # rows (the old implementation looped Python-side per row).
+        return self._result.predict_metric_batch(self._metric, features)
 
 
 class DreamStrategy(EstimationStrategy):
-    """DREAM: dynamic-window MLR per metric (Algorithm 1)."""
+    """DREAM: dynamic-window MLR per metric (Algorithm 1).
+
+    ``incremental=True`` (default) keeps one
+    :class:`~repro.core.dream.OnlineDreamEstimator` per registered
+    history, so repeated fits between executions are cache hits and each
+    window-widening step is a rank-one update.  ``incremental=False``
+    falls back to the batch reference estimator on every call.
+    """
 
     name = "dream"
 
-    def __init__(self, r2_required: float = 0.8, max_window: int | None = None):
+    def __init__(
+        self,
+        r2_required: float = 0.8,
+        max_window: int | None = None,
+        incremental: bool = True,
+    ):
         self._estimator = DreamEstimator(r2_required, max_window)
+        self.incremental = incremental
+        self.r2_required = r2_required
+        self.max_window = max_window
+        #: id(history) -> (history, engine).  The history reference is
+        #: kept so the id stays valid for the engine's lifetime.
+        self._engines: dict[int, tuple[ExecutionHistory, OnlineDreamEstimator]] = {}
+
+    def _engine_for(self, history: ExecutionHistory) -> OnlineDreamEstimator:
+        key = id(history)
+        entry = self._engines.get(key)
+        if entry is None or entry[0] is not history:
+            entry = (
+                history,
+                OnlineDreamEstimator(self.r2_required, self.max_window),
+            )
+            self._engines[key] = entry
+        return entry[1]
 
     def fit(self, history: ExecutionHistory) -> FittedCostModel:
-        result = self._estimator.fit(history.datasets())
+        if self.incremental:
+            result = self._engine_for(history).fit(history)
+        else:
+            result = self._estimator.fit(history.datasets())
         models = {
             metric: _ClampedDreamModel(result, metric) for metric in result.models
         }

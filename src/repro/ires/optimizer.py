@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.common.errors import ValidationError
 from repro.ires.enumerator import QepCandidate
 from repro.ires.modelling import FittedCostModel
@@ -56,6 +58,33 @@ class MultiObjectiveOptimizer:
 
         return EnumeratedProblem(candidates, evaluate, len(metrics))
 
+    @staticmethod
+    def evaluate_all_batched(
+        candidates: list[QepCandidate],
+        cost_model: FittedCostModel,
+        metrics: tuple[str, ...],
+    ) -> list[Candidate]:
+        """Exhaustive evaluation through the batched prediction path.
+
+        One (n, L) feature matrix, one ``predict_batch`` call — this is
+        how an Example 3.1-scale space (thousands of equivalent QEPs) is
+        costed without a per-plan Python round trip.
+        """
+        if not candidates:  # same contract as EnumeratedProblem
+            raise ValidationError("problem needs at least one candidate")
+        features = np.array(
+            [
+                cost_model.model.features_dict_to_vector(candidate.features)
+                for candidate in candidates
+            ],
+            dtype=float,
+        ).reshape(len(candidates), -1)
+        objectives = cost_model.model.predict_matrix(features, metrics)
+        return [
+            Candidate(candidate, tuple(map(float, row)))
+            for candidate, row in zip(candidates, objectives)
+        ]
+
     def pareto_set(
         self,
         candidates: list[QepCandidate],
@@ -63,14 +92,14 @@ class MultiObjectiveOptimizer:
         metrics: tuple[str, ...],
     ) -> list[Candidate]:
         """The (approximate) Pareto plan set under predicted costs."""
-        problem = self.build_problem(candidates, cost_model, metrics)
         algorithm = self.config.algorithm
-        if algorithm == "exact" and problem.size > self.config.exact_limit:
+        if algorithm == "exact" and len(candidates) > self.config.exact_limit:
             algorithm = "nsga2"
         if algorithm == "exact":
-            evaluated = problem.evaluate_all()
+            evaluated = self.evaluate_all_batched(candidates, cost_model, metrics)
             front = pareto_front_indices([c.objectives for c in evaluated])
             return [evaluated[i] for i in front]
+        problem = self.build_problem(candidates, cost_model, metrics)
         if algorithm == "nsga2":
             return Nsga2(self.config.nsga2).optimise(problem)
         return NsgaG(self.config.nsga_g).optimise(problem)

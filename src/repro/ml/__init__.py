@@ -17,7 +17,11 @@ from repro.ml.metrics import (
     total_sum_of_squares,
 )
 from repro.ml.base import Regressor
-from repro.ml.linear import MultipleLinearRegression, minimum_observations
+from repro.ml.linear import (
+    MultipleLinearRegression,
+    RecursiveLeastSquares,
+    minimum_observations,
+)
 from repro.ml.tree import RegressionTree
 from repro.ml.bagging import BaggingRegressor
 from repro.ml.mlp import MLPRegressor
@@ -38,6 +42,7 @@ __all__ = [
     "total_sum_of_squares",
     "Regressor",
     "MultipleLinearRegression",
+    "RecursiveLeastSquares",
     "minimum_observations",
     "RegressionTree",
     "BaggingRegressor",

@@ -4,6 +4,16 @@ Solves ``B = (A^T A)^-1 A^T C`` (paper Eq. 12) for the design matrix with
 an intercept column (Eq. 8).  A pseudo-inverse is used when the normal
 matrix is singular (e.g. constant features inside a small window), which
 returns the minimum-norm solution instead of failing.
+
+Two implementations share the algebra:
+
+* :class:`MultipleLinearRegression` — the batch fit/predict regressor
+  used by the BML pool and kept as DREAM's reference oracle.
+* :class:`RecursiveLeastSquares` — an incremental core for Algorithm 1's
+  ``m += 1`` loop: the normal matrix ``A^T A`` and moment vector
+  ``A^T c`` grow by rank-one updates and the inverse is maintained with
+  the Sherman-Morrison identity, so widening the window by one
+  observation costs O(L^2) instead of a full O(m L^2) refit.
 """
 
 from __future__ import annotations
@@ -99,3 +109,194 @@ class MultipleLinearRegression(Regressor):
             name = feature_names[i] if feature_names else f"x{i + 1}"
             terms.append(f"{slope:+.4g}*{name}")
         return "c_hat = " + " ".join(terms) + f"   (R^2 = {self.r_squared_:.4f})"
+
+
+class RecursiveLeastSquares:
+    """Incremental OLS: rank-one window growth in O(L^2) per observation.
+
+    Maintains the sufficient statistics of the normal equations —
+    ``A^T A``, ``A^T c``, ``sum c``, ``sum c^2`` — plus the inverse
+    ``(A^T A)^-1`` updated with Sherman-Morrison.  Folding an observation
+    in (or out, via :meth:`downdate`) is order-independent, which is what
+    DREAM's backwards-growing window needs: the window ``m -> m + 1``
+    step adds one *older* observation to the same sufficient statistics.
+
+    The training R^2 comes straight from the maintained scalars (O(L^2));
+    the leave-one-out PRESS R^2 needs the window rows themselves (one
+    vectorised pass, see :meth:`press_r_squared`).  Both agree with the
+    batch :class:`MultipleLinearRegression` to ~1e-10 on well-conditioned
+    data; when the normal matrix is singular the inverse falls back to
+    the same pseudo-inverse the batch fit uses.
+    """
+
+    def __init__(self, dimension: int):
+        if dimension < 1:
+            raise EstimationError(f"dimension must be >= 1, got {dimension}")
+        self.dimension = int(dimension)
+        k = self.dimension + 1  # intercept column
+        self._xtx = np.zeros((k, k))
+        self._xty = np.zeros(k)
+        self._sum_y = 0.0
+        self._sum_y2 = 0.0
+        self._count = 0
+        #: Maintained (A^T A)^-1 (or pseudo-inverse); None means stale.
+        self._inverse: np.ndarray | None = None
+        self._singular = False
+
+    # State ---------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def copy(self) -> "RecursiveLeastSquares":
+        clone = RecursiveLeastSquares(self.dimension)
+        clone._xtx = self._xtx.copy()
+        clone._xty = self._xty.copy()
+        clone._sum_y = self._sum_y
+        clone._sum_y2 = self._sum_y2
+        clone._count = self._count
+        clone._inverse = None if self._inverse is None else self._inverse.copy()
+        clone._singular = self._singular
+        return clone
+
+    def _row(self, features) -> np.ndarray:
+        z = np.asarray(features, dtype=float).reshape(-1)
+        if z.shape[0] != self.dimension:
+            raise EstimationError(
+                f"expected {self.dimension} features, got {z.shape[0]}"
+            )
+        return np.concatenate(([1.0], z))
+
+    # Rank-one updates -----------------------------------------------------
+
+    def update(self, features, target: float) -> None:
+        """Fold one observation in: O(L^2)."""
+        z = self._row(features)
+        y = float(target)
+        self._xtx += np.outer(z, z)
+        self._xty += z * y
+        self._sum_y += y
+        self._sum_y2 += y * y
+        self._count += 1
+        if self._inverse is not None and not self._singular:
+            pz = self._inverse @ z
+            denominator = 1.0 + float(z @ pz)
+            if denominator <= 1e-12:  # inverse no longer trustworthy
+                self._inverse = None
+            else:
+                self._inverse -= np.outer(pz, pz) / denominator
+                self._inverse = 0.5 * (self._inverse + self._inverse.T)
+        else:
+            self._inverse = None
+
+    def downdate(self, features, target: float) -> None:
+        """Fold one observation out (sliding the window): O(L^2)."""
+        if self._count <= 0:
+            raise EstimationError("cannot downdate an empty window")
+        z = self._row(features)
+        y = float(target)
+        self._xtx -= np.outer(z, z)
+        self._xty -= z * y
+        self._sum_y -= y
+        self._sum_y2 -= y * y
+        self._count -= 1
+        if self._inverse is not None and not self._singular:
+            pz = self._inverse @ z
+            denominator = 1.0 - float(z @ pz)
+            if denominator <= 1e-12:  # removal makes the matrix singular
+                self._inverse = None
+            else:
+                self._inverse += np.outer(pz, pz) / denominator
+                self._inverse = 0.5 * (self._inverse + self._inverse.T)
+        else:
+            self._inverse = None
+
+    # Derived quantities ---------------------------------------------------
+
+    def well_conditioned(self, max_condition: float = 1e8) -> bool:
+        """Whether the normal matrix supports the fast inverse path.
+
+        Rank-deficient windows (duplicated rows, constant features) lose
+        ~cond^2 significant digits through the normal equations, so the
+        incremental solution can diverge from the batch oracle there —
+        callers should refit that window with the batch path instead.  A
+        False result also marks the maintained inverse stale, forcing a
+        fresh factorisation once the window is well-conditioned again.
+        """
+        if self._count == 0:
+            return False
+        condition = np.linalg.cond(self._xtx)
+        if not np.isfinite(condition) or condition > max_condition:
+            self._inverse = None
+            return False
+        return True
+
+    def _refresh_inverse(self) -> np.ndarray:
+        if self._inverse is None or self._singular:
+            try:
+                self._inverse = np.linalg.inv(self._xtx)
+                self._singular = False
+            except np.linalg.LinAlgError:
+                self._inverse = np.linalg.pinv(self._xtx)
+                self._singular = True
+            self._inverse = 0.5 * (self._inverse + self._inverse.T)
+        return self._inverse
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """OLS coefficients (intercept first), Eq. 12 on the window."""
+        if self._count == 0:
+            raise EstimationError("no observations folded in yet")
+        return self._refresh_inverse() @ self._xty
+
+    @property
+    def r_squared(self) -> float:
+        """Training R^2 (Eq. 14) from the maintained scalars alone."""
+        beta = self.coefficients
+        sse = self._sum_y2 - 2.0 * float(beta @ self._xty) + float(
+            beta @ self._xtx @ beta
+        )
+        sse = max(sse, 0.0)
+        sst = max(self._sum_y2 - self._sum_y**2 / self._count, 0.0)
+        if sst <= 1e-12 * max(1.0, self._sum_y2):
+            return 1.0 if sse <= 1e-12 * max(1.0, self._sum_y2) else 0.0
+        return 1.0 - sse / sst
+
+    def leverages(self, features: np.ndarray) -> np.ndarray:
+        """Hat-matrix diagonal of the given window rows under this fit."""
+        design = np.hstack(
+            [np.ones((features.shape[0], 1)), np.asarray(features, dtype=float)]
+        )
+        inverse = self._refresh_inverse()
+        return np.einsum("ij,jk,ik->i", design, inverse, design)
+
+    def press_r_squared(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Leave-one-out R^2 over the window rows (one vectorised pass).
+
+        Same closed form as the batch fit (``e_loo = e / (1 - h_ii)``)
+        but using the maintained inverse, so no new factorisation.
+        """
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        design = np.hstack([np.ones((features.shape[0], 1)), features])
+        fitted = design @ self.coefficients
+        residuals = targets - fitted
+        inverse = self._refresh_inverse()
+        leverages = np.einsum("ij,jk,ik->i", design, inverse, design)
+        denominator = np.clip(1.0 - leverages, 1e-6, None)
+        press = float(np.sum((residuals / denominator) ** 2))
+        sst = float(np.sum((targets - targets.mean()) ** 2))
+        if sst == 0.0:
+            return 1.0 if press == 0.0 else -1.0
+        return max(-1.0, 1.0 - press / sst)
+
+    def as_model(self, press_r_squared: float | None = None) -> MultipleLinearRegression:
+        """Snapshot the current window fit as a fitted batch model."""
+        model = MultipleLinearRegression()
+        model.coefficients_ = self.coefficients.copy()
+        model.r_squared_ = self.r_squared
+        model.press_r_squared_ = press_r_squared
+        model._dimension = self.dimension
+        model._fitted = True
+        return model

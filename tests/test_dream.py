@@ -72,6 +72,36 @@ class TestHistory:
         views = history.datasets()
         assert np.array_equal(views["time"].features, views["money"].features)
 
+    def test_datasets_share_one_matrix_object(self):
+        """Regression: the matrix is materialised once, not per metric."""
+        history = self.make()
+        for t in range(4):
+            history.append(t, {"size_a": t, "size_b": t}, {"time": t, "money": t})
+        views = history.datasets()
+        assert views["time"].features is views["money"].features
+        assert views["time"].features is history.feature_matrix()
+        assert not history.feature_matrix().flags.writeable
+
+    def test_feature_matrix_cache_invalidated_on_append(self):
+        history = self.make()
+        history.append(0, {"size_a": 1.0, "size_b": 2.0}, {"time": 1.0, "money": 1.0})
+        before = history.feature_matrix()
+        history.append(1, {"size_a": 3.0, "size_b": 4.0}, {"time": 2.0, "money": 2.0})
+        after = history.feature_matrix()
+        assert after.shape == (2, 2)
+        assert before.shape == (1, 2)
+
+    def test_version_increments_on_append(self):
+        history = self.make()
+        assert history.version == 0
+        history.append(0, {"size_a": 1.0, "size_b": 2.0}, {"time": 1.0, "money": 1.0})
+        assert history.version == 1
+        observations = history.observations
+        assert observations is history.observations  # cached view, no copy
+        history.append(1, {"size_a": 1.0, "size_b": 2.0}, {"time": 1.0, "money": 1.0})
+        assert history.version == 2
+        assert len(history.observations) == 2
+
 
 class TestDream:
     def test_stops_at_minimum_when_fresh_window_fits(self):
@@ -130,6 +160,47 @@ class TestDream:
         data = drifting_history(n=3)
         with pytest.raises(EstimationError, match="L \\+ 2"):
             DreamEstimator().fit({"time": data})
+
+    def test_max_window_below_minimum_raises(self):
+        """Regression: Mmax below L + 2 used to silently fit a first
+        window LARGER than max_window and report it converged."""
+        data = drifting_history(n=20, dimension=2)  # minimum window = 4
+        estimator = DreamEstimator(r2_required=0.8, max_window=3)
+        with pytest.raises(EstimationError, match="max_window=3.*L \\+ 2 = 4"):
+            estimator.fit({"time": data})
+
+    def test_converged_metric_is_frozen(self):
+        """Regression: a metric that hit its R^2 target must keep that
+        model while slower metrics force the window to keep growing."""
+        rng = RngStream(17, "freeze")
+        n = 12
+        # Duplicated feature values so a conflicting metric is unfittable.
+        features = np.repeat(np.arange(1.0, n / 2 + 1.0), 2).reshape(n, 1)
+        # "fast": garbage before the last 3 rows, exactly linear after.
+        fast = np.array(rng.uniform(0, 50, size=n))
+        fast[-3:] = 2.0 * features[-3:, 0] + 1.0
+        # "slow": conflicting targets on duplicated features — no linear
+        # model of any window size fits, so m is dragged up to Mmax.
+        slow = np.tile([0.0, 100.0], n // 2)
+        datasets = {
+            "fast": Dataset(features, fast, ("x",)),
+            "slow": Dataset(features, slow, ("x",)),
+        }
+        result = DreamEstimator(r2_required=0.8, max_window=8).fit(datasets)
+        assert result.window_sizes["fast"] == 3  # froze at first convergence
+        assert result.window_sizes["slow"] == 8
+        assert result.window_size == 8
+        assert result.r_squared["fast"] >= 0.8  # did not flip back down
+        # The frozen coefficients are the minimum-window fit, not a refit
+        # over the final window (which crosses the regime boundary).
+        minimum_fit = MultipleLinearRegression().fit(features[-3:], fast[-3:])
+        assert np.allclose(
+            result.models["fast"].coefficients_, minimum_fit.coefficients_
+        )
+        # Sanity: refitting "fast" on the final window would NOT clear
+        # the bar — without freezing, the converged R^2 would be lost.
+        refit = MultipleLinearRegression().fit(features[-8:], fast[-8:])
+        assert refit.press_r_squared_ < 0.8
 
     def test_mismatched_datasets_rejected(self):
         a = drifting_history(n=20)

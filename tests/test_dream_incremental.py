@@ -1,0 +1,260 @@
+"""Tests for the incremental DREAM engine.
+
+Three layers of guarantees:
+
+1. :class:`RecursiveLeastSquares` reproduces batch OLS — coefficients,
+   training R^2 and PRESS R^2 — to 1e-8 across random windows, through
+   both updates and downdates (property test).
+2. :class:`OnlineDreamEstimator` chooses the *same window* as the batch
+   :class:`DreamEstimator` and predicts within 1e-6 on the
+   ``default_federation_load`` drift scenario (equivalence test).
+3. The batched prediction path (``DreamResult.predict_batch``,
+   ``MultiCostModel.predict_batch``) matches the per-row path exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.variability import default_federation_load
+from repro.common.errors import EstimationError
+from repro.common.rng import RngStream
+from repro.core import DreamEstimator, ExecutionHistory, OnlineDreamEstimator
+from repro.ires.modelling import DreamStrategy
+from repro.ml import MultipleLinearRegression, RecursiveLeastSquares
+
+
+def random_regression(seed: int, n: int, dimension: int):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(-5.0, 5.0, size=(n, dimension))
+    slopes = rng.uniform(-2.0, 2.0, size=dimension)
+    targets = 1.5 + features @ slopes + rng.normal(0.0, 0.5, size=n)
+    return features, targets
+
+
+def drift_history(
+    ticks: int, seed: int = 5, metrics: tuple[str, ...] = ("time", "money")
+) -> ExecutionHistory:
+    """A federation-shaped stream under the paper's drift scenario."""
+    rng = RngStream(seed, "equivalence")
+    load = default_federation_load(rng.child("load"))
+    history = ExecutionHistory(("size", "nodes"), metrics)
+    for tick in range(ticks):
+        size = float(rng.uniform(10, 100))
+        nodes = float(rng.integers(2, 9))
+        factor = load.factor(tick)
+        time = factor * (5 + 0.4 * size / nodes) * (1 + float(rng.normal(0, 0.03)))
+        money = factor * (0.01 * size + 0.002 * nodes * time)
+        history.append(tick, {"size": size, "nodes": nodes}, {"time": time, "money": money})
+    return history
+
+
+class TestRecursiveLeastSquares:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        dimension=st.integers(min_value=1, max_value=4),
+        extra=st.integers(min_value=1, max_value=25),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_batch_across_growing_windows(self, seed, dimension, extra):
+        n = dimension + 2 + extra
+        features, targets = random_regression(seed, n, dimension)
+        rls = RecursiveLeastSquares(dimension)
+        for i in range(n):
+            rls.update(features[i], targets[i])
+            if i + 1 < dimension + 2:
+                continue
+            window_x, window_y = features[: i + 1], targets[: i + 1]
+            batch = MultipleLinearRegression().fit(window_x, window_y)
+            assert np.allclose(
+                rls.coefficients, batch.coefficients_, rtol=1e-8, atol=1e-8
+            )
+            assert rls.r_squared == pytest.approx(batch.r_squared_, abs=1e-8)
+            assert rls.press_r_squared(window_x, window_y) == pytest.approx(
+                batch.press_r_squared_, abs=1e-8
+            )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        dimension=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_downdate_slides_the_window(self, seed, dimension):
+        n = dimension + 12
+        drop = 4
+        features, targets = random_regression(seed, n, dimension)
+        rls = RecursiveLeastSquares(dimension)
+        for i in range(n):
+            rls.update(features[i], targets[i])
+        for i in range(drop):
+            rls.downdate(features[i], targets[i])
+        batch = MultipleLinearRegression().fit(features[drop:], targets[drop:])
+        assert rls.count == n - drop
+        assert np.allclose(rls.coefficients, batch.coefficients_, rtol=1e-7, atol=1e-7)
+        assert rls.r_squared == pytest.approx(batch.r_squared_, abs=1e-7)
+
+    def test_copy_is_independent(self):
+        features, targets = random_regression(1, 8, 2)
+        rls = RecursiveLeastSquares(2)
+        for i in range(6):
+            rls.update(features[i], targets[i])
+        clone = rls.copy()
+        clone.update(features[6], targets[6])
+        assert clone.count == rls.count + 1
+        assert not np.allclose(clone.coefficients, rls.coefficients)
+
+    def test_dimension_and_empty_guards(self):
+        with pytest.raises(EstimationError):
+            RecursiveLeastSquares(0)
+        rls = RecursiveLeastSquares(2)
+        with pytest.raises(EstimationError):
+            rls.update([1.0], 2.0)
+        with pytest.raises(EstimationError):
+            rls.downdate([1.0, 2.0], 3.0)
+        with pytest.raises(EstimationError):
+            _ = rls.coefficients
+
+    def test_singular_window_matches_batch_pinv(self):
+        """A constant feature keeps the normal matrix singular; both
+        implementations fall back to the same pseudo-inverse solution."""
+        features = np.column_stack([np.ones(6), np.arange(6, dtype=float)])
+        targets = 2.0 * np.arange(6, dtype=float) + 1.0
+        rls = RecursiveLeastSquares(2)
+        for i in range(6):
+            rls.update(features[i], targets[i])
+        batch = MultipleLinearRegression().fit(features, targets)
+        assert np.allclose(
+            rls.coefficients @ [1.0, 1.0, 3.0],
+            batch.coefficients_ @ [1.0, 1.0, 3.0],
+            rtol=1e-8,
+        )
+
+
+class TestOnlineDreamEquivalence:
+    def test_same_windows_and_predictions_under_drift(self):
+        """Batch and incremental Algorithm 1 agree on every tick of the
+        default_federation_load scenario (windows exactly, predictions
+        to 1e-6)."""
+        history = drift_history(90)
+        full = history.observations
+        replay = ExecutionHistory(history.feature_names, history.metric_names)
+        batch = DreamEstimator(r2_required=0.8, max_window=30)
+        online = OnlineDreamEstimator(r2_required=0.8, max_window=30)
+        probe = np.array([55.0, 4.0])
+        checked = 0
+        for obs in full:
+            replay.append(obs.tick, obs.features, obs.costs)
+            if replay.size < 6:
+                continue
+            reference = batch.fit(replay.datasets())
+            incremental = online.fit(replay)
+            assert incremental.window_size == reference.window_size
+            assert incremental.window_sizes == reference.window_sizes
+            assert incremental.converged == reference.converged
+            for metric in reference.models:
+                expected = reference.predict_metric(metric, probe)
+                actual = incremental.predict_metric(metric, probe)
+                assert actual == pytest.approx(expected, rel=1e-6, abs=1e-9)
+            checked += 1
+        assert checked > 50
+
+    def test_rank_deficient_windows_match_batch(self):
+        """Regression: near-constant indicator features make early
+        windows rank-deficient; the incremental engine must fall back to
+        the oracle's exact path there rather than diverge (this bit the
+        MIDAS medical workload: money R^2 read -1.0 instead of 0.99)."""
+        rng = RngStream(11, "rankdef")
+        metrics = ("time", "money")
+        history = ExecutionHistory(("size", "nodes", "indicator"), metrics)
+        for tick in range(40):
+            size = float(rng.uniform(10, 100))
+            nodes = float(rng.integers(1, 4))
+            indicator = 1.0 if rng.random() < 0.1 else 0.0  # mostly constant
+            time = 3.0 + 0.5 * size / nodes + 10.0 * indicator
+            money = 0.01 * size + 0.001 * nodes  # exactly linear
+            history.append(
+                tick,
+                {"size": size, "nodes": nodes, "indicator": indicator},
+                {"time": time, "money": money},
+            )
+        replay = ExecutionHistory(history.feature_names, metrics)
+        batch = DreamEstimator(r2_required=0.8, max_window=20)
+        online = OnlineDreamEstimator(r2_required=0.8, max_window=20)
+        probe = np.array([50.0, 2.0, 0.0])
+        for obs in history.observations:
+            replay.append(obs.tick, obs.features, obs.costs)
+            if replay.size < 5:
+                continue
+            reference = batch.fit(replay.datasets())
+            incremental = online.fit(replay)
+            assert incremental.window_size == reference.window_size
+            assert incremental.window_sizes == reference.window_sizes
+            for metric in metrics:
+                assert incremental.predict_metric(metric, probe) == pytest.approx(
+                    reference.predict_metric(metric, probe), rel=1e-6, abs=1e-9
+                )
+
+    def test_version_cache_and_incremental_fold(self):
+        history = drift_history(30)
+        online = OnlineDreamEstimator(r2_required=0.8)
+        first = online.fit(history)
+        assert online.fit(history) is first  # version unchanged -> cache hit
+        last = history.observations[-1]
+        history.append(last.tick + 1, last.features, last.costs)
+        second = online.fit(history)
+        assert second is not first
+
+    def test_rebinding_to_another_history_resets(self):
+        online = OnlineDreamEstimator(r2_required=0.8)
+        online.fit(drift_history(20, seed=1))
+        other = drift_history(25, seed=2)
+        result = online.fit(other)
+        reference = DreamEstimator(r2_required=0.8).fit(other.datasets())
+        assert result.window_size == reference.window_size
+
+    def test_estimate_cost_values_signature(self):
+        history = drift_history(20)
+        values = OnlineDreamEstimator().estimate_cost_values(history, [50.0, 4.0])
+        assert set(values) == {"time", "money"}
+
+
+class TestBatchedPrediction:
+    def test_predict_batch_matches_per_row(self):
+        history = drift_history(40)
+        result = DreamEstimator(r2_required=0.8).fit(history.datasets())
+        rng = np.random.default_rng(9)
+        matrix = rng.uniform(0.0, 200.0, size=(64, 2))  # beyond the hull: clamps
+        batched = result.predict_batch(matrix)
+        assert set(batched) == set(result.models)
+        for metric, vector in batched.items():
+            assert vector.shape == (64,)
+            expected = [result.predict_metric(metric, row) for row in matrix]
+            assert np.allclose(vector, expected, rtol=1e-12, atol=1e-12)
+
+    def test_predict_batch_validates_shape(self):
+        history = drift_history(20)
+        result = DreamEstimator().fit(history.datasets())
+        with pytest.raises(EstimationError, match="expected"):
+            result.predict_batch(np.zeros((4, 5)))
+
+    def test_fitted_cost_model_batch_matches_per_row(self):
+        history = drift_history(40)
+        fitted = DreamStrategy(r2_required=0.8).fit(history)
+        rng = np.random.default_rng(3)
+        matrix = rng.uniform(5.0, 120.0, size=(32, 2))
+        batched = fitted.predict_batch(matrix)
+        for i, row in enumerate(matrix):
+            per_row = fitted.predict(row)
+            for metric, value in per_row.items():
+                assert batched[metric][i] == pytest.approx(value, rel=1e-12)
+
+    def test_strategy_incremental_matches_batch_reference(self):
+        history = drift_history(50)
+        incremental = DreamStrategy(r2_required=0.8, incremental=True).fit(history)
+        reference = DreamStrategy(r2_required=0.8, incremental=False).fit(history)
+        assert incremental.training_size == reference.training_size
+        x = np.array([60.0, 3.0])
+        a, b = incremental.predict(x), reference.predict(x)
+        for metric in b:
+            assert a[metric] == pytest.approx(b[metric], rel=1e-6)
