@@ -10,6 +10,7 @@ it trains on fresh observations only.
 
 from repro.core.history import ExecutionHistory, Observation
 from repro.core.dream import DreamEstimator, DreamResult, OnlineDreamEstimator
+from repro.core.cache import CacheStats, ModelCache
 from repro.core.cost_model import MultiCostModel
 
 __all__ = [
@@ -18,5 +19,7 @@ __all__ = [
     "DreamEstimator",
     "DreamResult",
     "OnlineDreamEstimator",
+    "CacheStats",
+    "ModelCache",
     "MultiCostModel",
 ]

@@ -304,8 +304,11 @@ class OnlineDreamEstimator(DreamEstimator):
       observations appended since the last call into flat numpy buffers
       (the history is append-only, so earlier rows never change).
     * **Rank-one widening** — each ``m += 1`` step updates the per-metric
-      :class:`~repro.ml.linear.RecursiveLeastSquares` state in O(L^2);
-      only the PRESS statistic needs one vectorised pass over the window.
+      :class:`~repro.ml.linear.RecursiveLeastSquares` state in O(L^2),
+      and the PRESS statistic rides along incrementally
+      (``track_press=True``): its leverages and residuals are carried by
+      the same rank-one identities, so the whole step is O(L^2 + m)
+      rather than an O(m L^2) hat-matrix pass.
 
     An estimator instance holds state for exactly one history; passing a
     different history object resets it.
@@ -379,8 +382,9 @@ class OnlineDreamEstimator(DreamEstimator):
         states: dict[str, RecursiveLeastSquares] = {}
         mins: dict[str, float] = {}
         maxs: dict[str, float] = {}
+        track_press = self.r2_mode == "press"
         for metric in metrics:
-            rls = RecursiveLeastSquares(dimension)
+            rls = RecursiveLeastSquares(dimension, track_press=track_press)
             y = self._metric_targets[metric]
             for i in range(total - m, total):
                 rls.update(X[i], y[i])
@@ -404,7 +408,10 @@ class OnlineDreamEstimator(DreamEstimator):
                 window_y = self._metric_targets[metric][total - m : total]
                 if rls.well_conditioned():
                     if self.r2_mode == "press":
-                        score = rls.press_r_squared(window_x, window_y)
+                        # Rank-one PRESS: the leverages/residuals were
+                        # carried through each update, so this is O(m)
+                        # instead of a fresh O(m L^2) hat-matrix pass.
+                        score = rls.press_r_squared_tracked()
                         models[metric] = rls.as_model(press_r_squared=score)
                     else:
                         score = rls.r_squared

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.errors import EstimationError
+from repro.core.cache import ModelCache
 from repro.core.cost_model import MultiCostModel
 from repro.core.dream import DreamEstimator, DreamResult, OnlineDreamEstimator
 from repro.core.history import ExecutionHistory
@@ -76,6 +77,13 @@ class _ClampedDreamModel(Regressor):
         return self._result.predict_metric_batch(self._metric, features)
 
 
+#: Default bound on live per-history DREAM engines.  An evicted engine
+#: is rebuilt from the history on its next fit, so this trades one
+#: incremental-speedup miss for bounded memory in long-running
+#: multi-tenant deployments.
+DEFAULT_ENGINE_CAPACITY = 256
+
+
 class DreamStrategy(EstimationStrategy):
     """DREAM: dynamic-window MLR per metric (Algorithm 1).
 
@@ -84,6 +92,15 @@ class DreamStrategy(EstimationStrategy):
     history, so repeated fits between executions are cache hits and each
     window-widening step is a rank-one update.  ``incremental=False``
     falls back to the batch reference estimator on every call.
+
+    Engines live in a bounded :class:`~repro.core.cache.ModelCache`
+    (LRU + optional idle TTL) instead of a process-lifetime map: a
+    long-running federation can register far more templates than are
+    hot, and an evicted engine simply refits from its history — same
+    window, same predictions — on the next call.  Pass a shared
+    ``engine_cache`` to pool the budget across strategies, or rely on
+    the per-strategy default (capacity ``DEFAULT_ENGINE_CAPACITY``, no
+    TTL).
     """
 
     name = "dream"
@@ -93,25 +110,27 @@ class DreamStrategy(EstimationStrategy):
         r2_required: float = 0.8,
         max_window: int | None = None,
         incremental: bool = True,
+        engine_cache: ModelCache | None = None,
     ):
         self._estimator = DreamEstimator(r2_required, max_window)
         self.incremental = incremental
         self.r2_required = r2_required
         self.max_window = max_window
-        #: id(history) -> (history, engine).  The history reference is
-        #: kept so the id stays valid for the engine's lifetime.
-        self._engines: dict[int, tuple[ExecutionHistory, OnlineDreamEstimator]] = {}
+        self.engine_cache = (
+            engine_cache
+            if engine_cache is not None
+            else ModelCache(capacity=DEFAULT_ENGINE_CAPACITY)
+        )
 
     def _engine_for(self, history: ExecutionHistory) -> OnlineDreamEstimator:
-        key = id(history)
-        entry = self._engines.get(key)
-        if entry is None or entry[0] is not history:
-            entry = (
-                history,
-                OnlineDreamEstimator(self.r2_required, self.max_window),
-            )
-            self._engines[key] = entry
-        return entry[1]
+        # Keyed by id() with the history as the anchor: the cache keeps
+        # the history alive while the entry lives, and a recycled id can
+        # never alias another history's engine.
+        return self.engine_cache.get_or_create(
+            id(history),
+            lambda: OnlineDreamEstimator(self.r2_required, self.max_window),
+            anchor=history,
+        )
 
     def fit(self, history: ExecutionHistory) -> FittedCostModel:
         if self.incremental:

@@ -59,26 +59,52 @@ class MultiObjectiveOptimizer:
         return EnumeratedProblem(candidates, evaluate, len(metrics))
 
     @staticmethod
-    def evaluate_all_batched(
-        candidates: list[QepCandidate],
-        cost_model: FittedCostModel,
-        metrics: tuple[str, ...],
-    ) -> list[Candidate]:
-        """Exhaustive evaluation through the batched prediction path.
+    def candidate_matrix(
+        candidates: list[QepCandidate], cost_model: FittedCostModel
+    ) -> np.ndarray:
+        """The (n, L) feature matrix of a candidate set.
 
-        One (n, L) feature matrix, one ``predict_batch`` call — this is
-        how an Example 3.1-scale space (thousands of equivalent QEPs) is
-        costed without a per-plan Python round trip.
+        Building this is the only per-candidate Python loop left on the
+        costing path; a serving layer that re-costs the same QEP space
+        every burst should build it once and pass it back in through
+        ``features_matrix=``.
         """
         if not candidates:  # same contract as EnumeratedProblem
             raise ValidationError("problem needs at least one candidate")
-        features = np.array(
+        return np.array(
             [
                 cost_model.model.features_dict_to_vector(candidate.features)
                 for candidate in candidates
             ],
             dtype=float,
         ).reshape(len(candidates), -1)
+
+    @staticmethod
+    def evaluate_all_batched(
+        candidates: list[QepCandidate],
+        cost_model: FittedCostModel,
+        metrics: tuple[str, ...],
+        features_matrix: np.ndarray | None = None,
+    ) -> list[Candidate]:
+        """Exhaustive evaluation through the batched prediction path.
+
+        One (n, L) feature matrix, one ``predict_batch`` call — this is
+        how an Example 3.1-scale space (thousands of equivalent QEPs) is
+        costed without a per-plan Python round trip.  ``features_matrix``
+        optionally supplies the matrix precomputed (it must be row-
+        aligned with ``candidates``).
+        """
+        if not candidates:  # same contract as EnumeratedProblem
+            raise ValidationError("problem needs at least one candidate")
+        if features_matrix is None:
+            features = MultiObjectiveOptimizer.candidate_matrix(candidates, cost_model)
+        else:
+            features = np.asarray(features_matrix, dtype=float)
+            if features.shape[0] != len(candidates):
+                raise ValidationError(
+                    f"features_matrix has {features.shape[0]} rows for "
+                    f"{len(candidates)} candidates"
+                )
         objectives = cost_model.model.predict_matrix(features, metrics)
         return [
             Candidate(candidate, tuple(map(float, row)))
@@ -90,13 +116,16 @@ class MultiObjectiveOptimizer:
         candidates: list[QepCandidate],
         cost_model: FittedCostModel,
         metrics: tuple[str, ...],
+        features_matrix: np.ndarray | None = None,
     ) -> list[Candidate]:
         """The (approximate) Pareto plan set under predicted costs."""
         algorithm = self.config.algorithm
         if algorithm == "exact" and len(candidates) > self.config.exact_limit:
             algorithm = "nsga2"
         if algorithm == "exact":
-            evaluated = self.evaluate_all_batched(candidates, cost_model, metrics)
+            evaluated = self.evaluate_all_batched(
+                candidates, cost_model, metrics, features_matrix
+            )
             front = pareto_front_indices([c.objectives for c in evaluated])
             return [evaluated[i] for i in front]
         problem = self.build_problem(candidates, cost_model, metrics)

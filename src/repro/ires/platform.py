@@ -74,6 +74,7 @@ class IReSPlatform:
         simulator: MultiEngineSimulator,
         strategy: EstimationStrategy,
         optimizer: MultiObjectiveOptimizer | None = None,
+        max_fit_workers: int | None = None,
     ):
         self.catalog = catalog
         self.stats = stats
@@ -81,6 +82,15 @@ class IReSPlatform:
         self.enumerator = enumerator
         self.interface = Interface(catalog, deployment)
         self.modelling = Modelling(strategy)
+        # Deferred import: repro.serving itself imports ires.modelling,
+        # so a module-level import here would be circular.
+        from repro.serving.service import EstimationService
+
+        #: Multi-tenant front over the same Modelling registry: version-
+        #: cached model snapshots, per-template locks, burst refresh.
+        self.serving = EstimationService(
+            modelling=self.modelling, max_workers=max_fit_workers
+        )
         self.optimizer = optimizer or MultiObjectiveOptimizer()
         self.executor = Executor(simulator)
         self._templates: dict[str, QueryTemplate] = {}
@@ -96,7 +106,8 @@ class IReSPlatform:
         feature_names = self.enumerator.feature_names(template.tables)
         history = ExecutionHistory(feature_names, metrics)
         self._templates[template.key] = template
-        self.modelling.register(template.key, history)
+        # Registers in Modelling too: platform and service share state.
+        self.serving.register(template.key, history)
         return history
 
     def template(self, key: str) -> QueryTemplate:
@@ -108,6 +119,16 @@ class IReSPlatform:
 
     def history(self, key: str) -> ExecutionHistory:
         return self.modelling.history(key)
+
+    def refresh_models(
+        self, keys: list[str] | None = None, parallel: bool = True
+    ) -> dict[str, FittedCostModel]:
+        """Prefit (all) registered templates' models for a burst.
+
+        Delegates to the serving layer: stale templates are fitted
+        concurrently, fresh ones are returned from their snapshots.
+        """
+        return self.serving.refresh(keys, parallel=parallel)
 
     # Pipeline ---------------------------------------------------------------
 
@@ -122,9 +143,13 @@ class IReSPlatform:
         """Execute a given candidate and log it (history building)."""
         template = self.template(key)
         request = self.interface.receive(template.render(params))
-        return self.executor.run(
-            candidate, request.plan, self.stats, tick, self.history(key)
-        )
+        # The executor appends to the history, so it runs under the
+        # template's lock: a concurrent fit on this template can never
+        # observe a torn window, and other templates are unaffected.
+        with self.serving.template_lock(key):
+            return self.executor.run(
+                candidate, request.plan, self.stats, tick, self.history(key)
+            )
 
     def submit(
         self, key: str, params: dict, policy: UserPolicy, tick: int
@@ -137,15 +162,21 @@ class IReSPlatform:
             raise EstimationError(
                 f"no execution history for {key!r}; run observe() a few times first"
             )
-        cost_model = self.modelling.fit(key)
+        # Through the serving layer: refits only when the history moved
+        # since the last fit (re-planning between executions is a
+        # snapshot hit), under the template's lock.
+        cost_model = self.serving.model(key)
         candidates = self.enumerator.enumerate(
             key, request.plan, self.stats, template.tables
         )
         pareto = self.optimizer.pareto_set(candidates, cost_model, policy.metrics)
         chosen = self.optimizer.choose(pareto, policy)
-        execution = self.executor.run(
-            chosen.payload, request.plan, self.stats, tick, history
-        )
+        # Under the template's lock: the executor's history append must
+        # exclude concurrent fits of this template (torn-window guard).
+        with self.serving.template_lock(key):
+            execution = self.executor.run(
+                chosen.payload, request.plan, self.stats, tick, history
+            )
         return SubmissionResult(
             request=request,
             cost_model=cost_model,

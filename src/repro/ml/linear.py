@@ -14,6 +14,12 @@ Two implementations share the algebra:
   ``A^T c`` grow by rank-one updates and the inverse is maintained with
   the Sherman-Morrison identity, so widening the window by one
   observation costs O(L^2) instead of a full O(m L^2) refit.
+
+With ``track_press=True`` the recursive form also maintains the
+leave-one-out PRESS statistic incrementally: the per-row leverages and
+residuals are carried along through the same rank-one identities, so a
+widening step updates PRESS in O(L^2 + m) instead of recomputing the
+O(m L^2) hat-matrix pass (see :meth:`RecursiveLeastSquares.update`).
 """
 
 from __future__ import annotations
@@ -23,6 +29,28 @@ import numpy as np
 from repro.common.errors import EstimationError
 from repro.ml.base import Regressor
 from repro.ml.metrics import r_squared
+
+
+def press_r_squared_from(
+    residuals: np.ndarray, leverages: np.ndarray, targets: np.ndarray
+) -> float:
+    """Leave-one-out R^2 = 1 - PRESS/SST from per-row components.
+
+    The single source of truth for the PRESS tail (``e_loo = e/(1-h)``,
+    leverage clip, SST zero convention, clamp at -1): the batch fit, the
+    recursive window form, and the incremental carry all feed their
+    residuals/leverages through here, so the 1e-9 batch-equivalence
+    contract cannot drift between implementations.
+
+    Leverage ~1 means the point is interpolated: its LOO residual
+    diverges, which correctly reads as "no predictive evidence".
+    """
+    denominator = np.clip(1.0 - leverages, 1e-6, None)
+    press = float(np.sum((residuals / denominator) ** 2))
+    sst = float(np.sum((targets - targets.mean()) ** 2))
+    if sst == 0.0:
+        return 1.0 if press == 0.0 else -1.0
+    return max(-1.0, 1.0 - press / sst)
 
 
 def minimum_observations(dimension: int) -> int:
@@ -76,14 +104,7 @@ class MultipleLinearRegression(Regressor):
         residuals = targets - fitted
         pinv_normal = np.linalg.pinv(design.T @ design)
         leverages = np.einsum("ij,jk,ik->i", design, pinv_normal, design)
-        # Leverage ~1 means the point is interpolated: its LOO residual
-        # diverges, which correctly reads as "no predictive evidence".
-        denominator = np.clip(1.0 - leverages, 1e-6, None)
-        press = float(np.sum((residuals / denominator) ** 2))
-        sst = float(np.sum((targets - targets.mean()) ** 2))
-        if sst == 0.0:
-            return 1.0 if press == 0.0 else -1.0
-        return max(-1.0, 1.0 - press / sst)
+        return press_r_squared_from(residuals, leverages, targets)
 
     def _predict(self, features: np.ndarray) -> np.ndarray:
         return self._design(features) @ self.coefficients_
@@ -129,7 +150,13 @@ class RecursiveLeastSquares:
     the same pseudo-inverse the batch fit uses.
     """
 
-    def __init__(self, dimension: int):
+    #: Windows whose normal matrix exceeds this condition number abandon
+    #: the rank-one PRESS carry and recompute on the batch oracle's exact
+    #: path: the Sherman-Morrison carry loses ~cond * eps digits per
+    #: step, and the tracked statistic must match the batch fit to 1e-9.
+    PRESS_MAX_CONDITION = 1e6
+
+    def __init__(self, dimension: int, track_press: bool = False):
         if dimension < 1:
             raise EstimationError(f"dimension must be >= 1, got {dimension}")
         self.dimension = int(dimension)
@@ -142,6 +169,23 @@ class RecursiveLeastSquares:
         #: Maintained (A^T A)^-1 (or pseudo-inverse); None means stale.
         self._inverse: np.ndarray | None = None
         self._singular = False
+        #: PRESS tracking (opt-in): the window's design rows and targets
+        #: in amortised growing buffers, plus per-row leverages/residuals
+        #: carried in place by rank-one updates.  ``_press_valid`` False
+        #: means the carry is stale — the next query recomputes exactly.
+        self._track_press = bool(track_press)
+        self._window_used = 0
+        self._press_valid = False
+        if track_press:
+            self._design_buf: np.ndarray | None = np.empty((16, k))
+            self._target_buf: np.ndarray | None = np.empty(16)
+            self._lev_buf: np.ndarray | None = np.empty(16)
+            self._resid_buf: np.ndarray | None = np.empty(16)
+        else:
+            self._design_buf = None
+            self._target_buf = None
+            self._lev_buf = None
+            self._resid_buf = None
 
     # State ---------------------------------------------------------------
 
@@ -150,7 +194,7 @@ class RecursiveLeastSquares:
         return self._count
 
     def copy(self) -> "RecursiveLeastSquares":
-        clone = RecursiveLeastSquares(self.dimension)
+        clone = RecursiveLeastSquares(self.dimension, track_press=self._track_press)
         clone._xtx = self._xtx.copy()
         clone._xty = self._xty.copy()
         clone._sum_y = self._sum_y
@@ -158,6 +202,13 @@ class RecursiveLeastSquares:
         clone._count = self._count
         clone._inverse = None if self._inverse is None else self._inverse.copy()
         clone._singular = self._singular
+        clone._window_used = self._window_used
+        clone._press_valid = self._press_valid
+        if self._track_press:
+            clone._design_buf = self._design_buf.copy()
+            clone._target_buf = self._target_buf.copy()
+            clone._lev_buf = self._lev_buf.copy()
+            clone._resid_buf = self._resid_buf.copy()
         return clone
 
     def _row(self, features) -> np.ndarray:
@@ -171,9 +222,15 @@ class RecursiveLeastSquares:
     # Rank-one updates -----------------------------------------------------
 
     def update(self, features, target: float) -> None:
-        """Fold one observation in: O(L^2)."""
+        """Fold one observation in: O(L^2) (plus O(m) PRESS carry)."""
         z = self._row(features)
         y = float(target)
+        if self._track_press:
+            self._window_reserve()
+            self._press_fold_in(z, y)
+            self._design_buf[self._window_used] = z
+            self._target_buf[self._window_used] = y
+            self._window_used += 1
         self._xtx += np.outer(z, z)
         self._xty += z * y
         self._sum_y += y
@@ -196,6 +253,8 @@ class RecursiveLeastSquares:
             raise EstimationError("cannot downdate an empty window")
         z = self._row(features)
         y = float(target)
+        if self._track_press:
+            self._press_fold_out(z, y)
         self._xtx -= np.outer(z, z)
         self._xty -= z * y
         self._sum_y -= y
@@ -211,6 +270,135 @@ class RecursiveLeastSquares:
                 self._inverse = 0.5 * (self._inverse + self._inverse.T)
         else:
             self._inverse = None
+
+    # Incremental PRESS ----------------------------------------------------
+
+    def _window_reserve(self) -> None:
+        """Grow the window buffers (amortised doubling) for one more row."""
+        capacity = self._design_buf.shape[0]
+        if self._window_used < capacity:
+            return
+        grown = 2 * capacity
+        for name in ("_design_buf", "_target_buf", "_lev_buf", "_resid_buf"):
+            old = getattr(self, name)
+            new = np.empty((grown,) + old.shape[1:])
+            new[:capacity] = old
+            setattr(self, name, new)
+
+    def _press_fold_in(self, z: np.ndarray, y: float) -> None:
+        """Carry leverages/residuals through the rank-one growth.
+
+        With ``P = (A^T A)^-1`` *before* the new row ``z`` and
+        ``s = z P z``, Sherman-Morrison gives for every existing row i::
+
+            h_i' = h_i - (z_i P z)^2 / (1 + s)
+            e_i' = e_i - (z_i P z) * (y - z beta) / (1 + s)
+
+        and the new row's own ``h = s - s^2/(1+s)``, ``e = innov/(1+s)``
+        (its LOO residual is exactly the prediction innovation).  One
+        O(m L) matvec replaces the O(m L^2) hat-matrix pass.  Writes the
+        new row's slot ``_window_used`` directly; the caller appends the
+        row itself right after.
+        """
+        if not self._press_valid:
+            return  # stale; the next query recomputes
+        if not self._press_carry_trustworthy():
+            # Never carry through an ill-conditioned step: the error it
+            # would bake in (~cond * eps) survives even if conditioning
+            # later recovers, and the query-time guard only inspects the
+            # *current* window.  Recompute exactly on the next query.
+            self._press_valid = False
+            return
+        pz = self._inverse @ z
+        s = float(z @ pz)
+        denominator = 1.0 + s
+        if denominator <= 1e-12:
+            self._press_valid = False
+            return
+        beta = self._inverse @ self._xty
+        innovation = y - float(z @ beta)
+        m = self._window_used
+        if m:
+            g = self._design_buf[:m] @ pz
+            self._lev_buf[:m] -= g * g / denominator
+            self._resid_buf[:m] -= g * (innovation / denominator)
+        self._lev_buf[m] = s - s * s / denominator
+        self._resid_buf[m] = innovation / denominator
+
+    def _press_fold_out(self, z: np.ndarray, y: float) -> None:
+        """Drop the tracked row matching (z, y); the carry goes stale.
+
+        Sliding windows are not on DREAM's widening hot path, so the
+        downdate simply invalidates the carried vectors — the next PRESS
+        query recomputes them exactly.
+        """
+        m = self._window_used
+        for i in range(m):
+            if self._target_buf[i] == y and np.array_equal(self._design_buf[i], z):
+                self._design_buf[i : m - 1] = self._design_buf[i + 1 : m]
+                self._target_buf[i : m - 1] = self._target_buf[i + 1 : m]
+                self._window_used = m - 1
+                self._press_valid = False
+                return
+        raise EstimationError(
+            "downdate observation was never folded into the tracked window"
+        )
+
+    def _press_recompute(self) -> None:
+        """Exact leverages/residuals on the batch oracle's code path.
+
+        Mirrors :meth:`MultipleLinearRegression._fit` operation for
+        operation (same normal matrix built from the same rows, same
+        solve-then-pinv fallback, same pinv leverages) so the tracked
+        statistic matches the batch fit bitwise whenever the rank-one
+        carry is unavailable — including rank-deficient windows.
+        """
+        m = self._window_used
+        design = self._design_buf[:m]
+        targets = self._target_buf[:m]
+        normal = design.T @ design
+        try:
+            beta = np.linalg.solve(normal, design.T @ targets)
+        except np.linalg.LinAlgError:
+            beta = np.linalg.pinv(design) @ targets
+        self._resid_buf[:m] = targets - design @ beta
+        self._lev_buf[:m] = np.einsum(
+            "ij,jk,ik->i", design, np.linalg.pinv(normal), design
+        )
+        self._press_valid = True
+
+    def _press_carry_trustworthy(self) -> bool:
+        """Cheap conditioning guard for the carried vectors.
+
+        Uses the Frobenius estimate ``||A||_F * ||A^-1||_F``, an upper
+        bound on the 2-norm condition number, so a pass guarantees the
+        window really is well-conditioned; the estimate costs O(L^2)
+        instead of the O(L^3) SVD of ``numpy.linalg.cond``.
+        """
+        self._refresh_inverse()
+        if self._singular:
+            return False
+        estimate = np.linalg.norm(self._xtx) * np.linalg.norm(self._inverse)
+        return bool(np.isfinite(estimate) and estimate <= self.PRESS_MAX_CONDITION)
+
+    def press_r_squared_tracked(self) -> float:
+        """Leave-one-out R^2 of the tracked window (incremental).
+
+        Requires ``track_press=True``.  Uses the carried leverages and
+        residuals when the window is well-conditioned enough for them to
+        hold 1e-9 agreement with the batch fit; otherwise recomputes them
+        on the oracle's exact path (and the carry resumes from there).
+        """
+        if not self._track_press:
+            raise EstimationError("construct with track_press=True to track PRESS")
+        if self._count == 0:
+            raise EstimationError("no observations folded in yet")
+        if not self._press_valid or not self._press_carry_trustworthy():
+            self._press_recompute()
+        m = self._window_used
+        return press_r_squared_from(
+            self._resid_buf[:m], self._lev_buf[:m], self._target_buf[:m]
+        )
 
     # Derived quantities ---------------------------------------------------
 
@@ -284,12 +472,7 @@ class RecursiveLeastSquares:
         residuals = targets - fitted
         inverse = self._refresh_inverse()
         leverages = np.einsum("ij,jk,ik->i", design, inverse, design)
-        denominator = np.clip(1.0 - leverages, 1e-6, None)
-        press = float(np.sum((residuals / denominator) ** 2))
-        sst = float(np.sum((targets - targets.mean()) ** 2))
-        if sst == 0.0:
-            return 1.0 if press == 0.0 else -1.0
-        return max(-1.0, 1.0 - press / sst)
+        return press_r_squared_from(residuals, leverages, targets)
 
     def as_model(self, press_r_squared: float | None = None) -> MultipleLinearRegression:
         """Snapshot the current window fit as a fitted batch model."""

@@ -1,0 +1,50 @@
+"""Multi-tenant estimation serving (the MIDAS federation front).
+
+The paper evaluates DREAM one query template at a time, but the
+federation it targets serves many hospitals' templates simultaneously.
+This package adds the serving layer on top of
+:class:`~repro.ires.modelling.Modelling`:
+
+**Tenancy model.**  A *tenant* is one registered query template (one
+hospital's recurring query shape).  Each tenant owns
+
+* an append-only :class:`~repro.core.history.ExecutionHistory` — never
+  shared, so tenants cannot leak observations into each other's models;
+* a per-template lock — a tick (history append) and a refit on the same
+  template exclude each other, so no fit ever sees a torn window, while
+  ticks and estimates on *different* templates never contend;
+* an immutable fitted-model snapshot keyed by the history's version
+  counter — estimates run lock-free on the snapshot, and a snapshot is
+  refit only when its history has actually changed.
+
+**Shared, bounded machinery.**  What tenants *do* share is the
+estimation strategy and its engine budget: the incremental DREAM
+engines live in one :class:`~repro.core.cache.ModelCache` (LRU +
+idle-TTL, exact hit/miss/eviction counters), so a long-running
+deployment with thousands of registered templates keeps engines only
+for the hot ones.  Eviction is safe — an engine is derived state and
+refits from its history to the identical window and predictions.
+
+**Bursts.**  A submission burst touches many templates at once;
+:meth:`~repro.serving.service.EstimationService.refresh` fits all stale
+templates concurrently on a thread pool (per-template histories are
+independent, and NumPy releases the GIL inside the matmul-heavy
+RLS/PRESS path), then serves every estimate from the refreshed
+snapshots.  ``benchmarks/bench_serving_burst.py`` measures the burst
+latency against sequential seed-path fitting.
+"""
+
+from repro.core.cache import CacheStats, ModelCache
+from repro.serving.service import (
+    DEFAULT_MAX_WORKERS,
+    EstimationService,
+    ServiceStats,
+)
+
+__all__ = [
+    "CacheStats",
+    "ModelCache",
+    "DEFAULT_MAX_WORKERS",
+    "EstimationService",
+    "ServiceStats",
+]

@@ -1,0 +1,287 @@
+"""The multi-tenant estimation service (see the package docstring).
+
+Lock discipline, from coarse to fine:
+
+* ``_registry_lock`` — guards the template table only (register /
+  lookup).  Never held while fitting.
+* per-template ``lock`` — serialises *that* template's mutations: a
+  history append (:meth:`EstimationService.record`) and a model refit
+  (:meth:`EstimationService.model`) on the same template exclude each
+  other, so a fit can never observe a torn window.  Different templates
+  have different locks and never block each other.
+* ``_stats_lock`` — a leaf lock around the service counters.
+
+Fitted models are immutable snapshots keyed by the history's version
+counter: predictions (:meth:`EstimationService.estimate`) run entirely
+outside the locks on whatever snapshot was current when they started,
+which is exactly the "estimates are as-of the latest fit" semantics a
+serving layer wants.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import EstimationError, ValidationError
+from repro.core.cache import CacheStats
+from repro.core.history import ExecutionHistory
+from repro.ires.modelling import (
+    DreamStrategy,
+    EstimationStrategy,
+    FittedCostModel,
+    Modelling,
+)
+
+#: Upper bound on burst-refresh worker threads.  The RLS/PRESS path is
+#: NumPy-matmul heavy (the GIL is released inside the C kernels), but
+#: far past the core count the threads only add contention.
+DEFAULT_MAX_WORKERS = 8
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A consistent snapshot of the service counters."""
+
+    templates: int
+    #: Strategy fits actually executed (snapshot misses).
+    fits: int
+    #: Model lookups served from a fresh per-version snapshot.
+    snapshot_hits: int
+    #: Observations appended through :meth:`EstimationService.record`
+    #: (appends made directly on a history object bypass this counter).
+    observations: int
+    #: ``refresh`` calls, and how many stale fits they attempted.
+    bursts: int
+    burst_fits: int
+    #: Engine-cache counters when the strategy exposes a ModelCache.
+    engine_cache: CacheStats | None = None
+
+
+class _Template:
+    """Per-tenant state: history + lock + versioned model snapshot."""
+
+    __slots__ = ("key", "history", "lock", "snapshot", "snapshot_version")
+
+    def __init__(self, key: str, history: ExecutionHistory):
+        self.key = key
+        self.history = history
+        self.lock = threading.RLock()
+        self.snapshot: FittedCostModel | None = None
+        self.snapshot_version: int | None = None
+
+
+class EstimationService:
+    """Concurrent front for :class:`~repro.ires.modelling.Modelling`.
+
+    Parameters
+    ----------
+    strategy:
+        The estimation strategy shared by all templates (default: an
+        incremental :class:`~repro.ires.modelling.DreamStrategy`).
+        Ignored when ``modelling`` is given.
+    modelling:
+        An existing Modelling registry to front (the IReS platform hands
+        its own in, so platform and service see the same histories).
+    max_workers:
+        Thread-pool width for :meth:`refresh` bursts.
+    """
+
+    def __init__(
+        self,
+        strategy: EstimationStrategy | None = None,
+        modelling: Modelling | None = None,
+        max_workers: int | None = None,
+    ):
+        if modelling is not None:
+            self._modelling = modelling
+        else:
+            self._modelling = Modelling(strategy or DreamStrategy())
+        if max_workers is not None and max_workers < 1:
+            raise ValidationError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or DEFAULT_MAX_WORKERS
+        self._templates: dict[str, _Template] = {}
+        self._registry_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._fits = 0
+        self._snapshot_hits = 0
+        self._observations = 0
+        self._bursts = 0
+        self._burst_fits = 0
+
+    @property
+    def strategy(self) -> EstimationStrategy:
+        return self._modelling.strategy
+
+    # Registration ---------------------------------------------------------
+
+    def register(
+        self,
+        key: str,
+        history: ExecutionHistory | None = None,
+        *,
+        feature_names: tuple[str, ...] | None = None,
+        metrics: tuple[str, ...] = ("time", "money"),
+    ) -> ExecutionHistory:
+        """Register a template, creating its history unless one is given."""
+        if history is None:
+            if feature_names is None:
+                raise ValidationError(
+                    "register() needs either a history or feature_names"
+                )
+            history = ExecutionHistory(feature_names, metrics)
+        with self._registry_lock:
+            if key in self._templates:
+                raise ValidationError(f"template {key!r} already registered")
+            self._modelling.register(key, history)
+            self._templates[key] = _Template(key, history)
+        return history
+
+    def keys(self) -> list[str]:
+        with self._registry_lock:
+            return sorted(self._templates)
+
+    def history(self, key: str) -> ExecutionHistory:
+        return self._state(key).history
+
+    def template_lock(self, key: str) -> threading.RLock:
+        """The template's lock, for callers that mutate its history
+        outside :meth:`record` (e.g. the platform's executor logging a
+        measured run).  Holding it excludes that template's fits — the
+        torn-window guarantee extends to external appends — while other
+        templates stay unaffected."""
+        return self._state(key).lock
+
+    def _state(self, key: str) -> _Template:
+        with self._registry_lock:
+            try:
+                return self._templates[key]
+            except KeyError:
+                known = ", ".join(sorted(self._templates)) or "<none>"
+                raise EstimationError(
+                    f"no template registered for {key!r}; have: {known}"
+                ) from None
+
+    # Ingest ---------------------------------------------------------------
+
+    def record(
+        self, key: str, tick: int, features: dict[str, float], costs: dict[str, float]
+    ) -> None:
+        """Append one measured execution to the template's history.
+
+        Holds only that template's lock: a tick on one tenant never
+        blocks estimation (or ticks) on another.
+        """
+        state = self._state(key)
+        with state.lock:
+            state.history.append(tick, features, costs)
+        with self._stats_lock:
+            self._observations += 1
+
+    # Fitting --------------------------------------------------------------
+
+    def model(self, key: str) -> FittedCostModel:
+        """The template's fitted cost model, refit only when stale."""
+        state = self._state(key)
+        with state.lock:
+            return self._fit_locked(state)
+
+    def _fit_locked(self, state: _Template) -> FittedCostModel:
+        version = state.history.version
+        if state.snapshot is not None and state.snapshot_version == version:
+            with self._stats_lock:
+                self._snapshot_hits += 1
+            return state.snapshot
+        fitted = self._modelling.fit(state.key)
+        state.snapshot = fitted
+        state.snapshot_version = version
+        with self._stats_lock:
+            self._fits += 1
+        return fitted
+
+    def is_stale(self, key: str) -> bool:
+        state = self._state(key)
+        with state.lock:
+            return (
+                state.snapshot is None
+                or state.snapshot_version != state.history.version
+            )
+
+    def stale_keys(self) -> list[str]:
+        return [key for key in self.keys() if self.is_stale(key)]
+
+    def _try_model(self, key: str) -> FittedCostModel | None:
+        """``model()``, or None when the template cannot be fitted yet
+        (e.g. its history is still shorter than the minimum window)."""
+        try:
+            return self.model(key)
+        except EstimationError:
+            return None
+
+    def refresh(
+        self, keys: list[str] | None = None, parallel: bool = True
+    ) -> dict[str, FittedCostModel]:
+        """Fit every stale template (a submission burst), concurrently.
+
+        Per-template histories are independent, so the stale fits run on
+        a thread pool — NumPy releases the GIL inside the matmul-heavy
+        RLS path, so bursts overlap on multicore hosts.  Returns the
+        current model for every requested key that has one; tenants that
+        cannot be fitted yet (too little history) are omitted rather
+        than poisoning the burst for the healthy tenants.
+        """
+        requested = self.keys() if keys is None else list(keys)
+        stale = [key for key in requested if self.is_stale(key)]
+        if parallel and len(stale) > 1:
+            width = min(self.max_workers, len(stale))
+            with ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="estimation-burst"
+            ) as pool:
+                futures = {key: pool.submit(self._try_model, key) for key in stale}
+                results = {key: future.result() for key, future in futures.items()}
+        else:
+            results = {key: self._try_model(key) for key in stale}
+        for key in requested:
+            if key not in results:
+                results[key] = self._try_model(key)
+        with self._stats_lock:
+            self._bursts += 1
+            self._burst_fits += len(stale)
+        return {key: model for key, model in results.items() if model is not None}
+
+    # Estimation -----------------------------------------------------------
+
+    def estimate(self, key: str, features) -> dict[str, float]:
+        """Predicted cost vector for one candidate's features."""
+        return self.model(key).predict(features)
+
+    def estimate_batch(self, key: str, features_matrix) -> dict[str, np.ndarray]:
+        """Predicted cost vectors for a whole candidate set (one matmul
+        per metric, outside every lock)."""
+        return self.model(key).predict_batch(features_matrix)
+
+    # Introspection --------------------------------------------------------
+
+    @property
+    def stats(self) -> ServiceStats:
+        engine_cache = getattr(self.strategy, "engine_cache", None)
+        with self._stats_lock:
+            return ServiceStats(
+                templates=len(self._templates),
+                fits=self._fits,
+                snapshot_hits=self._snapshot_hits,
+                observations=self._observations,
+                bursts=self._bursts,
+                burst_fits=self._burst_fits,
+                engine_cache=None if engine_cache is None else engine_cache.stats,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        s = self.stats
+        return (
+            f"EstimationService(templates={s.templates}, fits={s.fits}, "
+            f"snapshot_hits={s.snapshot_hits}, bursts={s.bursts})"
+        )

@@ -1,0 +1,159 @@
+"""Property tests for the rank-one incremental PRESS statistic.
+
+The satellite guarantee: ``RecursiveLeastSquares(track_press=True)``
+reproduces ``MultipleLinearRegression.press_r_squared_`` to 1e-9 at
+every window size — through rank-one carries on well-conditioned
+windows and through the exact-recompute fallback on near-rank-deficient
+ones (the MIDAS constant-engine-indicator case).  Seeds are derived
+with :func:`repro.common.rng.derive_seed`, so Hypothesis explores a
+stable, process-independent space of regression problems.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import EstimationError
+from repro.common.rng import RngStream, derive_seed
+from repro.ml import MultipleLinearRegression, RecursiveLeastSquares
+
+PRESS_TOLERANCE = 1e-9
+
+
+def regression_stream(seed: int, n: int, dimension: int, indicator: bool):
+    """A random regression problem; optionally the last feature is a
+    near-constant engine indicator (MIDAS: one engine almost always
+    wins), which makes small windows rank-deficient."""
+    rng = RngStream(derive_seed(seed, "press-property"), "data")
+    features = rng.uniform(-5.0, 5.0, size=(n, dimension))
+    if indicator and dimension >= 1:
+        features[:, -1] = (rng.random(n) < 0.08).astype(float)
+    slopes = rng.uniform(-2.0, 2.0, size=dimension)
+    targets = 1.5 + features @ slopes + rng.normal(0.0, 0.5, size=n)
+    return features, targets
+
+
+class TestIncrementalPressEqualsBatch:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        dimension=st.integers(min_value=1, max_value=4),
+        extra=st.integers(min_value=1, max_value=25),
+        indicator=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_press_matches_batch_across_growing_windows(
+        self, seed, dimension, extra, indicator
+    ):
+        n = dimension + 2 + extra
+        features, targets = regression_stream(seed, n, dimension, indicator)
+        rls = RecursiveLeastSquares(dimension, track_press=True)
+        for i in range(n):
+            rls.update(features[i], targets[i])
+            if i + 1 < dimension + 2:
+                continue
+            batch = MultipleLinearRegression().fit(features[: i + 1], targets[: i + 1])
+            assert rls.press_r_squared_tracked() == pytest.approx(
+                batch.press_r_squared_, abs=PRESS_TOLERANCE
+            )
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_press_survives_downdates(self, seed):
+        """Sliding the window (downdate) invalidates the carry; the next
+        query must still agree with a batch fit of the remaining rows."""
+        dimension, n, drop = 2, 14, 4
+        features, targets = regression_stream(seed, n, dimension, indicator=False)
+        rls = RecursiveLeastSquares(dimension, track_press=True)
+        for i in range(n):
+            rls.update(features[i], targets[i])
+        assert rls.press_r_squared_tracked() == pytest.approx(
+            MultipleLinearRegression().fit(features, targets).press_r_squared_,
+            abs=PRESS_TOLERANCE,
+        )
+        for i in range(drop):
+            rls.downdate(features[i], targets[i])
+        batch = MultipleLinearRegression().fit(features[drop:], targets[drop:])
+        assert rls.press_r_squared_tracked() == pytest.approx(
+            batch.press_r_squared_, abs=PRESS_TOLERANCE
+        )
+
+    def test_constant_indicator_window_takes_exact_path(self):
+        """A fully constant indicator column keeps the normal matrix
+        singular: the tracked statistic must equal the batch fit, which
+        exercises the pinv fallback of the recompute path."""
+        rng = RngStream(7, "constant-indicator")
+        n, dimension = 12, 3
+        features = rng.uniform(0.0, 10.0, size=(n, dimension))
+        features[:, -1] = 1.0  # the MIDAS constant engine indicator
+        targets = 2.0 + features[:, 0] * 0.5 + rng.normal(0.0, 0.1, size=n)
+        rls = RecursiveLeastSquares(dimension, track_press=True)
+        for i in range(n):
+            rls.update(features[i], targets[i])
+            if i + 1 < dimension + 2:
+                continue
+            batch = MultipleLinearRegression().fit(features[: i + 1], targets[: i + 1])
+            assert rls.press_r_squared_tracked() == pytest.approx(
+                batch.press_r_squared_, abs=PRESS_TOLERANCE
+            )
+
+    def test_carry_actually_engages(self):
+        """Guard against silently recomputing every step: on a well-
+        conditioned stream the carried vectors must stay valid across
+        updates once materialised."""
+        features, targets = regression_stream(3, 20, 2, indicator=False)
+        rls = RecursiveLeastSquares(2, track_press=True)
+        for i in range(6):
+            rls.update(features[i], targets[i])
+        rls.press_r_squared_tracked()  # materialises the carry
+        assert rls._press_valid
+        rls.update(features[6], targets[6])
+        assert rls._press_valid  # carried through, not invalidated
+
+    def test_tracked_query_requires_opt_in_and_data(self):
+        with pytest.raises(EstimationError, match="track_press"):
+            RecursiveLeastSquares(2).press_r_squared_tracked()
+        with pytest.raises(EstimationError, match="no observations"):
+            RecursiveLeastSquares(2, track_press=True).press_r_squared_tracked()
+
+    def test_downdate_of_unknown_row_is_rejected(self):
+        features, targets = regression_stream(1, 6, 2, indicator=False)
+        rls = RecursiveLeastSquares(2, track_press=True)
+        for i in range(6):
+            rls.update(features[i], targets[i])
+        with pytest.raises(EstimationError, match="never folded"):
+            rls.downdate([99.0, 99.0], 1.0)
+
+    def test_copy_carries_tracking_state(self):
+        features, targets = regression_stream(2, 10, 2, indicator=False)
+        rls = RecursiveLeastSquares(2, track_press=True)
+        for i in range(8):
+            rls.update(features[i], targets[i])
+        rls.press_r_squared_tracked()
+        clone = rls.copy()
+        clone.update(features[8], targets[8])
+        batch = MultipleLinearRegression().fit(features[:9], targets[:9])
+        assert clone.press_r_squared_tracked() == pytest.approx(
+            batch.press_r_squared_, abs=PRESS_TOLERANCE
+        )
+        # The original is untouched by the clone's update.
+        original_batch = MultipleLinearRegression().fit(features[:8], targets[:8])
+        assert rls.press_r_squared_tracked() == pytest.approx(
+            original_batch.press_r_squared_, abs=PRESS_TOLERANCE
+        )
+
+
+class TestUntrackedPathUnchanged:
+    def test_untracked_press_signature_still_works(self):
+        """The explicit-window ``press_r_squared(X, y)`` form stays the
+        compatibility path for callers that do not track rows."""
+        features, targets = regression_stream(5, 12, 2, indicator=False)
+        rls = RecursiveLeastSquares(2)
+        tracked = RecursiveLeastSquares(2, track_press=True)
+        for i in range(12):
+            rls.update(features[i], targets[i])
+            tracked.update(features[i], targets[i])
+        assert rls.press_r_squared(features, targets) == pytest.approx(
+            tracked.press_r_squared_tracked(), abs=PRESS_TOLERANCE
+        )
+        assert np.allclose(rls.coefficients, tracked.coefficients)
