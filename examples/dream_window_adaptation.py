@@ -7,6 +7,10 @@ refuses to grow the window past the regime boundary, so its predictions
 recover within a handful of observations while the full-history model
 stays biased for the remaining stream.
 
+(This example deliberately works *below* the federation gateway — it
+drives the raw estimator on a synthetic stream; inside the gateway the
+same algorithm runs behind ``FederationConfig(strategy=...)``.)
+
 Run:  python examples/dream_window_adaptation.py
 """
 

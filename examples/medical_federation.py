@@ -1,78 +1,117 @@
-"""Medical federation scenario: policies, constraints and drift.
+"""Medical federation scenario: policies, constraints, sessions, drift.
 
-Walks the MIDAS architecture (paper Figure 1) through a clinic's day:
+Walks the MIDAS architecture (paper Figure 1) through a clinic's day,
+entirely through the federation gateway's typed envelope API:
 
 1. three different medical queries run across the two-cloud federation;
 2. a time-critical emergency query (all weight on response time, with a
    hard money cap expressed as a constraint — Algorithm 2's B vector);
 3. a nightly batch analysis (all weight on money);
-4. the same query re-submitted later under drifted load, showing DREAM's
+4. a *pinned session* planning sweep — one model snapshot and one QEP
+   enumeration answer three what-if policies consistently, no matter
+   what executes concurrently;
+5. the same query re-submitted later under drifted load, showing DREAM's
    window adapting while predictions stay calibrated.
 
 Run:  python examples/medical_federation.py
 """
 
+from repro.federation import SubmitRequest
 from repro.ires.policy import UserPolicy
 from repro.midas import MEDICAL_QUERIES, MidasSystem
 
 
-def show(title: str, result) -> None:
-    measured = result.execution.metrics
+def show(title: str, report) -> None:
     print(f"\n== {title}")
-    print(f"   chosen QEP : {result.chosen_candidate.describe()}")
+    print(f"   chosen QEP : {report.chosen.describe()}")
     print(
-        f"   predicted  : {result.predicted[0]:6.2f} s, ${result.predicted[1]:.4f}"
+        f"   predicted  : {report.predicted_costs['time']:6.2f} s, "
+        f"${report.predicted_costs['money']:.4f}"
     )
     print(
-        f"   measured   : {measured.execution_time_s:6.2f} s, "
-        f"${measured.monetary_cost_usd:.4f}"
+        f"   measured   : {report.measured_costs['time']:6.2f} s, "
+        f"${report.measured_costs['money']:.4f}"
     )
     print(
-        f"   DREAM      : window={result.cost_model.training_size}, "
-        + ", ".join(f"R^2({m})={v:.2f}" for m, v in result.cost_model.r_squared.items())
+        f"   DREAM      : window={report.cost_model.training_size}, "
+        + ", ".join(f"R^2({m})={v:.2f}" for m, v in report.cost_model.r_squared.items())
     )
 
 
 def main() -> None:
     print("MIDAS: medical data management across Amazon (Hive) and Azure (PostgreSQL)")
     midas = MidasSystem(patient_count=2000, seed=11)
+    gateway = midas.gateway
 
     for key, template in MEDICAL_QUERIES.items():
         print(f"\nProfiling {key} ({template.title}) ...")
         midas.warm_up(key, runs=10)
 
     # 1. Routine demographics review: balanced preferences.
-    result = midas.query(
-        "medical-demographics", {"min_age": 30}, UserPolicy(weights=(0.5, 0.5))
+    report = gateway.submit(
+        SubmitRequest(
+            "medical-demographics", {"min_age": 30}, UserPolicy(weights=(0.5, 0.5))
+        )
     )
-    show("Routine review (balanced time/money)", result)
+    show("Routine review (balanced time/money)", report)
 
     # 2. Emergency: fastest plan whose money stays under a cap.
-    emergency = midas.query(
-        "medical-severe-cases",
-        {"severity": 4, "min_age": 60},
-        UserPolicy(weights=(1.0, 0.0), constraints=(None, 0.05)),
+    emergency = gateway.submit(
+        SubmitRequest(
+            "medical-severe-cases",
+            {"severity": 4, "min_age": 60},
+            UserPolicy(weights=(1.0, 0.0), constraints=(None, 0.05)),
+        )
     )
     show("Emergency severe-case lookup (time-first, money <= $0.05)", emergency)
-    assert emergency.predicted[1] <= 0.05 or len(emergency.pareto_set) == 1
+    assert (
+        emergency.predicted_costs["money"] <= 0.05 or len(emergency.pareto_set) == 1
+    )
 
     # 3. Nightly batch: cheapest plan wins.
-    nightly = midas.query(
-        "medical-lab-followup", {"testname": "glucose"}, UserPolicy(weights=(0.0, 1.0))
+    nightly = gateway.submit(
+        SubmitRequest(
+            "medical-lab-followup",
+            {"testname": "glucose"},
+            UserPolicy(weights=(0.0, 1.0)),
+        )
     )
     show("Nightly lab follow-up (money-first)", nightly)
 
-    # 4. The environment drifts; DREAM keeps tracking it.
+    # 4. What-if planning on a pinned snapshot: every policy is costed by
+    #    the SAME model over the SAME enumerated QEP space — a consistent
+    #    answer sheet for the morning planning meeting.
+    print("\nPinned-session what-if sweep for tomorrow's demographics review:")
+    weights = ((1.0, 0.0), (0.5, 0.5), (0.0, 1.0))
+    with gateway.session("medical-demographics") as session:
+        batch = session.submit_many(
+            [
+                SubmitRequest(
+                    "medical-demographics", {"min_age": 30}, UserPolicy(weights=w)
+                )
+                for w in weights
+            ],
+            execute=False,  # plan-only: nothing runs, the history stays put
+        )
+    for w, item in zip(weights, batch):
+        print(f"   weights={w}: {item.describe()}")
+    print(
+        f"   (model pinned at history v{batch.pinned_version}; "
+        f"{batch.enumerations} enumeration for {len(batch)} policies)"
+    )
+
+    # 5. The environment drifts; DREAM keeps tracking it.
     print("\nSimulating a busier afternoon (40 more executions of Example 2.1)...")
     midas.warm_up("medical-demographics", runs=40)
-    afternoon = midas.query(
-        "medical-demographics", {"min_age": 30}, UserPolicy(weights=(0.5, 0.5))
+    afternoon = gateway.submit(
+        SubmitRequest(
+            "medical-demographics", {"min_age": 30}, UserPolicy(weights=(0.5, 0.5))
+        )
     )
     show("Same review query under drifted load", afternoon)
-    errors = afternoon.prediction_error(("time", "money"))
     print(
         "   post-drift prediction error: "
-        + ", ".join(f"{metric}={value:.1%}" for metric, value in errors.items())
+        + ", ".join(f"{metric}={value:.1%}" for metric, value in afternoon.errors.items())
     )
 
     # Pareto front of the last submission, for the curious.

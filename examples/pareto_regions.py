@@ -12,6 +12,10 @@ simulators; the printed regions show where each plan is unbeaten —
 small inputs favour PostgreSQL, large inputs the big Hive cluster,
 and the small Hive cluster is dominated almost everywhere.
 
+(This example deliberately works *below* the federation gateway — it
+probes raw QEPs against the simulators to map dominance regions; see
+``examples/quickstart.py`` for the gateway API itself.)
+
 Run:  python examples/pareto_regions.py
 """
 

@@ -1,28 +1,34 @@
-"""Quickstart: the paper's Example 2.1 end to end.
+"""Quickstart: the paper's Example 2.1 through the federation gateway.
 
 Builds MIDAS on the two-cloud federation (Patient in Hive on an Amazon
-cloud, GeneralInfo in PostgreSQL on an Azure cloud), lets IReS profile a
-few executions, then submits the Example 2.1 query under a balanced
+cloud, GeneralInfo in PostgreSQL on an Azure cloud), profiles a few
+executions through the gateway's ``observe`` envelopes, then submits the
+Example 2.1 query with a typed ``SubmitRequest`` under a balanced
 time/money policy.  DREAM estimates the cost vector of every candidate
-QEP, the multi-objective optimizer builds a Pareto plan set, and
-Algorithm 2 picks the final plan.
+QEP, the multi-objective optimizer builds a Pareto plan set, Algorithm 2
+picks the final plan, and the gateway returns a typed
+``SubmissionReport``.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py       (or: repro demo)
 """
 
+from repro.federation import SubmitRequest
 from repro.ires.policy import UserPolicy
 from repro.midas import MidasSystem
 
 
 def main() -> None:
-    print("Building MIDAS (federation + engines + IReS + DREAM)...")
+    print("Building MIDAS (federation + engines + gateway + DREAM)...")
     midas = MidasSystem(patient_count=1500, seed=7)
+    gateway = midas.gateway
 
     print("Profiling 30 exploratory executions of Example 2.1...")
     midas.warm_up("medical-demographics", runs=30)
 
     policy = UserPolicy(metrics=("time", "money"), weights=(0.6, 0.4))
-    result = midas.query("medical-demographics", {"min_age": 40}, policy)
+    report = gateway.submit(
+        SubmitRequest("medical-demographics", {"min_age": 40}, policy)
+    )
 
     print()
     print("Query (Example 2.1):")
@@ -30,26 +36,26 @@ def main() -> None:
     print("  FROM patient p, generalinfo i")
     print("  WHERE p.uid = i.uid AND p.patientage >= 40")
     print()
-    print(f"QEP space: {result.candidate_count} candidate plans")
-    print(f"Pareto set: {len(result.pareto_set)} non-dominated plans")
-    print(f"Chosen QEP: {result.chosen_candidate.describe()}")
-    predicted_time, predicted_money = result.predicted
-    measured = result.execution.metrics
-    print(f"Predicted:  {predicted_time:6.2f} s   ${predicted_money:.4f}")
+    print(f"QEP space: {report.candidate_count} candidate plans")
+    print(f"Pareto set: {len(report.pareto_set)} non-dominated plans")
+    print(f"Chosen QEP: {report.chosen.describe()}")
     print(
-        f"Measured:   {measured.execution_time_s:6.2f} s   "
-        f"${measured.monetary_cost_usd:.4f}"
+        f"Predicted:  {report.predicted_costs['time']:6.2f} s   "
+        f"${report.predicted_costs['money']:.4f}"
     )
-    errors = result.prediction_error(("time", "money"))
+    print(
+        f"Measured:   {report.measured_costs['time']:6.2f} s   "
+        f"${report.measured_costs['money']:.4f}"
+    )
     print(
         "Relative prediction error: "
-        + ", ".join(f"{metric}={value:.1%}" for metric, value in errors.items())
+        + ", ".join(f"{metric}={value:.1%}" for metric, value in report.errors.items())
     )
     print()
     print(
-        f"DREAM trained on {result.cost_model.training_size} recent "
+        f"DREAM trained on {report.cost_model.training_size} recent "
         f"observations (R^2: "
-        + ", ".join(f"{m}={v:.2f}" for m, v in result.cost_model.r_squared.items())
+        + ", ".join(f"{m}={v:.2f}" for m, v in report.cost_model.r_squared.items())
         + ")"
     )
 

@@ -2,8 +2,10 @@
 
 A scaled-down version of the paper's evaluation (fewer runs and seeds
 than the benchmark harness, so it finishes in ~20 s): builds drifting
-execution histories for the two-table TPC-H queries and reports the Mean
-Relative Error of DREAM against the stock-IReS Best-ML baselines.
+execution histories for the two-table TPC-H queries — profiled through
+the federation gateway's ``observe`` envelopes, exactly the surface a
+real deployment logs through — and reports the Mean Relative Error of
+DREAM against the stock-IReS Best-ML baselines.
 
 Run:  python examples/tpch_federation_mre.py
 """

@@ -1,3 +1,21 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Dynamic Estimation for Medical Data Management "
+        "in a Cloud Federation' (DARLI-AP @ EDBT/ICDT 2019) with a "
+        "production-style federation gateway"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.__main__:main",
+        ]
+    },
+)

@@ -1,16 +1,19 @@
-"""Command-line entry point: regenerate paper artifacts.
+"""Command-line entry point: the gateway demo + paper artifacts.
 
-Usage::
+Installed as the ``repro`` console script (``python -m repro`` works
+without installing).  Usage::
 
-    python -m repro list                 # what can be reproduced
-    python -m repro table1               # instance pricing (verbatim)
-    python -m repro table2               # MLR R^2 vs window size
-    python -m repro table3 [--quick]     # MRE, TPC-H 100 MiB
-    python -m repro table4 [--quick]     # MRE, TPC-H 1 GiB
-    python -m repro figure3              # GA+Pareto vs WSM pipelines
-    python -m repro example31            # 18,200-configuration space
+    repro demo [--quick]                 # drive the federation gateway
+    repro list                           # what can be reproduced
+    repro table1                         # instance pricing (verbatim)
+    repro table2                         # MLR R^2 vs window size
+    repro table3 [--quick]               # MRE, TPC-H 100 MiB
+    repro table4 [--quick]               # MRE, TPC-H 1 GiB
+    repro figure3                        # GA+Pareto vs WSM pipelines
+    repro example31                      # 18,200-configuration space
 
-``--quick`` shrinks the MRE experiments (1 seed, 2 queries) to ~15 s.
+``--quick`` shrinks the MRE experiments (1 seed, 2 queries) to ~15 s and
+the demo's profiling phase to a handful of runs.
 """
 
 from __future__ import annotations
@@ -37,6 +40,72 @@ from repro.experiments.mre import MreExperimentConfig
 ARTIFACTS = ("table1", "table2", "table3", "table4", "figure3", "example31")
 
 
+def run_demo(quick: bool = False) -> int:
+    """Drive the federation gateway end to end on the MIDAS setup.
+
+    Builds the two-cloud medical federation, profiles Example 2.1
+    through typed ``observe`` envelopes, submits one query, then runs a
+    pinned-session policy sweep (one model snapshot, one enumeration)
+    and prints the serving-layer counters.
+    """
+    from repro.federation import SubmitRequest
+    from repro.ires.policy import UserPolicy
+    from repro.midas import MidasSystem
+
+    runs = 12 if quick else 30
+    key = "medical-demographics"
+    print("Building the MIDAS federation gateway (Amazon/Hive + Azure/PostgreSQL)...")
+    midas = MidasSystem(patient_count=400 if quick else 1500, seed=7)
+    gateway = midas.gateway
+    print(f"Registered templates: {', '.join(gateway.templates())}")
+
+    print(f"Profiling {runs} exploratory executions of Example 2.1...")
+    midas.warm_up(key, runs=runs)
+
+    report = gateway.submit(
+        SubmitRequest(key, {"min_age": 40}, UserPolicy(weights=(0.6, 0.4)))
+    )
+    print()
+    print(f"QEP space      : {report.candidate_count} candidate plans")
+    print(f"Chosen QEP     : {report.describe()}")
+    print(
+        "Measured       : "
+        + ", ".join(f"{m}={v:.4g}" for m, v in report.measured_costs.items())
+    )
+    print(
+        "Relative error : "
+        + ", ".join(f"{m}={v:.1%}" for m, v in report.errors.items())
+    )
+
+    print()
+    print("Pinned-session policy sweep (one model snapshot, one enumeration):")
+    weights = ((1.0, 0.0), (0.5, 0.5), (0.0, 1.0))
+    with gateway.session(key) as session:
+        batch = session.submit_many(
+            [
+                SubmitRequest(key, {"min_age": 40}, UserPolicy(weights=w))
+                for w in weights
+            ],
+            execute=False,
+        )
+    for w, item in zip(weights, batch):
+        print(f"  weights={w}: {item.describe()}")
+    print(f"  enumerations performed: {batch.enumerations} (batch of {len(batch)})")
+
+    stats = gateway.serving_stats
+    print()
+    print(
+        f"Serving stats  : fits={stats.fits}, snapshot_hits={stats.snapshot_hits}, "
+        f"observations={stats.observations}"
+    )
+    if stats.engine_cache is not None:
+        print(
+            f"Engine cache   : hits={stats.engine_cache.hits}, "
+            f"misses={stats.engine_cache.misses}, size={stats.engine_cache.size}"
+        )
+    return 0
+
+
 def _mre_config(scale_mib: float, quick: bool) -> MreExperimentConfig:
     if quick:
         return MreExperimentConfig(
@@ -54,18 +123,20 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("artifact", choices=("list", *ARTIFACTS))
+    parser.add_argument("artifact", choices=("list", "demo", *ARTIFACTS))
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="smaller configuration for table3/table4 (~15 s)",
+        help="smaller configuration for demo/table3/table4 (~15 s)",
     )
     arguments = parser.parse_args(argv)
 
     if arguments.artifact == "list":
         print("Reproducible artifacts:", ", ".join(ARTIFACTS))
-        print("See EXPERIMENTS.md for paper-vs-measured discussion.")
+        print("Gateway walkthrough: repro demo [--quick]")
         return 0
+    if arguments.artifact == "demo":
+        return run_demo(arguments.quick)
     if arguments.artifact == "table1":
         print(format_table1(run_table1()))
         return 0

@@ -14,6 +14,13 @@ Estimators: DREAM (Algorithm 1, R^2_require = 0.8) against the stock
 IReS Best-ML model trained on windows N, 2N, 3N and unlimited, with
 ``N = L + 2`` (the paper's §4.3 set-up exactly).
 
+The execution histories are built through the federation gateway
+(:meth:`~repro.workloads.tpch_runner.TpchFederationWorkload.build_history`
+drives typed ``ObserveRequest`` envelopes with per-run sampled
+statistics); the prequential evaluation then replays raw estimators over
+history prefixes, which is deliberately *below* the gateway — it is the
+oracle protocol, not a serving path.
+
 Absolute MREs differ from the paper's (their testbed, our simulator);
 the *shape* — DREAM smallest in every row, with a training window that
 stays "around N" — is asserted by the benchmark harness.

@@ -1,0 +1,88 @@
+"""The federation gateway: the public API of the reproduction.
+
+The paper's Figure 1 pipeline used to be reachable through three
+overlapping surfaces (the positional ``IReSPlatform`` constructor, the
+serving layer, the MIDAS façade), each wired differently by each caller.
+This package is the redesign that makes it **one** surface:
+
+* :class:`~repro.federation.gateway.FederationGateway` — the façade,
+  built from the physical environment plus a declarative
+  :class:`~repro.federation.config.FederationConfig`;
+* typed envelopes — :class:`~repro.federation.envelopes.SubmitRequest`,
+  :class:`~repro.federation.envelopes.ObserveRequest` in,
+  :class:`~repro.federation.envelopes.SubmissionReport`,
+  :class:`~repro.federation.envelopes.BatchReport`,
+  :class:`~repro.federation.envelopes.ObservationReport` out;
+* a structured error taxonomy rooted at
+  :class:`~repro.federation.errors.FederationError` (template key +
+  pipeline phase on every failure);
+* :class:`~repro.federation.session.GatewaySession` — snapshot pinning
+  for long optimizer runs, with batched
+  :meth:`~repro.federation.session.GatewaySession.submit_many`;
+* a string-keyed estimation-backend registry
+  (:func:`~repro.federation.registry.register_strategy`), so DREAM/BML/
+  future backends are selected by configuration, not imports.
+
+Quickstart::
+
+    from repro.federation import SubmitRequest
+    from repro.midas import MidasSystem
+
+    midas = MidasSystem(patient_count=1500)
+    midas.warm_up("medical-demographics", runs=30)   # profiling observes
+    report = midas.gateway.submit(
+        SubmitRequest("medical-demographics", {"min_age": 40})
+    )
+    print(report.describe())
+"""
+
+from repro.federation.config import DEFAULT_CACHE_CAPACITY, FederationConfig
+from repro.federation.envelopes import (
+    BatchReport,
+    ObservationReport,
+    ObserveRequest,
+    SubmissionReport,
+    SubmitRequest,
+)
+from repro.federation.errors import (
+    DuplicateTemplateError,
+    EnvelopeError,
+    FederationError,
+    GatewayConfigError,
+    InsufficientHistoryError,
+    SessionStateError,
+    UnknownStrategyError,
+    UnknownTemplateError,
+)
+from repro.federation.gateway import FederationGateway
+from repro.federation.registry import (
+    available_strategies,
+    create_strategy,
+    register_strategy,
+    unregister_strategy,
+)
+from repro.federation.session import GatewaySession
+
+__all__ = [
+    "DEFAULT_CACHE_CAPACITY",
+    "FederationConfig",
+    "BatchReport",
+    "ObservationReport",
+    "ObserveRequest",
+    "SubmissionReport",
+    "SubmitRequest",
+    "DuplicateTemplateError",
+    "EnvelopeError",
+    "FederationError",
+    "GatewayConfigError",
+    "InsufficientHistoryError",
+    "SessionStateError",
+    "UnknownStrategyError",
+    "UnknownTemplateError",
+    "FederationGateway",
+    "available_strategies",
+    "create_strategy",
+    "register_strategy",
+    "unregister_strategy",
+    "GatewaySession",
+]

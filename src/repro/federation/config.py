@@ -1,0 +1,106 @@
+"""Declarative gateway configuration.
+
+:class:`FederationConfig` replaces the ad-hoc keyword threading the old
+entry surfaces required (``IReSPlatform(...)`` positional wiring,
+``DreamStrategy(r2_required=..., max_window=..., engine_cache=...)``,
+``ModelCache(capacity=..., ttl_seconds=...)``,
+``EstimationService(max_workers=...)``) with one frozen value object:
+strategy selection by registry name, estimation thresholds, engine-cache
+budget, optimizer algorithm and refresh-pool width.  Every field is
+validated eagerly in ``__post_init__`` — a bad capacity or TTL fails at
+construction with a :class:`~repro.federation.errors.GatewayConfigError`
+instead of deep inside the first fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.federation.errors import GatewayConfigError
+
+#: Default bound on live per-template estimation engines (mirrors
+#: :data:`repro.ires.modelling.DEFAULT_ENGINE_CAPACITY`, restated here so
+#: configuring the gateway does not require importing the engine room).
+DEFAULT_CACHE_CAPACITY = 256
+
+_OPTIMIZER_ALGORITHMS = ("exact", "nsga2", "nsga-g")
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Everything a :class:`~repro.federation.gateway.FederationGateway`
+    needs beyond the physical environment (catalog, stats, deployment,
+    enumerator, simulator).
+
+    Parameters
+    ----------
+    strategy:
+        Registry name of the estimation backend (see
+        :func:`repro.federation.registry.available_strategies`).
+    metrics:
+        Cost metrics newly registered templates track by default.
+    r2_required:
+        DREAM's ``R^2_require`` threshold (paper §3 recommends 0.8).
+    max_window:
+        DREAM's ``Mmax``; ``None`` lets the window grow to the full
+        history.
+    optimizer_algorithm / exact_limit:
+        Pareto-set construction: ``"exact"`` enumerates exhaustively up
+        to ``exact_limit`` candidates and falls back to NSGA-II above it.
+    cache_capacity / cache_ttl_seconds:
+        LRU bound and idle TTL of the shared estimation-engine cache.
+    max_fit_workers:
+        Thread-pool width for burst refreshes (``None`` = service
+        default).
+    strategy_options:
+        Backend-specific extras passed to the registry factory (e.g.
+        ``{"window_multiple": 2}`` for the windowed BML baseline).
+    """
+
+    strategy: str = "dream-incremental"
+    metrics: tuple[str, ...] = ("time", "money")
+    r2_required: float = 0.8
+    max_window: int | None = None
+    optimizer_algorithm: str = "exact"
+    exact_limit: int = 2048
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    cache_ttl_seconds: float | None = None
+    max_fit_workers: int | None = None
+    strategy_options: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.strategy or not isinstance(self.strategy, str):
+            raise GatewayConfigError(
+                f"strategy must be a non-empty registry name, got {self.strategy!r}"
+            )
+        if not self.metrics:
+            raise GatewayConfigError("metrics must name at least one cost metric")
+        if not 0.0 <= self.r2_required <= 1.0:
+            raise GatewayConfigError(
+                f"r2_required must be in [0, 1], got {self.r2_required}"
+            )
+        if self.max_window is not None and self.max_window < 3:
+            raise GatewayConfigError(
+                f"max_window must be >= 3 (the smallest L + 2), got {self.max_window}"
+            )
+        if self.optimizer_algorithm not in _OPTIMIZER_ALGORITHMS:
+            raise GatewayConfigError(
+                f"optimizer_algorithm must be one of {_OPTIMIZER_ALGORITHMS}, "
+                f"got {self.optimizer_algorithm!r}"
+            )
+        if self.exact_limit < 1:
+            raise GatewayConfigError(
+                f"exact_limit must be >= 1, got {self.exact_limit}"
+            )
+        if self.cache_capacity < 1:
+            raise GatewayConfigError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
+        if self.cache_ttl_seconds is not None and not self.cache_ttl_seconds > 0:
+            raise GatewayConfigError(
+                f"cache_ttl_seconds must be > 0 (or None), got {self.cache_ttl_seconds}"
+            )
+        if self.max_fit_workers is not None and self.max_fit_workers < 1:
+            raise GatewayConfigError(
+                f"max_fit_workers must be >= 1 (or None), got {self.max_fit_workers}"
+            )

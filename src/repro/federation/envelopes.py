@@ -1,0 +1,193 @@
+"""Typed request/response envelopes of the gateway API.
+
+Requests (:class:`SubmitRequest`, :class:`ObserveRequest`) are small
+validated value objects — the gateway takes an envelope, not a positional
+argument soup, so call sites read the same everywhere (examples,
+experiments, workloads, CLI) and new fields can be added without breaking
+them.
+
+Responses wrap the engine room's raw outcome
+(:class:`~repro.ires.platform.SubmissionResult`) in a stable reporting
+surface: :class:`SubmissionReport` for one submission,
+:class:`BatchReport` for a pinned-session batch,
+:class:`ObservationReport` for a profiling execution.  Reports expose the
+same accessors the old ``SubmissionResult`` did (``predicted``,
+``pareto_set``, ``execution``, ``prediction_error``), so code migrating
+to the gateway keeps its reading side unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engines.simulate import QueryExecution
+from repro.federation.errors import EnvelopeError
+from repro.ires.enumerator import QepCandidate
+from repro.ires.modelling import FittedCostModel
+from repro.ires.platform import SubmissionResult
+from repro.ires.policy import UserPolicy
+from repro.moqp.problem import Candidate
+
+
+def _checked_template(template: str) -> None:
+    if not template or not isinstance(template, str):
+        raise EnvelopeError(
+            f"template must be a non-empty key string, got {template!r}"
+        )
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """One query submission: template key, parameters, user policy.
+
+    ``tick`` is optional — the gateway assigns the next logical tick when
+    it is ``None`` (explicit ticks exist for replay/oracle scripts).
+    """
+
+    template: str
+    params: dict = field(default_factory=dict)
+    policy: UserPolicy = field(default_factory=UserPolicy)
+    tick: int | None = None
+
+    def __post_init__(self):
+        _checked_template(self.template)
+        if self.tick is not None and self.tick < 0:
+            raise EnvelopeError(
+                f"tick must be >= 0, got {self.tick}", template=self.template
+            )
+
+
+@dataclass(frozen=True)
+class ObserveRequest:
+    """One profiling execution: run a QEP candidate and log the outcome.
+
+    ``candidate_index`` picks from the enumerated QEP space; ``None``
+    lets the gateway rotate through the space deterministically (the
+    exploration a production IReS performs during profiling runs).
+    """
+
+    template: str
+    params: dict = field(default_factory=dict)
+    candidate_index: int | None = None
+    tick: int | None = None
+
+    def __post_init__(self):
+        _checked_template(self.template)
+        if self.candidate_index is not None and self.candidate_index < 0:
+            raise EnvelopeError(
+                f"candidate_index must be >= 0, got {self.candidate_index}",
+                template=self.template,
+            )
+        if self.tick is not None and self.tick < 0:
+            raise EnvelopeError(
+                f"tick must be >= 0, got {self.tick}", template=self.template
+            )
+
+
+@dataclass(frozen=True)
+class ObservationReport:
+    """Outcome of one :class:`ObserveRequest`."""
+
+    template: str
+    tick: int
+    candidate: QepCandidate
+    #: Measured cost vector, keyed by the history's tracked metrics.
+    measured: dict[str, float]
+    history_size: int
+    history_version: int
+
+
+@dataclass(frozen=True)
+class SubmissionReport:
+    """Everything the gateway decided and observed for one submission.
+
+    A typed superset of the old ``SubmissionResult`` reading surface; the
+    raw engine-room outcome stays available as :attr:`result`.
+    """
+
+    template: str
+    tick: int
+    params: dict
+    policy: UserPolicy
+    #: Size of the enumerated QEP space.
+    candidate_count: int
+    #: The chosen equivalent QEP (Algorithm 2's pick).
+    chosen: QepCandidate
+    #: Predicted cost per policy metric for the chosen QEP.
+    predicted_costs: dict[str, float]
+    #: Measured costs of the actual run; ``None`` for plan-only calls.
+    measured_costs: dict[str, float] | None
+    #: Per-metric relative prediction error (inf for a nonzero prediction
+    #: of a zero measurement); ``None`` for plan-only calls.
+    errors: dict[str, float] | None
+    #: The fitted model that costed the QEP space (with provenance).
+    cost_model: FittedCostModel
+    #: True when the model came from a pinned session snapshot.
+    pinned: bool
+    #: Raw engine-room outcome (Pareto set, execution record, ...).
+    result: SubmissionResult
+
+    # Compatibility accessors (the old SubmissionResult reading surface).
+
+    @property
+    def predicted(self) -> tuple[float, ...]:
+        """Predicted cost vector in policy-metric order."""
+        return self.result.chosen.objectives
+
+    @property
+    def pareto_set(self) -> list[Candidate]:
+        return self.result.pareto_set
+
+    @property
+    def chosen_candidate(self) -> QepCandidate:
+        return self.chosen
+
+    @property
+    def execution(self) -> QueryExecution | None:
+        return self.result.execution
+
+    @property
+    def executed(self) -> bool:
+        return self.result.execution is not None
+
+    def prediction_error(self, metrics: tuple[str, ...]) -> dict[str, float]:
+        """Relative |predicted - measured| / |measured| per metric."""
+        return self.result.prediction_error(metrics)
+
+    def describe(self) -> str:
+        costs = ", ".join(
+            f"{metric}={value:.4g}" for metric, value in self.predicted_costs.items()
+        )
+        return f"{self.chosen.describe()} <- {costs}"
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome of a pinned-session :meth:`submit_many` batch.
+
+    The whole batch was planned against one pinned :attr:`cost_model`
+    (and the QEP space was enumerated once per distinct query instance —
+    :attr:`enumerations` counts the actual builds).
+    """
+
+    template: str
+    reports: tuple[SubmissionReport, ...]
+    #: The pinned snapshot every item was costed with.
+    cost_model: FittedCostModel
+    #: History version the snapshot was pinned at.
+    pinned_version: int
+    #: Distinct QEP-space enumerations the batch performed.
+    enumerations: int
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def __getitem__(self, index: int) -> SubmissionReport:
+        return self.reports[index]
+
+    @property
+    def chosen(self) -> list[QepCandidate]:
+        return [report.chosen for report in self.reports]

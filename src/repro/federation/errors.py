@@ -1,0 +1,120 @@
+"""Structured error taxonomy of the federation gateway.
+
+Every gateway failure is a :class:`FederationError` carrying two machine-
+readable fields alongside the human message:
+
+* ``template`` — the query-template key the failure concerns (``None``
+  for configuration-level failures that predate any template), and
+* ``phase`` — which stage of the Figure 1 pipeline rejected the call:
+  ``configure``, ``register``, ``validate``, ``estimate``, ``optimize``,
+  ``execute`` or ``session``.
+
+Callers that only know the old exception hierarchy keep working: the
+subtypes dual-inherit from the library-wide classes they replace
+(:class:`~repro.common.errors.ValidationError`,
+:class:`~repro.common.errors.EstimationError`), so an existing
+``except ValidationError`` still catches a :class:`UnknownTemplateError`
+— but gateway-aware callers can now branch on type, template and phase
+instead of parsing message strings.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import EstimationError, ReproError, ValidationError
+
+#: The pipeline stages a gateway error can be attributed to.
+PHASES = (
+    "configure",
+    "register",
+    "validate",
+    "estimate",
+    "optimize",
+    "execute",
+    "session",
+)
+
+
+class FederationError(ReproError):
+    """Base class of every error raised by the federation gateway."""
+
+    #: Default pipeline phase; subclasses override, instances may too.
+    phase: str = "validate"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        template: str | None = None,
+        phase: str | None = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.template = template
+        if phase is not None:
+            if phase not in PHASES:
+                raise ValueError(f"unknown gateway phase {phase!r}")
+            self.phase = phase
+
+    def __str__(self) -> str:
+        context = [f"phase={self.phase}"]
+        if self.template is not None:
+            context.append(f"template={self.template!r}")
+        return f"{self.message} [{', '.join(context)}]"
+
+
+class GatewayConfigError(FederationError, ValidationError):
+    """A :class:`~repro.federation.config.FederationConfig` field failed
+    a precondition check (non-positive capacity/TTL/worker counts, an
+    out-of-range threshold, an unknown optimizer algorithm, ...)."""
+
+    phase = "configure"
+
+
+class UnknownStrategyError(GatewayConfigError):
+    """The configured estimation backend name is not registered."""
+
+    def __init__(
+        self,
+        name: str,
+        available: tuple[str, ...],
+        *,
+        template: str | None = None,
+    ):
+        listing = ", ".join(available) or "<none>"
+        super().__init__(
+            f"unknown estimation backend {name!r}; registered: {listing}",
+            template=template,
+        )
+        self.name = name
+        self.available = available
+
+
+class DuplicateTemplateError(FederationError, ValidationError):
+    """A template key was registered twice on the same gateway."""
+
+    phase = "register"
+
+
+class UnknownTemplateError(FederationError, ValidationError):
+    """A request referenced a template key the gateway never saw."""
+
+    phase = "validate"
+
+
+class InsufficientHistoryError(FederationError, EstimationError):
+    """The template's execution history is too short to fit a model."""
+
+    phase = "estimate"
+
+
+class SessionStateError(FederationError):
+    """A session was used after :meth:`GatewaySession.close` (or is
+    otherwise in the wrong lifecycle state for the call)."""
+
+    phase = "session"
+
+
+class EnvelopeError(FederationError, ValidationError):
+    """A request envelope failed validation before entering the pipeline."""
+
+    phase = "validate"

@@ -1,0 +1,381 @@
+"""The federation gateway: the one way into the Figure 1 pipeline.
+
+:class:`FederationGateway` is the public façade in front of the engine
+room (:class:`~repro.ires.platform.IReSPlatform` and the multi-tenant
+:class:`~repro.serving.service.EstimationService`).  It is constructed
+from the physical environment (catalog, statistics, deployment,
+enumerator, simulator) plus one declarative
+:class:`~repro.federation.config.FederationConfig`, takes typed request
+envelopes (:class:`~repro.federation.envelopes.SubmitRequest`,
+:class:`~repro.federation.envelopes.ObserveRequest`) and returns typed
+reports; failures carry template key and pipeline phase through the
+:class:`~repro.federation.errors.FederationError` taxonomy.
+
+Everything above the gateway — MIDAS, the examples, the experiments, the
+workload runners, the CLI — goes through this surface; nothing outside
+``repro.federation`` and ``repro.ires`` constructs the engine room
+directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import nullcontext
+from dataclasses import replace
+
+from repro.engines.simulate import MultiEngineSimulator
+from repro.federation.config import FederationConfig
+from repro.federation.envelopes import (
+    BatchReport,
+    ObservationReport,
+    ObserveRequest,
+    SubmissionReport,
+    SubmitRequest,
+)
+from repro.federation.errors import (
+    DuplicateTemplateError,
+    EnvelopeError,
+    InsufficientHistoryError,
+    UnknownTemplateError,
+)
+from repro.federation.registry import create_strategy
+from repro.federation.session import GatewaySession
+from repro.common.errors import EstimationError
+from repro.core.cache import CacheStats
+from repro.core.history import ExecutionHistory
+from repro.ires.deployment import Deployment
+from repro.ires.enumerator import QepCandidate, QepEnumerator
+from repro.ires.executor import Executor
+from repro.ires.modelling import EstimationStrategy, FittedCostModel
+from repro.ires.optimizer import MultiObjectiveOptimizer, OptimizerConfig
+from repro.ires.platform import IReSPlatform
+from repro.plans.catalog import Catalog
+from repro.plans.statistics import TableStats
+from repro.serving.service import ServiceStats
+from repro.tpch.queries import QueryTemplate
+
+
+class FederationGateway:
+    """Unified entry surface over a federated multi-engine deployment.
+
+    Parameters
+    ----------
+    catalog, stats, deployment, enumerator, simulator:
+        The physical environment (what exists and where it runs).
+    config:
+        Declarative behaviour: estimation backend, thresholds, cache
+        budget, optimizer algorithm, refresh-pool width.
+    strategy:
+        Escape hatch for a pre-built
+        :class:`~repro.ires.modelling.EstimationStrategy` instance
+        (engine-room tests, custom unregistered backends); when given,
+        ``config.strategy`` is not consulted.
+    """
+
+    def __init__(
+        self,
+        *,
+        catalog: Catalog,
+        stats: dict[str, TableStats],
+        deployment: Deployment,
+        enumerator: QepEnumerator,
+        simulator: MultiEngineSimulator,
+        config: FederationConfig | None = None,
+        strategy: EstimationStrategy | None = None,
+    ):
+        self.config = config or FederationConfig()
+        self._strategy = strategy or create_strategy(self.config)
+        optimizer = MultiObjectiveOptimizer(
+            OptimizerConfig(
+                algorithm=self.config.optimizer_algorithm,
+                exact_limit=self.config.exact_limit,
+            )
+        )
+        #: The engine room.  Reachable for introspection and white-box
+        #: tests; construction happens only here.
+        self.engine = IReSPlatform(
+            catalog=catalog,
+            stats=stats,
+            deployment=deployment,
+            enumerator=enumerator,
+            simulator=simulator,
+            strategy=self._strategy,
+            optimizer=optimizer,
+            max_fit_workers=self.config.max_fit_workers,
+        )
+        self._keys: set[str] = set()
+        self._lock = threading.Lock()
+        self._tick = 0
+        self._rotation: dict[str, int] = {}
+
+    # Registration ---------------------------------------------------------
+
+    def register_template(
+        self, template: QueryTemplate, metrics: tuple[str, ...] | None = None
+    ) -> ExecutionHistory:
+        """Register a query template (a tenant) and create its history."""
+        with self._lock:
+            if template.key in self._keys:
+                raise DuplicateTemplateError(
+                    f"template {template.key!r} already registered",
+                    template=template.key,
+                )
+            history = self.engine.register_template(
+                template, metrics or self.config.metrics
+            )
+            self._keys.add(template.key)
+        return history
+
+    def templates(self) -> tuple[str, ...]:
+        """Registered template keys, sorted."""
+        with self._lock:
+            return tuple(sorted(self._keys))
+
+    def _require_template(self, key: str) -> None:
+        with self._lock:
+            if key not in self._keys:
+                known = ", ".join(sorted(self._keys)) or "<none>"
+                raise UnknownTemplateError(
+                    f"unknown template {key!r}; registered: {known}", template=key
+                )
+
+    def history(self, key: str) -> ExecutionHistory:
+        self._require_template(key)
+        return self.engine.history(key)
+
+    # Ticks ----------------------------------------------------------------
+
+    def next_tick(self) -> int:
+        """The next logical tick (monotone across the whole gateway)."""
+        with self._lock:
+            tick = self._tick
+            self._tick += 1
+            return tick
+
+    def _resolve_tick(self, tick: int | None) -> int:
+        if tick is None:
+            return self.next_tick()
+        with self._lock:
+            # Keep auto-ticks ahead of explicit ones so mixing the two
+            # never violates a history's non-decreasing-tick invariant.
+            self._tick = max(self._tick, tick + 1)
+        return tick
+
+    def _tick_scope(self, key: str, tick: int | None):
+        """Lock scope for one tick's worth of work on a template.
+
+        Auto-assigned ticks hold the template's (re-entrant) lock from
+        assignment through the history append, so concurrent auto-ticked
+        calls on one template always append in tick order.  Explicit
+        ticks are replay scripts — the caller owns the ordering — and
+        take no extra lock.
+        """
+        if tick is not None:
+            return nullcontext()
+        return self.engine.serving.template_lock(key)
+
+    # Profiling ------------------------------------------------------------
+
+    def candidates(
+        self, key: str, params: dict, stats: dict[str, TableStats] | None = None
+    ) -> list[QepCandidate]:
+        """The enumerated QEP space of one query instance."""
+        self._require_template(key)
+        _request, candidates = self.engine.candidates_for(key, params, stats=stats)
+        return candidates
+
+    def observe(
+        self,
+        request: ObserveRequest,
+        *,
+        candidate: QepCandidate | None = None,
+        stats: dict[str, TableStats] | None = None,
+    ) -> ObservationReport:
+        """Execute one profiling run and log it into the history.
+
+        The QEP comes from (in priority order) the explicit ``candidate``
+        argument, the envelope's ``candidate_index``, or a deterministic
+        rotation through the enumerated space (exploration).  ``stats``
+        overrides table statistics for sampled-input profiling.
+        """
+        key = request.template
+        self._require_template(key)
+        with self._tick_scope(key, request.tick):
+            tick = self._resolve_tick(request.tick)
+            if candidate is None:
+                space = self.candidates(key, request.params, stats=stats)
+                if request.candidate_index is not None:
+                    if request.candidate_index >= len(space):
+                        raise EnvelopeError(
+                            f"candidate_index {request.candidate_index} out of range "
+                            f"for a {len(space)}-candidate QEP space",
+                            template=key,
+                        )
+                    candidate = space[request.candidate_index]
+                else:
+                    with self._lock:
+                        index = self._rotation.get(key, 0)
+                        self._rotation[key] = index + 1
+                    candidate = space[index % len(space)]
+            execution = self.engine.observe(
+                key, request.params, candidate, tick, stats=stats
+            )
+            history = self.engine.history(key)
+            size, version = history.size, history.version
+        costs = Executor.costs_of(execution.metrics)
+        return ObservationReport(
+            template=key,
+            tick=tick,
+            candidate=candidate,
+            measured={metric: costs[metric] for metric in history.metric_names},
+            history_size=size,
+            history_version=version,
+        )
+
+    # Submission -----------------------------------------------------------
+
+    def submit(self, request: SubmitRequest) -> SubmissionReport:
+        """The full Figure 1 pipeline for one submission envelope."""
+        return self._submit(request)
+
+    def submit_many(
+        self, requests, *, execute: bool = True
+    ) -> BatchReport:
+        """Batch submission through a transient pinned session.
+
+        All requests must target one template; see
+        :meth:`GatewaySession.submit_many` for the pinning semantics.
+        """
+        items = list(requests)
+        if not items:
+            raise EnvelopeError("submit_many() needs at least one request")
+        with self.session(items[0].template) as session:
+            return session.submit_many(items, execute=execute)
+
+    def session(self, key: str) -> GatewaySession:
+        """Open a pinned-snapshot session for one template."""
+        return GatewaySession(self, key)
+
+    def _pin(self, key: str) -> tuple[FittedCostModel, int]:
+        """Fit-or-fetch the template's snapshot plus its history version,
+        atomically with respect to appends on that template."""
+        self._require_template(key)
+        serving = self.engine.serving
+        with serving.template_lock(key):
+            try:
+                model = serving.model(key)
+            except EstimationError as error:
+                raise InsufficientHistoryError(str(error), template=key) from error
+            return model, self.engine.history(key).version
+
+    def _submit(
+        self,
+        request: SubmitRequest,
+        *,
+        cost_model: FittedCostModel | None = None,
+        enumerations: dict | None = None,
+        pinned: bool = False,
+        execute: bool = True,
+    ) -> SubmissionReport:
+        key = request.template
+        self._require_template(key)
+        engine = self.engine
+        template = engine.template(key)
+        sql = template.render(request.params)
+        candidates = features_matrix = None
+        if enumerations is None:
+            query_request = engine.interface.receive(sql, request.policy)
+        else:
+            cached = enumerations.get(sql)
+            if cached is None:
+                query_request = engine.interface.receive(sql, request.policy)
+                candidates = engine.enumerator.enumerate(
+                    key, query_request.plan, engine.stats, template.tables
+                )
+                features_matrix = MultiObjectiveOptimizer.candidate_matrix(
+                    candidates, cost_model
+                )
+                enumerations[sql] = (query_request, candidates, features_matrix)
+            else:
+                base_request, candidates, features_matrix = cached
+                query_request = replace(base_request, policy=request.policy)
+        with self._tick_scope(key, request.tick):
+            tick = self._resolve_tick(request.tick)
+            if cost_model is None:
+                if engine.history(key).size == 0:
+                    raise InsufficientHistoryError(
+                        f"no execution history for {key!r}; run observe() a "
+                        "few times first",
+                        template=key,
+                    )
+                # Fetch the serving snapshot here (not inside the engine)
+                # so a too-short history surfaces as the typed
+                # InsufficientHistoryError; same model, same locks.
+                cost_model, _version = self._pin(key)
+            result = engine.submit_request(
+                key,
+                query_request,
+                tick,
+                cost_model=cost_model,
+                candidates=candidates,
+                features_matrix=features_matrix,
+                execute=execute,
+            )
+        metrics = request.policy.metrics
+        predicted = dict(zip(metrics, result.chosen.objectives))
+        measured = errors = None
+        if result.execution is not None:
+            costs = Executor.costs_of(result.execution.metrics)
+            measured = {metric: costs[metric] for metric in metrics}
+            errors = result.prediction_error(metrics)
+        return SubmissionReport(
+            template=key,
+            tick=tick,
+            params=dict(request.params),
+            policy=request.policy,
+            candidate_count=result.candidate_count,
+            chosen=result.chosen_candidate,
+            predicted_costs=predicted,
+            measured_costs=measured,
+            errors=errors,
+            cost_model=result.cost_model,
+            pinned=pinned,
+            result=result,
+        )
+
+    # Models ---------------------------------------------------------------
+
+    def refresh(
+        self, keys: list[str] | None = None, parallel: bool = True
+    ) -> dict[str, FittedCostModel]:
+        """Prefit stale templates for a burst (serving-layer refresh)."""
+        if keys is not None:
+            for key in keys:
+                self._require_template(key)
+        return self.engine.refresh_models(keys, parallel=parallel)
+
+    def model(self, key: str) -> FittedCostModel:
+        """The template's current fitted model (refit only when stale)."""
+        return self._pin(key)[0]
+
+    # Introspection --------------------------------------------------------
+
+    @property
+    def strategy(self) -> EstimationStrategy:
+        return self._strategy
+
+    @property
+    def serving_stats(self) -> ServiceStats:
+        """Serving-layer counters (fits, snapshot hits, bursts, ...)."""
+        return self.engine.serving.stats
+
+    @property
+    def engine_cache_stats(self) -> CacheStats | None:
+        """Estimation-engine cache counters, when the backend has one."""
+        return self.serving_stats.engine_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FederationGateway(strategy={self.config.strategy!r}, "
+            f"templates={len(self._keys)})"
+        )

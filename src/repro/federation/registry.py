@@ -1,0 +1,130 @@
+"""String-keyed estimation-backend registry.
+
+The gateway selects its estimation backend by configuration —
+``FederationConfig(strategy="dream-incremental")`` — instead of callers
+importing and constructing strategy classes.  A backend is a *factory*
+``(FederationConfig) -> EstimationStrategy``; the factory reads whatever
+fields of the config it cares about (thresholds, cache budget,
+``strategy_options``) and returns a ready strategy instance.
+
+Built-in backends:
+
+``dream-incremental``
+    The production DREAM path: per-history online engines with rank-one
+    window growth, pooled in a bounded
+    :class:`~repro.core.cache.ModelCache` sized by the config.
+``dream-batch``
+    The batch reference estimator (full refit per window size) — the
+    verification oracle, selectable for A/B runs.
+``bml``
+    Stock IReS best-of-pool selection.  ``strategy_options
+    ["window_multiple"]`` trains on the last ``k * (L + 2)``
+    observations (the paper's BML_N/2N/3N baselines); omitted = the
+    unlimited-history BML baseline.
+
+Third-party backends register through :func:`register_strategy`; the
+registry is process-global (names are how configs travel between
+processes) and thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, TYPE_CHECKING
+
+from repro.core.cache import ModelCache
+from repro.federation.errors import GatewayConfigError, UnknownStrategyError
+from repro.ires.modelling import BmlStrategy, DreamStrategy, EstimationStrategy
+from repro.ml.selection import ObservationWindow
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.config import FederationConfig
+
+StrategyFactory = Callable[["FederationConfig"], EstimationStrategy]
+
+_registry_lock = threading.Lock()
+_STRATEGIES: dict[str, StrategyFactory] = {}
+
+
+def register_strategy(
+    name: str, factory: StrategyFactory, *, replace: bool = False
+) -> None:
+    """Register an estimation backend under ``name``.
+
+    ``replace=False`` (default) refuses to overwrite an existing name, so
+    a typo cannot silently shadow a built-in.
+    """
+    if not name or not isinstance(name, str):
+        raise GatewayConfigError(f"backend name must be a non-empty string, got {name!r}")
+    if not callable(factory):
+        raise GatewayConfigError(f"backend factory for {name!r} is not callable")
+    with _registry_lock:
+        if name in _STRATEGIES and not replace:
+            raise GatewayConfigError(
+                f"estimation backend {name!r} is already registered "
+                "(pass replace=True to override)"
+            )
+        _STRATEGIES[name] = factory
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a registered backend (primarily for tests)."""
+    with _registry_lock:
+        _STRATEGIES.pop(name, None)
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    with _registry_lock:
+        return tuple(sorted(_STRATEGIES))
+
+
+def create_strategy(config: "FederationConfig") -> EstimationStrategy:
+    """Instantiate the backend ``config.strategy`` names."""
+    with _registry_lock:
+        factory = _STRATEGIES.get(config.strategy)
+    if factory is None:
+        raise UnknownStrategyError(config.strategy, available_strategies())
+    return factory(config)
+
+
+# Built-in backends ---------------------------------------------------------
+
+
+def _engine_cache(config: "FederationConfig") -> ModelCache:
+    return ModelCache(
+        capacity=config.cache_capacity, ttl_seconds=config.cache_ttl_seconds
+    )
+
+
+def _dream_incremental(config: "FederationConfig") -> EstimationStrategy:
+    return DreamStrategy(
+        r2_required=config.r2_required,
+        max_window=config.max_window,
+        incremental=True,
+        engine_cache=_engine_cache(config),
+    )
+
+
+def _dream_batch(config: "FederationConfig") -> EstimationStrategy:
+    return DreamStrategy(
+        r2_required=config.r2_required,
+        max_window=config.max_window,
+        incremental=False,
+        engine_cache=_engine_cache(config),
+    )
+
+
+def _bml(config: "FederationConfig") -> EstimationStrategy:
+    multiple = config.strategy_options.get("window_multiple")
+    if multiple is not None and (not isinstance(multiple, int) or multiple < 1):
+        raise GatewayConfigError(
+            f"strategy_options['window_multiple'] must be a positive int, "
+            f"got {multiple!r}"
+        )
+    return BmlStrategy(ObservationWindow(multiple))
+
+
+register_strategy("dream-incremental", _dream_incremental)
+register_strategy("dream-batch", _dream_batch)
+register_strategy("bml", _bml)

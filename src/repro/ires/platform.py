@@ -41,7 +41,8 @@ class SubmissionResult:
     candidate_count: int
     pareto_set: list[Candidate]
     chosen: Candidate
-    execution: QueryExecution
+    #: ``None`` for plan-only submissions (``execute=False``).
+    execution: QueryExecution | None
 
     @property
     def chosen_candidate(self) -> QepCandidate:
@@ -52,13 +53,26 @@ class SubmissionResult:
         return self.chosen.objectives
 
     def prediction_error(self, metrics: tuple[str, ...]) -> dict[str, float]:
-        """Relative |predicted - measured| / measured per metric."""
+        """Relative |predicted - measured| / |measured| per metric.
+
+        Every requested metric is reported: a zero measured cost yields
+        0.0 when the prediction was exact and ``inf`` otherwise (the old
+        behaviour silently dropped such metrics, hiding the worst
+        possible relative error from MRE-style aggregations).
+        """
+        if self.execution is None:
+            raise EstimationError(
+                "submission was planned but not executed; no measured costs"
+            )
         measured = Executor.costs_of(self.execution.metrics)
         errors = {}
         for i, metric in enumerate(metrics):
             actual = measured[metric]
-            if actual > 0:
-                errors[metric] = abs(self.predicted[i] - actual) / actual
+            predicted = self.predicted[i]
+            if actual != 0:
+                errors[metric] = abs(predicted - actual) / abs(actual)
+            else:
+                errors[metric] = 0.0 if predicted == 0 else float("inf")
         return errors
 
 
@@ -132,14 +146,29 @@ class IReSPlatform:
 
     # Pipeline ---------------------------------------------------------------
 
-    def candidates_for(self, key: str, params: dict) -> tuple[QueryRequest, list[QepCandidate]]:
-        """Steps 1 + 3a: validate and enumerate (no model needed)."""
+    def candidates_for(
+        self, key: str, params: dict, stats: dict[str, TableStats] | None = None
+    ) -> tuple[QueryRequest, list[QepCandidate]]:
+        """Steps 1 + 3a: validate and enumerate (no model needed).
+
+        ``stats`` overrides the platform's table statistics for this call
+        (IReS-style profiling runs enumerate over sampled inputs).
+        """
         template = self.template(key)
         request = self.interface.receive(template.render(params))
-        candidates = self.enumerator.enumerate(key, request.plan, self.stats, template.tables)
+        candidates = self.enumerator.enumerate(
+            key, request.plan, self.stats if stats is None else stats, template.tables
+        )
         return request, candidates
 
-    def observe(self, key: str, params: dict, candidate: QepCandidate, tick: int) -> QueryExecution:
+    def observe(
+        self,
+        key: str,
+        params: dict,
+        candidate: QepCandidate,
+        tick: int,
+        stats: dict[str, TableStats] | None = None,
+    ) -> QueryExecution:
         """Execute a given candidate and log it (history building)."""
         template = self.template(key)
         request = self.interface.receive(template.render(params))
@@ -147,36 +176,83 @@ class IReSPlatform:
         # template's lock: a concurrent fit on this template can never
         # observe a torn window, and other templates are unaffected.
         with self.serving.template_lock(key):
-            return self.executor.run(
-                candidate, request.plan, self.stats, tick, self.history(key)
+            execution = self.executor.run(
+                candidate,
+                request.plan,
+                self.stats if stats is None else stats,
+                tick,
+                self.history(key),
             )
+        self.serving.record_external()
+        return execution
 
     def submit(
-        self, key: str, params: dict, policy: UserPolicy, tick: int
+        self,
+        key: str,
+        params: dict,
+        policy: UserPolicy,
+        tick: int,
+        cost_model: FittedCostModel | None = None,
     ) -> SubmissionResult:
-        """The full Figure 1 pipeline for one query submission."""
+        """The full Figure 1 pipeline for one query submission.
+
+        ``cost_model`` optionally pins the model that costs the QEP space
+        (a session snapshot); the default refits through the serving
+        layer only when the history moved since the last fit.
+        """
         template = self.template(key)
         request = self.interface.receive(template.render(params), policy)
+        return self.submit_request(key, request, tick, cost_model=cost_model)
+
+    def submit_request(
+        self,
+        key: str,
+        request: QueryRequest,
+        tick: int,
+        *,
+        cost_model: FittedCostModel | None = None,
+        candidates: list[QepCandidate] | None = None,
+        features_matrix=None,
+        execute: bool = True,
+    ) -> SubmissionResult:
+        """Steps 2-5 for an already-validated request.
+
+        The gateway's session layer drives this directly so a parameter
+        batch can reuse one pinned ``cost_model``, one enumerated
+        ``candidates`` space and one precomputed ``features_matrix``;
+        ``execute=False`` stops after Algorithm 2 (plan-only costing).
+        All paths are numerically identical to :meth:`submit`.
+        """
+        template = self.template(key)
         history = self.history(key)
-        if history.size == 0:
-            raise EstimationError(
-                f"no execution history for {key!r}; run observe() a few times first"
+        if cost_model is None:
+            if history.size == 0:
+                raise EstimationError(
+                    f"no execution history for {key!r}; run observe() a few times first"
+                )
+            # Through the serving layer: refits only when the history
+            # moved since the last fit (re-planning between executions is
+            # a snapshot hit), under the template's lock.
+            cost_model = self.serving.model(key)
+        if candidates is None:
+            candidates = self.enumerator.enumerate(
+                key, request.plan, self.stats, template.tables
             )
-        # Through the serving layer: refits only when the history moved
-        # since the last fit (re-planning between executions is a
-        # snapshot hit), under the template's lock.
-        cost_model = self.serving.model(key)
-        candidates = self.enumerator.enumerate(
-            key, request.plan, self.stats, template.tables
+        policy = request.policy
+        pareto = self.optimizer.pareto_set(
+            candidates, cost_model, policy.metrics, features_matrix=features_matrix
         )
-        pareto = self.optimizer.pareto_set(candidates, cost_model, policy.metrics)
         chosen = self.optimizer.choose(pareto, policy)
-        # Under the template's lock: the executor's history append must
-        # exclude concurrent fits of this template (torn-window guard).
-        with self.serving.template_lock(key):
-            execution = self.executor.run(
-                chosen.payload, request.plan, self.stats, tick, history
-            )
+        execution = None
+        if execute:
+            # Under the template's lock: the executor's history append
+            # must exclude concurrent fits of this template (torn-window
+            # guard).
+            with self.serving.template_lock(key):
+                execution = self.executor.run(
+                    chosen.payload, request.plan, self.stats, tick, history
+                )
+            self.serving.record_external()
         return SubmissionResult(
             request=request,
             cost_model=cost_model,

@@ -2,22 +2,28 @@
 
 Builds the whole stack of Figure 1 in one object: the paper's two-cloud
 federation (Amazon/Hive + Microsoft/PostgreSQL), the medical catalog with
-its deployment, DREAM-backed IReS, and a query API that takes SQL-free
-template submissions with a user policy.
+its deployment, and a :class:`~repro.federation.FederationGateway` over
+DREAM-backed IReS.  ``MidasSystem`` assembles the *environment*; every
+query flows through the gateway's typed envelope API (``midas.gateway``
+is the full surface — sessions, batches, backend registry).
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.cloud.federation import CloudFederation, paper_federation
 from repro.cloud.variability import LoadProcess, default_federation_load
 from repro.common.rng import RngStream
 from repro.engines.simulate import MultiEngineSimulator
+from repro.federation import (
+    FederationConfig,
+    FederationGateway,
+    ObserveRequest,
+    SubmissionReport,
+    SubmitRequest,
+)
 from repro.ires.deployment import Deployment
 from repro.ires.enumerator import QepEnumerator
-from repro.ires.modelling import DreamStrategy, EstimationStrategy
-from repro.ires.platform import IReSPlatform, SubmissionResult
+from repro.ires.modelling import EstimationStrategy
 from repro.ires.policy import UserPolicy
 from repro.midas.generator import MedicalDataGenerator
 from repro.midas.queries import MEDICAL_QUERIES
@@ -36,6 +42,11 @@ DEFAULT_DEPLOYMENT = {
 DEFAULT_INSTANCE_TYPES = {"cloud-a": "a1.xlarge", "cloud-b": "B2S"}
 DEFAULT_NODE_OPTIONS = {"cloud-a": [1, 2, 4, 8], "cloud-b": [1, 2, 4]}
 
+#: MIDAS's default gateway configuration (the paper's DREAM settings).
+DEFAULT_CONFIG = FederationConfig(
+    strategy="dream-incremental", r2_required=0.8, max_window=24
+)
+
 
 class MidasSystem:
     """MIDAS end to end: call :meth:`warm_up` then :meth:`query`."""
@@ -44,6 +55,7 @@ class MidasSystem:
         self,
         patient_count: int = 2000,
         seed: int = 7,
+        config: FederationConfig | None = None,
         strategy: EstimationStrategy | None = None,
         federation: CloudFederation | None = None,
         load: LoadProcess | None = None,
@@ -65,25 +77,28 @@ class MidasSystem:
             load=load or default_federation_load(RngStream(seed, "midas-load")),
             seed=seed,
         )
-        self.platform = IReSPlatform(
+        self.gateway = FederationGateway(
             catalog=self.catalog,
             stats=self.stats,
             deployment=self.deployment,
             enumerator=enumerator,
             simulator=simulator,
-            strategy=strategy or DreamStrategy(r2_required=0.8, max_window=24),
+            config=config or DEFAULT_CONFIG,
+            strategy=strategy,
         )
         for template in MEDICAL_QUERIES.values():
-            self.platform.register_template(template)
-        self._tick = 0
+            self.gateway.register_template(template)
         self._rng = RngStream(seed, "midas-params")
+
+    @property
+    def platform(self):
+        """The engine room behind the gateway (white-box introspection)."""
+        return self.gateway.engine
 
     # ------------------------------------------------------------------
 
     def next_tick(self) -> int:
-        tick = self._tick
-        self._tick += 1
-        return tick
+        return self.gateway.next_tick()
 
     def warm_up(self, query_key: str, runs: int = 12) -> None:
         """Populate the query's history with exploratory executions.
@@ -93,24 +108,26 @@ class MidasSystem:
         profiling runs.
         """
         template = MEDICAL_QUERIES[query_key]
-        for run in range(runs):
+        for _run in range(runs):
             params = template.sample_params(self._rng)
-            _request, candidates = self.platform.candidates_for(query_key, params)
+            candidates = self.gateway.candidates(query_key, params)
             candidate = candidates[int(self._rng.integers(0, len(candidates)))]
-            self.platform.observe(query_key, params, candidate, self.next_tick())
+            self.gateway.observe(
+                ObserveRequest(query_key, params), candidate=candidate
+            )
 
     def query(
         self,
         query_key: str,
         params: dict | None = None,
         policy: UserPolicy | None = None,
-    ) -> SubmissionResult:
+    ) -> SubmissionReport:
         """Submit one medical query through the full IReS pipeline."""
         template = MEDICAL_QUERIES[query_key]
         if params is None:
             params = template.sample_params(self._rng)
-        return self.platform.submit(
-            query_key, params, policy or UserPolicy(), self.next_tick()
+        return self.gateway.submit(
+            SubmitRequest(query_key, params, policy or UserPolicy())
         )
 
     def execute_locally(self, query_key: str, params: dict | None = None):

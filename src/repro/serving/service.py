@@ -51,8 +51,10 @@ class ServiceStats:
     fits: int
     #: Model lookups served from a fresh per-version snapshot.
     snapshot_hits: int
-    #: Observations appended through :meth:`EstimationService.record`
-    #: (appends made directly on a history object bypass this counter).
+    #: Observations appended through :meth:`EstimationService.record` or
+    #: counted by :meth:`EstimationService.record_external` (the platform
+    #: executor's history appends); raw appends on a bare history object
+    #: outside both paths still bypass this counter.
     observations: int
     #: ``refresh`` calls, and how many stale fits they attempted.
     bursts: int
@@ -180,6 +182,16 @@ class EstimationService:
             state.history.append(tick, features, costs)
         with self._stats_lock:
             self._observations += 1
+
+    def record_external(self, count: int = 1) -> None:
+        """Count observations appended outside :meth:`record`.
+
+        The platform's executor logs measured runs directly into the
+        history (under the template's lock); it reports them here so the
+        ``observations`` counter stays meaningful for every serving path.
+        """
+        with self._stats_lock:
+            self._observations += count
 
     # Fitting --------------------------------------------------------------
 

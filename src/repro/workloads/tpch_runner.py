@@ -8,6 +8,13 @@ The runner executes a stream of parameter-randomised query instances on
 randomly drawn QEPs (cluster sizes + execution engine), logging
 (features, measured costs) into one :class:`ExecutionHistory` per query,
 under a drifting load.
+
+All platform access goes through the
+:class:`~repro.federation.FederationGateway`: :meth:`gateway` builds one
+over this workload's environment, and :meth:`build_history` drives the
+profiling runs through the gateway's ``observe`` envelope (with sampled
+per-run statistics), so the workload exercises exactly the surface real
+callers use.
 """
 
 from __future__ import annotations
@@ -18,11 +25,10 @@ from repro.cloud.federation import CloudFederation, paper_federation
 from repro.common.rng import RngStream
 from repro.core.history import ExecutionHistory
 from repro.engines.simulate import MultiEngineSimulator
+from repro.federation import FederationConfig, FederationGateway, ObserveRequest
 from repro.ires.deployment import Deployment
 from repro.ires.enumerator import QepEnumerator
 from repro.ires.executor import Executor
-from repro.ires.platform import IReSPlatform
-from repro.ires.modelling import DreamStrategy
 from repro.plans.physical import EnginePlacement
 from repro.tpch.dataset import TpchDataset
 from repro.tpch.queries import TPCH_QUERIES
@@ -55,7 +61,7 @@ class TpchFederationConfig:
     )
     metrics: tuple[str, ...] = ("time", "money")
     #: Use the incremental (version-cached, rank-one-update) DREAM
-    #: engine in :meth:`TpchFederationWorkload.platform`.  The batch
+    #: backend in :meth:`TpchFederationWorkload.gateway`.  The batch
     #: reference estimator remains available for oracle comparisons.
     incremental_estimation: bool = True
     #: IReS-style profiling varies input sizes: each run executes over a
@@ -67,6 +73,15 @@ class TpchFederationConfig:
     #: feature vector (two sizes + two node counts).  None = mix engines
     #: and add indicator features.
     fixed_execution: tuple[str, str] | None = ("hive", "cloud-a")
+
+    def federation_config(self) -> FederationConfig:
+        """The gateway configuration this workload implies."""
+        return FederationConfig(
+            strategy=(
+                "dream-incremental" if self.incremental_estimation else "dream-batch"
+            ),
+            metrics=self.metrics,
+        )
 
 
 class TpchFederationWorkload:
@@ -102,53 +117,63 @@ class TpchFederationWorkload:
 
     # ------------------------------------------------------------------
 
-    def build_history(self, query_key: str, runs: int) -> ExecutionHistory:
-        """Run ``runs`` randomised executions of one query template.
+    def gateway(
+        self,
+        config: FederationConfig | None = None,
+        strategy=None,
+        queries: tuple[str, ...] | None = None,
+    ) -> FederationGateway:
+        """A federation gateway over this workload's environment.
 
-        Each run draws fresh query parameters and a random QEP from the
-        enumerated space (exploration, as IReS profiling would), executes
-        it at the next tick and logs the observation.
+        Registers the configured query templates; ``strategy`` is the
+        engine-room escape hatch for a pre-built strategy instance.
         """
-        from repro.plans.binder import plan_sql
-        from repro.plans.optimizer import optimize
-
         cfg = self.config
-        template = TPCH_QUERIES[query_key]
-        history = ExecutionHistory(
-            self.enumerator.feature_names(template.tables), cfg.metrics
-        )
-        low, high = cfg.sample_fraction_range
-        for tick in range(runs):
-            params = template.sample_params(self._param_rng)
-            plan = optimize(plan_sql(template.render(params), self.dataset.catalog))
-            fraction = float(self._choice_rng.uniform(low, high))
-            stats = {
-                name: table_stats.sampled(fraction)
-                for name, table_stats in self.dataset.logical_stats.items()
-            }
-            candidates = self.enumerator.enumerate(
-                query_key, plan, stats, template.tables
-            )
-            candidate = candidates[int(self._choice_rng.integers(0, len(candidates)))]
-            # The executor logs (features, costs) itself; history.append
-            # keeps the tracked metrics and bumps history.version.
-            self.executor.run(candidate, plan, stats, tick, history)
-        return history
-
-    def build_all_histories(self, runs: int) -> dict[str, ExecutionHistory]:
-        return {key: self.build_history(key, runs) for key in self.config.queries}
-
-    def platform(self, strategy=None) -> IReSPlatform:
-        """An IReS platform over this workload's federation and dataset."""
-        platform = IReSPlatform(
+        gateway = FederationGateway(
             catalog=self.dataset.catalog,
             stats=self.dataset.logical_stats,
             deployment=self.deployment,
             enumerator=self.enumerator,
             simulator=self.simulator,
-            strategy=strategy
-            or DreamStrategy(incremental=self.config.incremental_estimation),
+            config=config or cfg.federation_config(),
+            strategy=strategy,
         )
-        for key in self.config.queries:
-            platform.register_template(TPCH_QUERIES[key], self.config.metrics)
-        return platform
+        for key in cfg.queries if queries is None else queries:
+            gateway.register_template(TPCH_QUERIES[key], cfg.metrics)
+        return gateway
+
+    def build_history(self, query_key: str, runs: int) -> ExecutionHistory:
+        """Run ``runs`` randomised executions of one query template.
+
+        Each run draws fresh query parameters and a random QEP from the
+        space enumerated over *sampled* statistics (exploration, as IReS
+        profiling would), executes it at the next tick and logs the
+        observation — all through a dedicated gateway, so the logged
+        history is exactly what the serving stack would have seen.
+        """
+        cfg = self.config
+        template = TPCH_QUERIES[query_key]
+        gateway = self.gateway(queries=(query_key,))
+        low, high = cfg.sample_fraction_range
+        for tick in range(runs):
+            params = template.sample_params(self._param_rng)
+            fraction = float(self._choice_rng.uniform(low, high))
+            stats = {
+                name: table_stats.sampled(fraction)
+                for name, table_stats in self.dataset.logical_stats.items()
+            }
+            candidates = gateway.candidates(query_key, params, stats=stats)
+            candidate = candidates[int(self._choice_rng.integers(0, len(candidates)))]
+            gateway.observe(
+                ObserveRequest(query_key, params, tick=tick),
+                candidate=candidate,
+                stats=stats,
+            )
+        return gateway.history(query_key)
+
+    def build_all_histories(self, runs: int) -> dict[str, ExecutionHistory]:
+        return {key: self.build_history(key, runs) for key in self.config.queries}
+
+    def platform(self, strategy=None):
+        """The engine room of a fresh gateway (white-box/legacy access)."""
+        return self.gateway(strategy=strategy).engine

@@ -117,6 +117,6 @@ class TestPackageApi:
     def test_top_level_exports(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
         for name in repro.__all__:
             assert getattr(repro, name) is not None
