@@ -65,8 +65,10 @@ def run_demo(quick: bool = False) -> int:
     report = gateway.submit(
         SubmitRequest(key, {"min_age": 40}, UserPolicy(weights=(0.6, 0.4)))
     )
+    fallback = " (exact fell back: space > exact_limit)" if report.moqp_exact_fallback else ""
     print()
     print(f"QEP space      : {report.candidate_count} candidate plans")
+    print(f"MOQP algorithm : {report.moqp_algorithm}{fallback}")
     print(f"Chosen QEP     : {report.describe()}")
     print(
         "Measured       : "

@@ -111,7 +111,10 @@ def run_figure3(config: Figure3Config | None = None) -> Figure3Result:
     )
     metrics = ("time", "money")
 
-    # Ground truth: exhaustive evaluation of the whole QEP space.
+    # Ground truth: exhaustive evaluation of the whole QEP space — one
+    # batched predict_matrix call through the problem's matrix backend,
+    # and the vectorized front scan (the space would also fit the
+    # optimizer's exact path: the default exact_limit now covers it).
     exact_problem = optimizer.build_problem(candidates, cost_model, metrics)
     exact = exact_problem.evaluate_all()
     vectors = [c.objectives for c in exact]

@@ -36,7 +36,11 @@ Quickstart::
     print(report.describe())
 """
 
-from repro.federation.config import DEFAULT_CACHE_CAPACITY, FederationConfig
+from repro.federation.config import (
+    DEFAULT_CACHE_CAPACITY,
+    DEFAULT_EXACT_LIMIT,
+    FederationConfig,
+)
 from repro.federation.envelopes import (
     BatchReport,
     ObservationReport,
@@ -65,6 +69,7 @@ from repro.federation.session import GatewaySession
 
 __all__ = [
     "DEFAULT_CACHE_CAPACITY",
+    "DEFAULT_EXACT_LIMIT",
     "FederationConfig",
     "BatchReport",
     "ObservationReport",

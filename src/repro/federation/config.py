@@ -23,6 +23,11 @@ from repro.federation.errors import GatewayConfigError
 #: configuring the gateway does not require importing the engine room).
 DEFAULT_CACHE_CAPACITY = 256
 
+#: Default exhaustive-search ceiling (mirrors
+#: :data:`repro.ires.optimizer.DEFAULT_EXACT_LIMIT`): large enough that
+#: Example 3.1's 18,200-QEP space runs *exact* MOQP.
+DEFAULT_EXACT_LIMIT = 32_768
+
 _OPTIMIZER_ALGORITHMS = ("exact", "nsga2", "nsga-g")
 
 
@@ -46,7 +51,11 @@ class FederationConfig:
         history.
     optimizer_algorithm / exact_limit:
         Pareto-set construction: ``"exact"`` enumerates exhaustively up
-        to ``exact_limit`` candidates and falls back to NSGA-II above it.
+        to ``exact_limit`` candidates and falls back to NSGA-II above it
+        (the fallback is recorded on ``SubmissionReport.moqp_algorithm``).
+        The default limit covers the paper's full Example 3.1 space
+        (18,200 equivalent QEPs) — the vectorized front scan makes
+        exhaustive MOQP at that scale a milliseconds operation.
     cache_capacity / cache_ttl_seconds:
         LRU bound and idle TTL of the shared estimation-engine cache.
     max_fit_workers:
@@ -62,7 +71,7 @@ class FederationConfig:
     r2_required: float = 0.8
     max_window: int | None = None
     optimizer_algorithm: str = "exact"
-    exact_limit: int = 2048
+    exact_limit: int = DEFAULT_EXACT_LIMIT
     cache_capacity: int = DEFAULT_CACHE_CAPACITY
     cache_ttl_seconds: float | None = None
     max_fit_workers: int | None = None

@@ -126,6 +126,13 @@ class SubmissionReport:
     pinned: bool
     #: Raw engine-room outcome (Pareto set, execution record, ...).
     result: SubmissionResult
+    #: MOQP algorithm that actually computed the Pareto set ("exact",
+    #: "nsga2", "nsga-g").  A configured "exact" search that overflowed
+    #: ``exact_limit`` reports the NSGA-II it degraded to — the fallback
+    #: used to be silent and unobservable.
+    moqp_algorithm: str = "unknown"
+    #: True when that degradation happened for this submission.
+    moqp_exact_fallback: bool = False
 
     # Compatibility accessors (the old SubmissionResult reading surface).
 

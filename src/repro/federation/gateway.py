@@ -341,6 +341,8 @@ class FederationGateway:
             cost_model=result.cost_model,
             pinned=pinned,
             result=result,
+            moqp_algorithm=result.moqp_algorithm,
+            moqp_exact_fallback=result.moqp_exact_fallback,
         )
 
     # Models ---------------------------------------------------------------

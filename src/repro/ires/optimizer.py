@@ -24,12 +24,40 @@ from repro.moqp.problem import Candidate, EnumeratedProblem
 from repro.moqp.selection import best_in_pareto
 
 
+#: Default candidate-count ceiling for exhaustive Pareto search.  The
+#: vectorized front scan handles the full Example 3.1 space (70 vCPU x
+#: 260 GB = 18,200 equivalent QEPs) in milliseconds, so the default
+#: comfortably covers it; genetic fallback is for spaces beyond that.
+DEFAULT_EXACT_LIMIT = 32_768
+
+
+@dataclass(frozen=True)
+class ParetoSearch:
+    """A Pareto plan set plus how it was actually computed.
+
+    The ``exact -> nsga2`` degradation above ``exact_limit`` used to be
+    silent; ``algorithm_used`` (and the ``exact_fallback`` flag) make it
+    observable all the way up to :class:`SubmissionReport`.
+    """
+
+    pareto_set: list[Candidate]
+    #: Algorithm the configuration asked for.
+    algorithm: str
+    #: Algorithm that actually ran ("exact", "nsga2" or "nsga-g").
+    algorithm_used: str
+    candidate_count: int
+
+    @property
+    def exact_fallback(self) -> bool:
+        return self.algorithm_used != self.algorithm
+
+
 @dataclass(frozen=True)
 class OptimizerConfig:
     #: "exact", "nsga2" or "nsga-g".
     algorithm: str = "exact"
     #: Candidate-count threshold above which "exact" falls back to NSGA-II.
-    exact_limit: int = 2048
+    exact_limit: int = DEFAULT_EXACT_LIMIT
     nsga2: Nsga2Config = Nsga2Config()
     nsga_g: NsgaGConfig = NsgaGConfig()
 
@@ -49,14 +77,46 @@ class MultiObjectiveOptimizer:
         candidates: list[QepCandidate],
         cost_model: FittedCostModel,
         metrics: tuple[str, ...],
+        features_matrix: np.ndarray | None = None,
     ) -> EnumeratedProblem:
+        """An :class:`EnumeratedProblem` with a matrix evaluation backend.
+
+        Populations evaluate through one ``predict_matrix`` call over the
+        candidates' feature rows (``features_matrix`` optionally supplies
+        them precomputed, row-aligned with ``candidates``); the scalar
+        per-candidate path is retained as the equivalence oracle and for
+        problems built elsewhere.
+        """
+        model = cost_model.model
+
         def evaluate(candidate: QepCandidate):
             prediction = cost_model.predict(
-                cost_model.model.features_dict_to_vector(candidate.features)
+                model.features_dict_to_vector(candidate.features)
             )
             return tuple(prediction[metric] for metric in metrics)
 
-        return EnumeratedProblem(candidates, evaluate, len(metrics))
+        if features_matrix is not None:
+            features = self._checked_features(candidates, features_matrix)
+        else:
+            features = None
+
+        def evaluate_batch(indices):
+            index_list = list(indices)
+            if features is not None:
+                rows = features[index_list]
+            else:
+                rows = np.array(
+                    [
+                        model.features_dict_to_vector(candidates[i].features)
+                        for i in index_list
+                    ],
+                    dtype=float,
+                ).reshape(len(index_list), -1)
+            return model.predict_matrix(rows, metrics)
+
+        return EnumeratedProblem(
+            candidates, evaluate, len(metrics), evaluate_batch=evaluate_batch
+        )
 
     @staticmethod
     def candidate_matrix(
@@ -80,6 +140,18 @@ class MultiObjectiveOptimizer:
         ).reshape(len(candidates), -1)
 
     @staticmethod
+    def _checked_features(
+        candidates: list[QepCandidate], features_matrix: np.ndarray
+    ) -> np.ndarray:
+        features = np.asarray(features_matrix, dtype=float)
+        if features.shape[0] != len(candidates):
+            raise ValidationError(
+                f"features_matrix has {features.shape[0]} rows for "
+                f"{len(candidates)} candidates"
+            )
+        return features
+
+    @staticmethod
     def evaluate_all_batched(
         candidates: list[QepCandidate],
         cost_model: FittedCostModel,
@@ -99,17 +171,54 @@ class MultiObjectiveOptimizer:
         if features_matrix is None:
             features = MultiObjectiveOptimizer.candidate_matrix(candidates, cost_model)
         else:
-            features = np.asarray(features_matrix, dtype=float)
-            if features.shape[0] != len(candidates):
-                raise ValidationError(
-                    f"features_matrix has {features.shape[0]} rows for "
-                    f"{len(candidates)} candidates"
-                )
+            features = MultiObjectiveOptimizer._checked_features(
+                candidates, features_matrix
+            )
         objectives = cost_model.model.predict_matrix(features, metrics)
         return [
             Candidate(candidate, tuple(map(float, row)))
             for candidate, row in zip(candidates, objectives)
         ]
+
+    def pareto_search(
+        self,
+        candidates: list[QepCandidate],
+        cost_model: FittedCostModel,
+        metrics: tuple[str, ...],
+        features_matrix: np.ndarray | None = None,
+    ) -> ParetoSearch:
+        """Pareto-set construction with provenance of the algorithm used.
+
+        ``"exact"`` above ``exact_limit`` candidates degrades to NSGA-II;
+        the outcome records that (``algorithm_used``/``exact_fallback``)
+        instead of hiding it.  The precomputed ``features_matrix`` is
+        threaded through every path — the exhaustive scan and the
+        genetic problems alike evaluate through one matrix prediction.
+        """
+        requested = self.config.algorithm
+        algorithm = requested
+        if algorithm == "exact" and len(candidates) > self.config.exact_limit:
+            algorithm = "nsga2"
+        if algorithm == "exact":
+            evaluated = self.evaluate_all_batched(
+                candidates, cost_model, metrics, features_matrix
+            )
+            front = pareto_front_indices([c.objectives for c in evaluated])
+            pareto = [evaluated[i] for i in front]
+        else:
+            problem = self.build_problem(
+                candidates, cost_model, metrics, features_matrix=features_matrix
+            )
+            if algorithm == "nsga2":
+                pareto = Nsga2(self.config.nsga2).optimise(problem)
+            else:
+                pareto = NsgaG(self.config.nsga_g).optimise(problem)
+        return ParetoSearch(
+            pareto_set=pareto,
+            algorithm=requested,
+            algorithm_used=algorithm,
+            candidate_count=len(candidates),
+        )
 
     def pareto_set(
         self,
@@ -119,19 +228,9 @@ class MultiObjectiveOptimizer:
         features_matrix: np.ndarray | None = None,
     ) -> list[Candidate]:
         """The (approximate) Pareto plan set under predicted costs."""
-        algorithm = self.config.algorithm
-        if algorithm == "exact" and len(candidates) > self.config.exact_limit:
-            algorithm = "nsga2"
-        if algorithm == "exact":
-            evaluated = self.evaluate_all_batched(
-                candidates, cost_model, metrics, features_matrix
-            )
-            front = pareto_front_indices([c.objectives for c in evaluated])
-            return [evaluated[i] for i in front]
-        problem = self.build_problem(candidates, cost_model, metrics)
-        if algorithm == "nsga2":
-            return Nsga2(self.config.nsga2).optimise(problem)
-        return NsgaG(self.config.nsga_g).optimise(problem)
+        return self.pareto_search(
+            candidates, cost_model, metrics, features_matrix=features_matrix
+        ).pareto_set
 
     @staticmethod
     def choose(pareto_set: list[Candidate], policy: UserPolicy) -> Candidate:

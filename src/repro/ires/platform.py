@@ -43,6 +43,13 @@ class SubmissionResult:
     chosen: Candidate
     #: ``None`` for plan-only submissions (``execute=False``).
     execution: QueryExecution | None
+    #: MOQP algorithm that actually computed the Pareto set ("exact",
+    #: "nsga2" or "nsga-g" — NSGA-II when "exact" overflowed its limit).
+    #: "unknown" only for results constructed outside the pipeline.
+    moqp_algorithm: str = "unknown"
+    #: True when a configured "exact" search silently degraded to NSGA-II
+    #: because the QEP space exceeded ``exact_limit``.
+    moqp_exact_fallback: bool = False
 
     @property
     def chosen_candidate(self) -> QepCandidate:
@@ -239,9 +246,10 @@ class IReSPlatform:
                 key, request.plan, self.stats, template.tables
             )
         policy = request.policy
-        pareto = self.optimizer.pareto_set(
+        search = self.optimizer.pareto_search(
             candidates, cost_model, policy.metrics, features_matrix=features_matrix
         )
+        pareto = search.pareto_set
         chosen = self.optimizer.choose(pareto, policy)
         execution = None
         if execute:
@@ -256,8 +264,10 @@ class IReSPlatform:
         return SubmissionResult(
             request=request,
             cost_model=cost_model,
-            candidate_count=len(candidates),
+            candidate_count=search.candidate_count,
             pareto_set=pareto,
             chosen=chosen,
             execution=execution,
+            moqp_algorithm=search.algorithm_used,
+            moqp_exact_fallback=search.exact_fallback,
         )

@@ -12,8 +12,16 @@ from repro.moqp.dominance import (
     dominance_region,
     strict_dominance_region,
     pareto_region,
+    pareto_dominance_matrix,
+    dominated_by_any,
 )
-from repro.moqp.pareto import pareto_front_indices, pareto_front, hypervolume_2d
+from repro.moqp.pareto import (
+    pareto_front_indices,
+    pareto_front_indices_py,
+    pareto_front,
+    hypervolume_2d,
+    spread_2d,
+)
 from repro.moqp.problem import Candidate, EnumeratedProblem
 from repro.moqp.nsga2 import Nsga2, Nsga2Config
 from repro.moqp.nsga_g import NsgaG, NsgaGConfig
@@ -27,9 +35,13 @@ __all__ = [
     "dominance_region",
     "strict_dominance_region",
     "pareto_region",
+    "pareto_dominance_matrix",
+    "dominated_by_any",
     "pareto_front_indices",
+    "pareto_front_indices_py",
     "pareto_front",
     "hypervolume_2d",
+    "spread_2d",
     "Candidate",
     "EnumeratedProblem",
     "Nsga2",

@@ -6,12 +6,21 @@ step replaced by a **grid partition** of objective space.  When the last
 front overflows the population budget, survivors are drawn one-per-cell
 from the least-crowded grid cells instead of by crowding distance, which
 is cheaper (no per-axis sorts) and spreads selection pressure evenly.
+
+Like NSGA-II, the hot pieces are numpy-native: populations evaluate
+through one batched prediction per generation, the non-dominated sort is
+the vectorized kernel from :mod:`repro.moqp.nsga2`, ranks are computed
+once per population and reused by the next tournament, and grid cells
+for a whole front come from one broadcast (:func:`grid_cells`) instead
+of a per-member Python loop.  Seeded runs match the scalar original
+exactly.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.common.rng import RngStream
 from repro.moqp.nsga2 import fast_non_dominated_sort
@@ -46,6 +55,42 @@ def grid_cell(
     return tuple(cell)
 
 
+def grid_cells(
+    points: np.ndarray,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    divisions: int,
+) -> np.ndarray:
+    """Vectorised :func:`grid_cell` for a whole front: an (n, d) int grid.
+
+    Identical arithmetic per element on finite values (normalise, scale,
+    truncate, clamp), with degenerate axes (span <= 0) collapsing to
+    cell 0.  Non-finite objectives — where the scalar :func:`grid_cell`
+    raises on the float -> int conversion — are clamped
+    deterministically instead: ``+inf`` lands in the top cell, ``-inf``
+    in cell 0 (an ``inf`` prediction is simply the worst member of its
+    axis, not a reason to abort selection).
+    """
+    points = np.asarray(points, dtype=float)
+    lows = np.asarray(lows, dtype=float)
+    spans = np.asarray(highs, dtype=float) - lows
+    live = spans > 0
+    cells = np.zeros(points.shape, dtype=np.int64)
+    if live.any():
+        values = points[:, live]
+        with np.errstate(invalid="ignore"):
+            scaled = (values - lows[live]) / spans[live] * divisions
+        # NaN arises only from inf arithmetic (inf - inf, inf / inf);
+        # resolve it by the sign of the offending objective value.
+        scaled = np.where(
+            np.isnan(scaled),
+            np.where(np.isposinf(values), float(divisions - 1), 0.0),
+            scaled,
+        )
+        cells[:, live] = np.clip(scaled, 0.0, float(divisions - 1)).astype(np.int64)
+    return cells
+
+
 class NsgaG:
     """Grid-selection NSGA over an :class:`EnumeratedProblem`."""
 
@@ -59,30 +104,41 @@ class NsgaG:
         population = list(
             int(i) for i in rng.choice(problem.size, size=population_size, replace=False)
         )
+        problem.objectives_matrix(population)
+        rank = self._ranks([problem.objectives(i) for i in population])
         for _generation in range(config.generations):
-            offspring = self._make_offspring(population, problem, rng)
+            offspring = self._make_offspring(population, rank, problem, rng)
+            problem.objectives_matrix(offspring)  # one batch per generation
             population = self._grid_selection(
                 population + offspring, problem, population_size, rng
             )
-        objectives = [problem.objectives(i) for i in population]
-        first = fast_non_dominated_sort(objectives)[0]
+            rank = self._ranks([problem.objectives(i) for i in population])
+        first = [position for position, r in rank.items() if r == 0]
         unique: dict[int, Candidate] = {}
-        for position in first:
+        for position in sorted(first):
             unique[population[position]] = problem.evaluated(population[position])
         return list(unique.values())
 
     # ------------------------------------------------------------------
 
-    def _make_offspring(
-        self, population: list[int], problem: EnumeratedProblem, rng: RngStream
-    ) -> list[int]:
-        config = self.config
-        objectives = [problem.objectives(i) for i in population]
-        fronts = fast_non_dominated_sort(objectives)
-        rank = {}
-        for front_rank, front in enumerate(fronts):
+    @staticmethod
+    def _ranks(objectives: list[tuple[float, ...]]) -> dict[int, int]:
+        """Front rank per position — once per population, reused by the
+        next generation's tournament and the final front cut."""
+        rank: dict[int, int] = {}
+        for front_rank, front in enumerate(fast_non_dominated_sort(objectives)):
             for member in front:
                 rank[member] = front_rank
+        return rank
+
+    def _make_offspring(
+        self,
+        population: list[int],
+        rank: dict[int, int],
+        problem: EnumeratedProblem,
+        rng: RngStream,
+    ) -> list[int]:
+        config = self.config
 
         def tournament() -> int:
             a, b = (int(x) for x in rng.integers(0, len(population), size=2))
@@ -108,6 +164,8 @@ class NsgaG:
         population_size: int,
         rng: RngStream,
     ) -> list[int]:
+        # Every member was already batch-evaluated this generation, so
+        # these lookups are pure cache hits.
         merged = list(dict.fromkeys(merged))
         objectives = [problem.objectives(i) for i in merged]
         fronts = fast_non_dominated_sort(objectives)
@@ -129,12 +187,12 @@ class NsgaG:
         rng: RngStream,
     ) -> list[int]:
         """Survivors drawn round-robin from the least-crowded grid cells."""
-        dimension = len(objectives[front[0]])
-        lows = [min(objectives[i][axis] for i in front) for axis in range(dimension)]
-        highs = [max(objectives[i][axis] for i in front) for axis in range(dimension)]
+        points = np.array([objectives[i] for i in front], dtype=float)
+        lows = points.min(axis=0)
+        highs = points.max(axis=0)
+        keys = grid_cells(points, lows, highs, self.config.grid_divisions)
         cells: dict[tuple[int, ...], list[int]] = {}
-        for member in front:
-            key = grid_cell(objectives[member], lows, highs, self.config.grid_divisions)
+        for member, key in zip(front, map(tuple, keys.tolist())):
             cells.setdefault(key, []).append(member)
         for members in cells.values():
             rng.shuffle(members)

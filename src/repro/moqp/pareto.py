@@ -1,18 +1,35 @@
-"""Pareto fronts and quality indicators."""
+"""Pareto fronts and quality indicators.
+
+The front computation is numpy-native: a lexicographic-sort-assisted
+sweep over blockwise dominance broadcasts (see
+:func:`pareto_front_indices`).  The original pure-Python pairwise scan
+is retained as :func:`pareto_front_indices_py` — it is the equivalence
+oracle the property suite checks the vectorized path against, point for
+point, including duplicates, exact per-axis ties, and ``inf``
+objectives.
+"""
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.common.errors import ValidationError
-from repro.moqp.dominance import pareto_dominates
+from repro.moqp.dominance import (
+    DEFAULT_BLOCK_SIZE,
+    objective_matrix,
+    pareto_dominance_matrix,
+    pareto_dominates,
+)
 
 
-def pareto_front_indices(points: Sequence[Sequence[float]]) -> list[int]:
-    """Indices of the non-dominated points (minimisation, duplicates kept).
+def pareto_front_indices_py(points: Sequence[Sequence[float]]) -> list[int]:
+    """Pure-Python O(n²) pairwise scan (the scalar equivalence oracle).
 
-    O(n^2) pairwise scan — candidate sets in the optimizer are at most a
-    few thousand QEPs, where this is faster than fancier approaches.
+    Kept verbatim from the original implementation: the vectorized
+    :func:`pareto_front_indices` must return exactly this, and the
+    property suite asserts it does.
     """
     front: list[int] = []
     for i, candidate in enumerate(points):
@@ -24,6 +41,59 @@ def pareto_front_indices(points: Sequence[Sequence[float]]) -> list[int]:
         if not dominated:
             front.append(i)
     return front
+
+
+def pareto_front_indices(
+    points: Sequence[Sequence[float]], block_size: int = DEFAULT_BLOCK_SIZE
+) -> list[int]:
+    """Indices of the non-dominated points (minimisation, duplicates kept).
+
+    Sort-assisted and memory-bounded: points are processed in
+    lexicographic order (a pareto-dominator always precedes its victim
+    there), in blocks of ``block_size``.  Each block is screened against
+    the survivors found so far, then intra-block dominance is resolved
+    with one small broadcast — peak scratch memory is
+    ``O(block_size² · d)`` regardless of n, and tens of thousands of
+    points (Example 3.1's 18,200 equivalent QEPs) resolve in
+    milliseconds where the pairwise scan needs seconds.
+
+    Returns ascending original indices, exactly matching
+    :func:`pareto_front_indices_py`.
+    """
+    matrix = objective_matrix(points)
+    count = matrix.shape[0]
+    if count == 0:
+        return []
+    if count == 1:
+        return [0]
+    # Lexicographic order, first objective most significant: if q
+    # pareto-dominates p then q precedes p here (componentwise <= with a
+    # strict axis sorts strictly earlier), so a single forward sweep
+    # sees every potential dominator before its victim.  Transitivity
+    # lets the sweep compare against *surviving* points only.
+    order = np.lexsort(matrix.T[::-1])
+    survivor_rows: list[np.ndarray] = []
+    survivor_indices: list[np.ndarray] = []
+    for start in range(0, count, block_size):
+        block_order = order[start : start + block_size]
+        block = matrix[block_order]
+        alive = np.ones(block.shape[0], dtype=bool)
+        for rows in survivor_rows:
+            if not alive.any():
+                break
+            alive[alive] &= ~pareto_dominance_matrix(rows, block[alive]).any(axis=0)
+        kept = block[alive]
+        if kept.shape[0]:
+            # Intra-block pass: earlier-in-lex-order points are the only
+            # possible dominators, but checking all pairs is equivalent
+            # (a lex-later point never dominates) and needs no masking.
+            internal = pareto_dominance_matrix(kept, kept).any(axis=0)
+            kept = kept[~internal]
+            survivor_rows.append(kept)
+            survivor_indices.append(block_order[alive][~internal])
+    merged = np.concatenate(survivor_indices)
+    merged.sort()
+    return [int(i) for i in merged]
 
 
 def pareto_front(points: Sequence[Sequence[float]]) -> list[Sequence[float]]:

@@ -5,12 +5,25 @@ Example 3.1: 18,200) set of candidate plans, each with a cost vector that
 may be expensive to evaluate (a model prediction).  The optimizers work
 on an :class:`EnumeratedProblem` which lazily evaluates and caches
 objective vectors by candidate index.
+
+Two evaluation backends:
+
+* **scalar** — the original per-candidate callable; always present, and
+  the equivalence oracle for the batch path;
+* **matrix** — an optional ``evaluate_batch(indices) -> (k, d) array``
+  callable (one :meth:`~repro.core.cost_model.MultiCostModel.predict_matrix`
+  call for a whole NSGA population).  :meth:`EnumeratedProblem.objectives_matrix`
+  routes through it, caches every row, and keeps ``evaluation_count``
+  exact, so genetic generations cost one vectorised prediction instead
+  of a Python round trip per offspring.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Generic, Sequence, TypeVar
+
+import numpy as np
 
 from repro.common.errors import ValidationError
 
@@ -33,6 +46,7 @@ class EnumeratedProblem(Generic[P]):
         candidates: Sequence[P],
         evaluate: Callable[[P], Sequence[float]],
         objective_count: int,
+        evaluate_batch: Callable[[Sequence[int]], np.ndarray] | None = None,
     ):
         if not candidates:
             raise ValidationError("problem needs at least one candidate")
@@ -40,6 +54,7 @@ class EnumeratedProblem(Generic[P]):
             raise ValidationError("problem needs at least one objective")
         self._candidates = list(candidates)
         self._evaluate = evaluate
+        self._evaluate_batch = evaluate_batch
         self.objective_count = objective_count
         self._cache: dict[int, tuple[float, ...]] = {}
         self.evaluation_count = 0
@@ -48,27 +63,73 @@ class EnumeratedProblem(Generic[P]):
     def size(self) -> int:
         return len(self._candidates)
 
+    @property
+    def has_matrix_backend(self) -> bool:
+        return self._evaluate_batch is not None
+
     def candidate(self, index: int) -> P:
         return self._candidates[index]
+
+    def _store(self, index: int, raw: tuple[float, ...]) -> None:
+        if len(raw) != self.objective_count:
+            raise ValidationError(
+                f"objective function returned {len(raw)} values, "
+                f"expected {self.objective_count}"
+            )
+        self._cache[index] = raw
+        self.evaluation_count += 1
 
     def objectives(self, index: int) -> tuple[float, ...]:
         """Evaluate (cached) the objective vector of candidate ``index``."""
         cached = self._cache.get(index)
         if cached is None:
+            if self._evaluate_batch is not None:
+                # Through the batch backend even for one row, so single
+                # and population evaluations agree bit for bit.
+                self.objectives_matrix([index])
+                return self._cache[index]
             raw = tuple(float(v) for v in self._evaluate(self._candidates[index]))
-            if len(raw) != self.objective_count:
-                raise ValidationError(
-                    f"objective function returned {len(raw)} values, "
-                    f"expected {self.objective_count}"
-                )
-            self._cache[index] = raw
-            self.evaluation_count += 1
+            self._store(index, raw)
             cached = raw
         return cached
+
+    def objectives_matrix(self, indices: Sequence[int]) -> np.ndarray:
+        """The (k, d) objective matrix of a whole population.
+
+        Uncached rows are evaluated in **one** ``evaluate_batch`` call
+        (falling back to the scalar callable without a batch backend),
+        cached individually, and counted once each in
+        ``evaluation_count`` — duplicate indices in the population cost
+        nothing extra.
+        """
+        index_list = [int(i) for i in indices]
+        missing = list(dict.fromkeys(i for i in index_list if i not in self._cache))
+        if missing:
+            if self._evaluate_batch is not None:
+                rows = np.asarray(self._evaluate_batch(missing), dtype=float)
+                if rows.shape != (len(missing), self.objective_count):
+                    raise ValidationError(
+                        f"batch objective function returned shape {rows.shape}, "
+                        f"expected {(len(missing), self.objective_count)}"
+                    )
+                for index, row in zip(missing, rows):
+                    self._store(index, tuple(float(v) for v in row))
+            else:
+                for index in missing:
+                    raw = tuple(
+                        float(v) for v in self._evaluate(self._candidates[index])
+                    )
+                    self._store(index, raw)
+        return np.array([self._cache[i] for i in index_list], dtype=float)
 
     def evaluated(self, index: int) -> Candidate[P]:
         return Candidate(self._candidates[index], self.objectives(index))
 
     def evaluate_all(self) -> list[Candidate[P]]:
-        """Exhaustive evaluation (used for exact fronts on small spaces)."""
+        """Exhaustive evaluation (used for exact fronts on small spaces).
+
+        With a matrix backend this is one batched prediction for every
+        not-yet-cached candidate, not ``size`` scalar calls.
+        """
+        self.objectives_matrix(range(self.size))
         return [self.evaluated(i) for i in range(self.size)]

@@ -49,8 +49,10 @@ from repro.midas import MEDICAL_QUERIES, MidasSystem
 KEY = "medical-demographics"
 
 
-def make_midas(seed: int = 5, runs: int = 12) -> MidasSystem:
-    midas = MidasSystem(patient_count=300, seed=seed)
+def make_midas(
+    seed: int = 5, runs: int = 12, config: FederationConfig | None = None
+) -> MidasSystem:
+    midas = MidasSystem(patient_count=300, seed=seed, config=config)
     if runs:
         midas.warm_up(KEY, runs=runs)
     return midas
@@ -335,6 +337,41 @@ class TestPredictionErrorSemantics:
         )
         with pytest.raises(EstimationError, match="not executed"):
             result.prediction_error(("time",))
+
+
+class TestMoqpAlgorithmObservability:
+    """The exact -> nsga2 degradation is recorded, not silent."""
+
+    def test_exact_reported_by_default(self, midas):
+        report = midas.gateway.submit(SubmitRequest(KEY, {"min_age": 40}))
+        assert report.moqp_algorithm == "exact"
+        assert report.moqp_exact_fallback is False
+
+    def test_fallback_recorded_on_report(self):
+        midas = make_midas(
+            seed=11,
+            config=FederationConfig(
+                strategy="dream-incremental",
+                r2_required=0.8,
+                max_window=24,
+                exact_limit=2,
+            ),
+        )
+        report = midas.gateway.submit(SubmitRequest(KEY, {"min_age": 40}))
+        assert report.candidate_count > 2
+        assert report.moqp_algorithm == "nsga2"
+        assert report.moqp_exact_fallback is True
+
+    def test_default_limit_covers_example31(self):
+        from repro.federation import DEFAULT_EXACT_LIMIT
+        from repro.ires import vm_configuration_count
+        from repro.ires.optimizer import DEFAULT_EXACT_LIMIT as ENGINE_LIMIT
+
+        assert DEFAULT_EXACT_LIMIT >= vm_configuration_count(70, 260)
+        # The federation constant restates the engine-room one (so
+        # configuring the gateway needs no engine import); they must not
+        # drift apart.
+        assert DEFAULT_EXACT_LIMIT == ENGINE_LIMIT
 
 
 class TestSessionApi:

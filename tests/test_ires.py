@@ -298,8 +298,29 @@ class TestOptimizerConfig:
             "q12", {"shipmode1": "MAIL", "shipmode2": "SHIP", "year": 1994}
         )
         optimizer = MultiObjectiveOptimizer(OptimizerConfig(algorithm="exact", exact_limit=4))
-        front = optimizer.pareto_set(candidates, fitted, ("time", "money"))
-        assert front  # fell back to NSGA-II without error
+        search = optimizer.pareto_search(candidates, fitted, ("time", "money"))
+        assert search.pareto_set  # fell back to NSGA-II without error
+        assert search.algorithm == "exact"
+        assert search.algorithm_used == "nsga2"
+        assert search.exact_fallback is True
+
+    def test_exact_within_limit_records_no_fallback(self, workload):
+        history = workload.build_history("q12", 30)
+        fitted = DreamStrategy().fit(history)
+        _, candidates = workload.platform().candidates_for(
+            "q12", {"shipmode1": "MAIL", "shipmode2": "SHIP", "year": 1994}
+        )
+        search = MultiObjectiveOptimizer().pareto_search(
+            candidates, fitted, ("time", "money")
+        )
+        assert search.algorithm_used == "exact"
+        assert search.exact_fallback is False
+
+    def test_default_exact_limit_covers_example31(self):
+        from repro.ires.optimizer import DEFAULT_EXACT_LIMIT
+
+        assert OptimizerConfig().exact_limit == DEFAULT_EXACT_LIMIT
+        assert DEFAULT_EXACT_LIMIT >= vm_configuration_count(70, 260)
 
     def test_nsga_g_path(self, workload):
         history = workload.build_history("q12", 30)
