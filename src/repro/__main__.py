@@ -3,7 +3,8 @@
 Installed as the ``repro`` console script (``python -m repro`` works
 without installing).  Usage::
 
-    repro demo [--quick]                 # drive the federation gateway
+    repro demo [--quick] [--serving-backend threaded|sharded]
+               [--shard-workers N]       # drive the federation gateway
     repro list                           # what can be reproduced
     repro table1                         # instance pricing (verbatim)
     repro table2                         # MLR R^2 vs window size
@@ -40,24 +41,43 @@ from repro.experiments.mre import MreExperimentConfig
 ARTIFACTS = ("table1", "table2", "table3", "table4", "figure3", "example31")
 
 
-def run_demo(quick: bool = False) -> int:
+def run_demo(
+    quick: bool = False,
+    serving_backend: str = "threaded",
+    shard_workers: int | None = None,
+) -> int:
     """Drive the federation gateway end to end on the MIDAS setup.
 
     Builds the two-cloud medical federation, profiles Example 2.1
     through typed ``observe`` envelopes, submits one query, then runs a
     pinned-session policy sweep (one model snapshot, one enumeration)
-    and prints the serving-layer counters.
+    and prints the serving-layer counters.  ``--serving-backend
+    sharded`` routes every model fit through the shared-nothing worker
+    pool instead of the in-process service (identical predictions, no
+    GIL contention between tenants).
     """
+    from dataclasses import replace
+
     from repro.federation import SubmitRequest
     from repro.ires.policy import UserPolicy
     from repro.midas import MidasSystem
+    from repro.midas.system import DEFAULT_CONFIG
 
     runs = 12 if quick else 30
     key = "medical-demographics"
+    config = replace(
+        DEFAULT_CONFIG, serving_backend=serving_backend, shard_workers=shard_workers
+    )
     print("Building the MIDAS federation gateway (Amazon/Hive + Azure/PostgreSQL)...")
-    midas = MidasSystem(patient_count=400 if quick else 1500, seed=7)
+    midas = MidasSystem(patient_count=400 if quick else 1500, seed=7, config=config)
     gateway = midas.gateway
     print(f"Registered templates: {', '.join(gateway.templates())}")
+    serving = gateway.serving_report()
+    if serving.workers:
+        print(
+            f"Serving backend: {serving.backend} "
+            f"({serving.workers} shard worker processes)"
+        )
 
     print(f"Profiling {runs} exploratory executions of Example 2.1...")
     midas.warm_up(key, runs=runs)
@@ -94,17 +114,16 @@ def run_demo(quick: bool = False) -> int:
         print(f"  weights={w}: {item.describe()}")
     print(f"  enumerations performed: {batch.enumerations} (batch of {len(batch)})")
 
-    stats = gateway.serving_stats
+    serving = gateway.serving_report()
+    stats = serving.stats
     print()
-    print(
-        f"Serving stats  : fits={stats.fits}, snapshot_hits={stats.snapshot_hits}, "
-        f"observations={stats.observations}"
-    )
+    print(f"Serving report : {serving.describe()}")
     if stats.engine_cache is not None:
         print(
             f"Engine cache   : hits={stats.engine_cache.hits}, "
             f"misses={stats.engine_cache.misses}, size={stats.engine_cache.size}"
         )
+    gateway.close()
     return 0
 
 
@@ -131,6 +150,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="smaller configuration for demo/table3/table4 (~15 s)",
     )
+    parser.add_argument(
+        "--serving-backend",
+        choices=("threaded", "sharded"),
+        default="threaded",
+        help="demo only: serving layer (sharded = cross-process worker pool)",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="demo only: shard worker processes for --serving-backend sharded",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.artifact == "list":
@@ -138,7 +170,9 @@ def main(argv: list[str] | None = None) -> int:
         print("Gateway walkthrough: repro demo [--quick]")
         return 0
     if arguments.artifact == "demo":
-        return run_demo(arguments.quick)
+        return run_demo(
+            arguments.quick, arguments.serving_backend, arguments.shard_workers
+        )
     if arguments.artifact == "table1":
         print(format_table1(run_table1()))
         return 0

@@ -22,8 +22,11 @@ is lost for one call.  The cache is thread-safe; the factory passed to
 :meth:`ModelCache.get_or_create` runs under the cache lock and must be
 cheap (construct the engine, do not fit it).
 
-The ``clock`` is injectable (monotonic seconds) so TTL behaviour is
-testable without sleeping.
+TTL behaviour is testable without sleeping at two levels: pass a
+``clock`` per cache, or monkeypatch the module-level :data:`time_fn`
+default — caches constructed without an explicit clock (e.g. deep
+inside a registry factory) read ``time_fn`` at every lookup, so a test
+can fast-forward them after construction.
 """
 
 from __future__ import annotations
@@ -35,6 +38,17 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.common.validation import require
+
+#: Default clock (monotonic seconds) for caches built without an
+#: explicit ``clock``.  Looked up at call time, never captured at
+#: construction, so ``monkeypatch.setattr("repro.core.cache.time_fn",
+#: fake)`` makes TTL expiry deterministic even for caches created by
+#: code that does not expose the clock parameter.
+time_fn: Callable[[], float] = time.monotonic
+
+
+def _default_clock() -> float:
+    return time_fn()
 
 
 @dataclass(frozen=True)
@@ -76,21 +90,23 @@ class ModelCache:
         Entries idle longer than this expire on their next lookup;
         ``None`` disables TTL.
     clock:
-        Monotonic-seconds source, injectable for tests.
+        Monotonic-seconds source, injectable for tests; ``None`` (the
+        default) defers to the monkeypatchable module-level
+        :data:`time_fn` on every lookup.
     """
 
     def __init__(
         self,
         capacity: int = 64,
         ttl_seconds: float | None = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] | None = None,
     ):
         require(capacity >= 1, f"capacity must be >= 1, got {capacity}")
         if ttl_seconds is not None:
             require(ttl_seconds > 0, f"ttl_seconds must be > 0, got {ttl_seconds}")
         self.capacity = int(capacity)
         self.ttl_seconds = ttl_seconds
-        self._clock = clock
+        self._clock = clock if clock is not None else _default_clock
         self._entries: OrderedDict[Any, _Entry] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0

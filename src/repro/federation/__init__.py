@@ -45,6 +45,7 @@ from repro.federation.envelopes import (
     BatchReport,
     ObservationReport,
     ObserveRequest,
+    ServingReport,
     SubmissionReport,
     SubmitRequest,
 )
@@ -55,14 +56,19 @@ from repro.federation.errors import (
     GatewayConfigError,
     InsufficientHistoryError,
     SessionStateError,
+    UnknownServingBackendError,
     UnknownStrategyError,
     UnknownTemplateError,
 )
 from repro.federation.gateway import FederationGateway
 from repro.federation.registry import (
+    available_serving_backends,
     available_strategies,
+    create_serving,
     create_strategy,
+    register_serving_backend,
     register_strategy,
+    unregister_serving_backend,
     unregister_strategy,
 )
 from repro.federation.session import GatewaySession
@@ -74,6 +80,7 @@ __all__ = [
     "BatchReport",
     "ObservationReport",
     "ObserveRequest",
+    "ServingReport",
     "SubmissionReport",
     "SubmitRequest",
     "DuplicateTemplateError",
@@ -82,12 +89,17 @@ __all__ = [
     "GatewayConfigError",
     "InsufficientHistoryError",
     "SessionStateError",
+    "UnknownServingBackendError",
     "UnknownStrategyError",
     "UnknownTemplateError",
     "FederationGateway",
+    "available_serving_backends",
     "available_strategies",
+    "create_serving",
     "create_strategy",
+    "register_serving_backend",
     "register_strategy",
+    "unregister_serving_backend",
     "unregister_strategy",
     "GatewaySession",
 ]

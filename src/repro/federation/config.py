@@ -58,9 +58,21 @@ class FederationConfig:
         exhaustive MOQP at that scale a milliseconds operation.
     cache_capacity / cache_ttl_seconds:
         LRU bound and idle TTL of the shared estimation-engine cache.
+    serving_backend / shard_workers / shard_rpc_timeout:
+        Which serving layer fronts the estimation strategy (see
+        :func:`repro.federation.registry.available_serving_backends`):
+        ``"threaded"`` is the in-process multi-tenant service,
+        ``"sharded"`` hash-partitions templates across ``shard_workers``
+        worker *processes* (shared-nothing; scales fits past the GIL).
+        ``shard_workers=None`` uses the pool's core-count default.
+        ``shard_rpc_timeout`` (seconds) is the sharded backend's
+        hung-worker guard: a worker that takes longer than this to
+        answer one fit RPC is terminated and respawned (``None`` = wait
+        forever).
     max_fit_workers:
         Thread-pool width for burst refreshes (``None`` = service
-        default).
+        default).  For the sharded backend this caps the parent-side
+        fan-out threads, one per busy shard.
     strategy_options:
         Backend-specific extras passed to the registry factory (e.g.
         ``{"window_multiple": 2}`` for the windowed BML baseline).
@@ -74,6 +86,9 @@ class FederationConfig:
     exact_limit: int = DEFAULT_EXACT_LIMIT
     cache_capacity: int = DEFAULT_CACHE_CAPACITY
     cache_ttl_seconds: float | None = None
+    serving_backend: str = "threaded"
+    shard_workers: int | None = None
+    shard_rpc_timeout: float | None = None
     max_fit_workers: int | None = None
     strategy_options: dict = field(default_factory=dict)
 
@@ -108,6 +123,30 @@ class FederationConfig:
         if self.cache_ttl_seconds is not None and not self.cache_ttl_seconds > 0:
             raise GatewayConfigError(
                 f"cache_ttl_seconds must be > 0 (or None), got {self.cache_ttl_seconds}"
+            )
+        if not self.serving_backend or not isinstance(self.serving_backend, str):
+            raise GatewayConfigError(
+                "serving_backend must be a non-empty registry name, "
+                f"got {self.serving_backend!r}"
+            )
+        # Deferred import: the registry only needs this module for type
+        # hints, but importing it at module load would still tie the two
+        # modules' import order together.
+        from repro.federation.registry import available_serving_backends
+
+        if self.serving_backend not in available_serving_backends():
+            from repro.federation.errors import UnknownServingBackendError
+
+            raise UnknownServingBackendError(
+                self.serving_backend, available_serving_backends()
+            )
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise GatewayConfigError(
+                f"shard_workers must be >= 1 (or None), got {self.shard_workers}"
+            )
+        if self.shard_rpc_timeout is not None and not self.shard_rpc_timeout > 0:
+            raise GatewayConfigError(
+                f"shard_rpc_timeout must be > 0 (or None), got {self.shard_rpc_timeout}"
             )
         if self.max_fit_workers is not None and self.max_fit_workers < 1:
             raise GatewayConfigError(

@@ -27,6 +27,7 @@ from repro.ires.modelling import FittedCostModel
 from repro.ires.platform import SubmissionResult
 from repro.ires.policy import UserPolicy
 from repro.moqp.problem import Candidate
+from repro.serving.service import ServiceStats
 
 
 def _checked_template(template: str) -> None:
@@ -166,6 +167,31 @@ class SubmissionReport:
             f"{metric}={value:.4g}" for metric, value in self.predicted_costs.items()
         )
         return f"{self.chosen.describe()} <- {costs}"
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Serving-layer status: live backend, worker pool, counters.
+
+    ``workers`` is 0 for the in-process ``"threaded"`` backend;
+    ``respawns`` counts crashed shard workers that were replaced (each
+    replay refits from the authoritative history, so a respawn never
+    changes predictions — it only costs one warm-up fit).
+    """
+
+    backend: str
+    workers: int
+    respawns: int
+    stats: ServiceStats
+
+    def describe(self) -> str:
+        pool = f"{self.workers} worker processes" if self.workers else "in-process"
+        s = self.stats
+        return (
+            f"{self.backend} ({pool}): templates={s.templates}, "
+            f"fits={s.fits}, snapshot_hits={s.snapshot_hits}, "
+            f"observations={s.observations}, respawns={self.respawns}"
+        )
 
 
 @dataclass(frozen=True)

@@ -89,6 +89,25 @@ class UnknownStrategyError(GatewayConfigError):
         self.available = available
 
 
+class UnknownServingBackendError(GatewayConfigError):
+    """The configured serving backend name is not registered."""
+
+    def __init__(
+        self,
+        name: str,
+        available: tuple[str, ...],
+        *,
+        template: str | None = None,
+    ):
+        listing = ", ".join(available) or "<none>"
+        super().__init__(
+            f"unknown serving backend {name!r}; registered: {listing}",
+            template=template,
+        )
+        self.name = name
+        self.available = available
+
+
 class DuplicateTemplateError(FederationError, ValidationError):
     """A template key was registered twice on the same gateway."""
 

@@ -29,16 +29,18 @@ from repro.federation.envelopes import (
     BatchReport,
     ObservationReport,
     ObserveRequest,
+    ServingReport,
     SubmissionReport,
     SubmitRequest,
 )
 from repro.federation.errors import (
     DuplicateTemplateError,
     EnvelopeError,
+    GatewayConfigError,
     InsufficientHistoryError,
     UnknownTemplateError,
 )
-from repro.federation.registry import create_strategy
+from repro.federation.registry import create_serving, create_strategy
 from repro.federation.session import GatewaySession
 from repro.common.errors import EstimationError
 from repro.core.cache import CacheStats
@@ -52,6 +54,7 @@ from repro.ires.platform import IReSPlatform
 from repro.plans.catalog import Catalog
 from repro.plans.statistics import TableStats
 from repro.serving.service import ServiceStats
+from repro.serving.sharded import ShardedServingError
 from repro.tpch.queries import QueryTemplate
 
 
@@ -84,6 +87,14 @@ class FederationGateway:
         strategy: EstimationStrategy | None = None,
     ):
         self.config = config or FederationConfig()
+        if strategy is not None and self.config.serving_backend != "threaded":
+            # Strategy *instances* cannot travel to shard workers; only
+            # registry names can (each worker rebuilds its own copy).
+            raise GatewayConfigError(
+                "a pre-built strategy instance requires "
+                "serving_backend='threaded'; register the strategy under a "
+                f"name for the {self.config.serving_backend!r} backend"
+            )
         self._strategy = strategy or create_strategy(self.config)
         optimizer = MultiObjectiveOptimizer(
             OptimizerConfig(
@@ -92,7 +103,9 @@ class FederationGateway:
             )
         )
         #: The engine room.  Reachable for introspection and white-box
-        #: tests; construction happens only here.
+        #: tests; construction happens only here.  The serving layer is
+        #: selected by ``config.serving_backend`` through the registry
+        #: (in-process ``"threaded"`` or cross-process ``"sharded"``).
         self.engine = IReSPlatform(
             catalog=catalog,
             stats=stats,
@@ -102,6 +115,9 @@ class FederationGateway:
             strategy=self._strategy,
             optimizer=optimizer,
             max_fit_workers=self.config.max_fit_workers,
+            serving_factory=lambda modelling: create_serving(
+                self.config, modelling
+            ),
         )
         self._keys: set[str] = set()
         self._lock = threading.Lock()
@@ -264,6 +280,8 @@ class FederationGateway:
         with serving.template_lock(key):
             try:
                 model = serving.model(key)
+            except ShardedServingError:
+                raise  # backend infrastructure broke; not a history problem
             except EstimationError as error:
                 raise InsufficientHistoryError(str(error), template=key) from error
             return model, self.engine.history(key).version
@@ -371,10 +389,36 @@ class FederationGateway:
         """Serving-layer counters (fits, snapshot hits, bursts, ...)."""
         return self.engine.serving.stats
 
+    def serving_report(self) -> ServingReport:
+        """Typed serving-layer report: which backend is live, how many
+        worker processes it runs (0 for in-process), how many crashed
+        workers were respawned, and the aggregate counters."""
+        serving = self.engine.serving
+        return ServingReport(
+            backend=self.config.serving_backend,
+            workers=getattr(serving, "workers", 0),
+            respawns=getattr(serving, "respawns", 0),
+            stats=serving.stats,
+        )
+
     @property
     def engine_cache_stats(self) -> CacheStats | None:
         """Estimation-engine cache counters, when the backend has one."""
         return self.serving_stats.engine_cache
+
+    # Lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release serving-layer resources (shard worker processes for
+        the ``"sharded"`` backend; a no-op for the in-process one).
+        Idempotent; the gateway is unusable for fits afterwards."""
+        self.engine.serving.close()
+
+    def __enter__(self) -> "FederationGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

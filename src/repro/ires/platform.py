@@ -96,6 +96,7 @@ class IReSPlatform:
         strategy: EstimationStrategy,
         optimizer: MultiObjectiveOptimizer | None = None,
         max_fit_workers: int | None = None,
+        serving_factory=None,
     ):
         self.catalog = catalog
         self.stats = stats
@@ -109,9 +110,17 @@ class IReSPlatform:
 
         #: Multi-tenant front over the same Modelling registry: version-
         #: cached model snapshots, per-template locks, burst refresh.
-        self.serving = EstimationService(
-            modelling=self.modelling, max_workers=max_fit_workers
-        )
+        #: ``serving_factory(modelling)`` swaps the implementation (the
+        #: gateway plugs the config-selected backend in here — e.g. the
+        #: cross-process :class:`~repro.serving.sharded
+        #: .ShardedEstimationService`); the default is the in-process
+        #: thread-scoped service.
+        if serving_factory is None:
+            self.serving = EstimationService(
+                modelling=self.modelling, max_workers=max_fit_workers
+            )
+        else:
+            self.serving = serving_factory(self.modelling)
         self.optimizer = optimizer or MultiObjectiveOptimizer()
         self.executor = Executor(simulator)
         self._templates: dict[str, QueryTemplate] = {}

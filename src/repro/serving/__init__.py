@@ -32,19 +32,40 @@ independent, and NumPy releases the GIL inside the matmul-heavy
 RLS/PRESS path), then serves every estimate from the refreshed
 snapshots.  ``benchmarks/bench_serving_burst.py`` measures the burst
 latency against sequential seed-path fitting.
+
+**Cross-process sharding.**  Past the GIL, the
+:class:`~repro.serving.sharded.ShardedEstimationService` keeps the same
+serving contract but hash-partitions templates across a shared-nothing
+pool of worker *processes* (one private strategy + engine cache each),
+streaming history rows over a pickle-safe pipe RPC
+(:mod:`repro.serving.worker`) with crash detection and deterministic
+replay-on-respawn.  ``benchmarks/bench_sharded_serving.py`` measures
+burst throughput against the thread-pool service.
 """
 
 from repro.core.cache import CacheStats, ModelCache
 from repro.serving.service import (
     DEFAULT_MAX_WORKERS,
+    BaseEstimationService,
     EstimationService,
     ServiceStats,
 )
+from repro.serving.sharded import (
+    DEFAULT_SHARD_WORKERS,
+    ShardedEstimationService,
+    ShardedServingError,
+    shard_of,
+)
 
 __all__ = [
+    "BaseEstimationService",
     "CacheStats",
     "ModelCache",
     "DEFAULT_MAX_WORKERS",
+    "DEFAULT_SHARD_WORKERS",
     "EstimationService",
     "ServiceStats",
+    "ShardedEstimationService",
+    "ShardedServingError",
+    "shard_of",
 ]

@@ -5,22 +5,32 @@ Lock discipline, from coarse to fine:
 * ``_registry_lock`` — guards the template table only (register /
   lookup).  Never held while fitting.
 * per-template ``lock`` — serialises *that* template's mutations: a
-  history append (:meth:`EstimationService.record`) and a model refit
-  (:meth:`EstimationService.model`) on the same template exclude each
-  other, so a fit can never observe a torn window.  Different templates
-  have different locks and never block each other.
+  history append (:meth:`BaseEstimationService.record`) and a model
+  refit (:meth:`BaseEstimationService.model`) on the same template
+  exclude each other, so a fit can never observe a torn window.
+  Different templates have different locks and never block each other.
 * ``_stats_lock`` — a leaf lock around the service counters.
 
 Fitted models are immutable snapshots keyed by the history's version
-counter: predictions (:meth:`EstimationService.estimate`) run entirely
-outside the locks on whatever snapshot was current when they started,
-which is exactly the "estimates are as-of the latest fit" semantics a
-serving layer wants.
+counter: predictions (:meth:`BaseEstimationService.estimate`) run
+entirely outside the locks on whatever snapshot was current when they
+started, which is exactly the "estimates are as-of the latest fit"
+semantics a serving layer wants.
+
+:class:`BaseEstimationService` carries this whole contract —
+registration, ingest, snapshot bookkeeping, burst refresh, counters —
+and leaves only the *fit transport* to subclasses:
+:class:`EstimationService` fits in-process through a shared
+:class:`~repro.ires.modelling.Modelling`, the cross-process
+:class:`~repro.serving.sharded.ShardedEstimationService` ships the fit
+to a shard worker.  Sharing the skeleton is what keeps the two
+backends oracle-equivalent by construction.
 """
 
 from __future__ import annotations
 
 import threading
+from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -51,10 +61,10 @@ class ServiceStats:
     fits: int
     #: Model lookups served from a fresh per-version snapshot.
     snapshot_hits: int
-    #: Observations appended through :meth:`EstimationService.record` or
-    #: counted by :meth:`EstimationService.record_external` (the platform
-    #: executor's history appends); raw appends on a bare history object
-    #: outside both paths still bypass this counter.
+    #: Observations appended through :meth:`BaseEstimationService.record`
+    #: or counted by :meth:`BaseEstimationService.record_external` (the
+    #: platform executor's history appends); raw appends on a bare
+    #: history object outside both paths still bypass this counter.
     observations: int
     #: ``refresh`` calls, and how many stale fits they attempted.
     bursts: int
@@ -64,9 +74,14 @@ class ServiceStats:
 
 
 class _Template:
-    """Per-tenant state: history + lock + versioned model snapshot."""
+    """Per-tenant state: history + lock + versioned model snapshot.
 
-    __slots__ = ("key", "history", "lock", "snapshot", "snapshot_version")
+    ``synced`` is the sharded backend's replica cursor (how many history
+    rows its shard worker has been fed); the in-process service never
+    touches it.
+    """
+
+    __slots__ = ("key", "history", "lock", "snapshot", "snapshot_version", "synced")
 
     def __init__(self, key: str, history: ExecutionHistory):
         self.key = key
@@ -74,34 +89,19 @@ class _Template:
         self.lock = threading.RLock()
         self.snapshot: FittedCostModel | None = None
         self.snapshot_version: int | None = None
+        self.synced = 0
 
 
-class EstimationService:
-    """Concurrent front for :class:`~repro.ires.modelling.Modelling`.
+class BaseEstimationService(ABC):
+    """The serving contract, minus the fit transport.
 
-    Parameters
-    ----------
-    strategy:
-        The estimation strategy shared by all templates (default: an
-        incremental :class:`~repro.ires.modelling.DreamStrategy`).
-        Ignored when ``modelling`` is given.
-    modelling:
-        An existing Modelling registry to front (the IReS platform hands
-        its own in, so platform and service see the same histories).
-    max_workers:
-        Thread-pool width for :meth:`refresh` bursts.
+    Subclasses implement :meth:`_fit_state` (produce a fitted model for
+    one template, template lock held) and :meth:`_fit_stale` (fan a
+    burst of stale fits out), plus the :meth:`_on_register` /
+    :meth:`_engine_cache_stats` / :meth:`close` hooks.
     """
 
-    def __init__(
-        self,
-        strategy: EstimationStrategy | None = None,
-        modelling: Modelling | None = None,
-        max_workers: int | None = None,
-    ):
-        if modelling is not None:
-            self._modelling = modelling
-        else:
-            self._modelling = Modelling(strategy or DreamStrategy())
+    def __init__(self, max_workers: int | None = None):
         if max_workers is not None and max_workers < 1:
             raise ValidationError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers or DEFAULT_MAX_WORKERS
@@ -114,9 +114,38 @@ class EstimationService:
         self._bursts = 0
         self._burst_fits = 0
 
-    @property
-    def strategy(self) -> EstimationStrategy:
-        return self._modelling.strategy
+    # Subclass hooks -------------------------------------------------------
+
+    @abstractmethod
+    def _fit_state(self, state: _Template) -> FittedCostModel:
+        """Fit one template's current history (template lock held)."""
+
+    @abstractmethod
+    def _fit_stale(
+        self, stale: list[str], parallel: bool
+    ) -> dict[str, FittedCostModel | None]:
+        """Fit a burst of stale templates, possibly concurrently."""
+
+    def _on_register(self, state: _Template) -> None:
+        """Wire a freshly registered template into the backend."""
+
+    def _engine_cache_stats(self) -> CacheStats | None:
+        return None
+
+    def _ensure_open(self) -> None:
+        """Raise if the service can no longer accept work."""
+
+    # Lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (a no-op for the in-process
+        service; the sharded backend drains its worker processes)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # Registration ---------------------------------------------------------
 
@@ -129,17 +158,19 @@ class EstimationService:
         metrics: tuple[str, ...] = ("time", "money"),
     ) -> ExecutionHistory:
         """Register a template, creating its history unless one is given."""
+        self._ensure_open()
         if history is None:
             if feature_names is None:
                 raise ValidationError(
                     "register() needs either a history or feature_names"
                 )
             history = ExecutionHistory(feature_names, metrics)
+        state = _Template(key, history)
         with self._registry_lock:
             if key in self._templates:
                 raise ValidationError(f"template {key!r} already registered")
-            self._modelling.register(key, history)
-            self._templates[key] = _Template(key, history)
+            self._templates[key] = state
+        self._on_register(state)
         return history
 
     def keys(self) -> list[str]:
@@ -199,20 +230,17 @@ class EstimationService:
         """The template's fitted cost model, refit only when stale."""
         state = self._state(key)
         with state.lock:
-            return self._fit_locked(state)
-
-    def _fit_locked(self, state: _Template) -> FittedCostModel:
-        version = state.history.version
-        if state.snapshot is not None and state.snapshot_version == version:
+            version = state.history.version
+            if state.snapshot is not None and state.snapshot_version == version:
+                with self._stats_lock:
+                    self._snapshot_hits += 1
+                return state.snapshot
+            fitted = self._fit_state(state)
+            state.snapshot = fitted
+            state.snapshot_version = version
             with self._stats_lock:
-                self._snapshot_hits += 1
-            return state.snapshot
-        fitted = self._modelling.fit(state.key)
-        state.snapshot = fitted
-        state.snapshot_version = version
-        with self._stats_lock:
-            self._fits += 1
-        return fitted
+                self._fits += 1
+            return fitted
 
     def is_stale(self, key: str) -> bool:
         state = self._state(key)
@@ -227,35 +255,36 @@ class EstimationService:
 
     def _try_model(self, key: str) -> FittedCostModel | None:
         """``model()``, or None when the template cannot be fitted yet
-        (e.g. its history is still shorter than the minimum window)."""
+        (e.g. its history is still shorter than the minimum window).
+        Backend-infrastructure failures are never swallowed here."""
         try:
             return self.model(key)
-        except EstimationError:
+        except EstimationError as error:
+            if self._is_infrastructure_error(error):
+                raise
             return None
+
+    @staticmethod
+    def _is_infrastructure_error(error: EstimationError) -> bool:
+        """Distinguish "cannot fit yet" (omit from a burst) from "the
+        backend itself broke" (must surface).  The in-process service
+        has no infrastructure to break."""
+        return False
 
     def refresh(
         self, keys: list[str] | None = None, parallel: bool = True
     ) -> dict[str, FittedCostModel]:
         """Fit every stale template (a submission burst), concurrently.
 
-        Per-template histories are independent, so the stale fits run on
-        a thread pool — NumPy releases the GIL inside the matmul-heavy
-        RLS path, so bursts overlap on multicore hosts.  Returns the
-        current model for every requested key that has one; tenants that
-        cannot be fitted yet (too little history) are omitted rather
-        than poisoning the burst for the healthy tenants.
+        Per-template histories are independent, so stale fits fan out
+        through the backend's :meth:`_fit_stale`.  Returns the current
+        model for every requested key that has one; tenants that cannot
+        be fitted yet (too little history) are omitted rather than
+        poisoning the burst for the healthy tenants.
         """
         requested = self.keys() if keys is None else list(keys)
         stale = [key for key in requested if self.is_stale(key)]
-        if parallel and len(stale) > 1:
-            width = min(self.max_workers, len(stale))
-            with ThreadPoolExecutor(
-                max_workers=width, thread_name_prefix="estimation-burst"
-            ) as pool:
-                futures = {key: pool.submit(self._try_model, key) for key in stale}
-                results = {key: future.result() for key, future in futures.items()}
-        else:
-            results = {key: self._try_model(key) for key in stale}
+        results = self._fit_stale(stale, parallel)
         for key in requested:
             if key not in results:
                 results[key] = self._try_model(key)
@@ -279,7 +308,7 @@ class EstimationService:
 
     @property
     def stats(self) -> ServiceStats:
-        engine_cache = getattr(self.strategy, "engine_cache", None)
+        engine_cache = self._engine_cache_stats()
         with self._stats_lock:
             return ServiceStats(
                 templates=len(self._templates),
@@ -288,8 +317,67 @@ class EstimationService:
                 observations=self._observations,
                 bursts=self._bursts,
                 burst_fits=self._burst_fits,
-                engine_cache=None if engine_cache is None else engine_cache.stats,
+                engine_cache=engine_cache,
             )
+
+
+class EstimationService(BaseEstimationService):
+    """Concurrent in-process front for
+    :class:`~repro.ires.modelling.Modelling`.
+
+    Parameters
+    ----------
+    strategy:
+        The estimation strategy shared by all templates (default: an
+        incremental :class:`~repro.ires.modelling.DreamStrategy`).
+        Ignored when ``modelling`` is given.
+    modelling:
+        An existing Modelling registry to front (the IReS platform hands
+        its own in, so platform and service see the same histories).
+    max_workers:
+        Thread-pool width for :meth:`refresh` bursts.
+    """
+
+    def __init__(
+        self,
+        strategy: EstimationStrategy | None = None,
+        modelling: Modelling | None = None,
+        max_workers: int | None = None,
+    ):
+        super().__init__(max_workers=max_workers)
+        if modelling is not None:
+            self._modelling = modelling
+        else:
+            self._modelling = Modelling(strategy or DreamStrategy())
+
+    @property
+    def strategy(self) -> EstimationStrategy:
+        return self._modelling.strategy
+
+    def _on_register(self, state: _Template) -> None:
+        # Registers in Modelling too: platform and service share state.
+        self._modelling.register(state.key, state.history)
+
+    def _fit_state(self, state: _Template) -> FittedCostModel:
+        return self._modelling.fit(state.key)
+
+    def _fit_stale(
+        self, stale: list[str], parallel: bool
+    ) -> dict[str, FittedCostModel | None]:
+        """NumPy releases the GIL inside the matmul-heavy RLS path, so
+        bursts overlap on a thread pool on multicore hosts."""
+        if parallel and len(stale) > 1:
+            width = min(self.max_workers, len(stale))
+            with ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="estimation-burst"
+            ) as pool:
+                futures = {key: pool.submit(self._try_model, key) for key in stale}
+                return {key: future.result() for key, future in futures.items()}
+        return {key: self._try_model(key) for key in stale}
+
+    def _engine_cache_stats(self) -> CacheStats | None:
+        engine_cache = getattr(self.strategy, "engine_cache", None)
+        return None if engine_cache is None else engine_cache.stats
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         s = self.stats

@@ -1,0 +1,481 @@
+"""Shared-nothing sharded estimation serving (cross-process tenancy).
+
+:class:`~repro.serving.service.EstimationService` scales across threads,
+but its fits contend for one GIL and its engines live in one process.
+:class:`ShardedEstimationService` keeps the exact same serving contract
+— it *is* a :class:`~repro.serving.service.BaseEstimationService`, so
+registration, per-template locks, version-keyed snapshots, burst
+refresh and :class:`~repro.serving.service.ServiceStats` are literally
+the shared skeleton — while moving every fit into a pool of shard
+worker processes:
+
+* **Hash partitioning.**  Template keys are assigned to shards by a
+  stable CRC32 (never the salted built-in ``hash``), so the same key
+  lands on the same shard across processes, restarts and replays.
+* **Shared nothing.**  Each worker owns its own
+  :class:`~repro.ires.modelling.Modelling`, estimation strategy,
+  incremental DREAM engines and :class:`~repro.core.cache.ModelCache`
+  (built from a picklable ``strategy_factory``); shards never share
+  mutable state, so N shards fit on N cores with no GIL crosstalk.
+* **Lazy row streaming.**  The parent keeps the authoritative
+  histories; each fit RPC carries only the rows appended since the
+  shard last saw that template.  At every fit point the replica is
+  bitwise-identical to the parent history, which makes the workers
+  oracle-equivalent to the in-process service.
+* **Crash detection + deterministic replay.**  A dead or hung worker
+  (``rpc_timeout``) is detected on the next RPC, respawned, and re-fed
+  every one of its templates' full histories before the call is
+  retried — the refit walks the identical window schedule, so
+  predictions are unchanged (property-tested, including a forced
+  mid-run crash).  Worker-*infrastructure* failures (a double crash, a
+  replica desync, a hung RPC) surface as
+  :class:`ShardedServingError` and are never silently swallowed by a
+  burst, unlike a plain "history still too short" skip.
+* **Graceful shutdown.**  :meth:`ShardedEstimationService.close` (or
+  the context manager) drains the pool: polite ``shutdown`` RPC first,
+  ``terminate`` as the backstop.  Workers are daemonic, so a dying
+  parent never leaks them.
+
+Predictions still run in the parent, lock-free, on the immutable
+:class:`~repro.ires.modelling.FittedCostModel` snapshot each fit RPC
+returns — estimation latency is identical to the in-process service;
+only the (CPU-heavy) fitting crosses the process boundary.
+
+See :mod:`repro.serving.worker` for the RPC message shapes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from repro.common.errors import EstimationError, ValidationError
+from repro.core.cache import CacheStats
+from repro.ires.modelling import EstimationStrategy, FittedCostModel, Modelling
+from repro.serving.service import BaseEstimationService, _Template
+from repro.serving.worker import Row, worker_main
+
+#: Default shard-pool width: one worker per core up to a small ceiling
+#: (past the core count, extra processes only add IPC overhead).
+DEFAULT_SHARD_WORKERS = max(2, min(8, os.cpu_count() or 2))
+
+
+class ShardedServingError(EstimationError):
+    """A shard worker failed in a way that is not a plain estimation or
+    validation error (protocol desync, repeated crash, hung RPC, use
+    after close).  Never swallowed by burst refreshes."""
+
+
+class WorkerCrashError(ShardedServingError):
+    """Internal signal: the shard's worker died or stopped answering.
+
+    Raised by the low-level RPC layer and normally consumed by the
+    respawn-and-retry path; it only escapes when the *respawned* worker
+    fails again on the same call.
+    """
+
+
+def shard_of(key: str, workers: int) -> int:
+    """Stable shard index of a template key (CRC32, not salted hash)."""
+    return zlib.crc32(key.encode("utf-8")) % workers
+
+
+class _Shard:
+    """One worker process plus its pipe; ``lock`` serialises the shard's
+    RPC traffic (one in-flight request per worker).  A template's
+    ``synced`` replica cursor is read and written only under its
+    shard's lock."""
+
+    __slots__ = ("index", "process", "conn", "lock", "keys")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.lock = threading.RLock()
+        self.keys: set[str] = set()
+
+
+class ShardedEstimationService(BaseEstimationService):
+    """Cross-process drop-in for :class:`EstimationService`.
+
+    Parameters
+    ----------
+    strategy_factory:
+        Picklable zero-argument callable building each worker's private
+        :class:`~repro.ires.modelling.EstimationStrategy` (e.g.
+        ``functools.partial(worker.strategy_from_config, config)`` or
+        ``functools.partial(worker.dream_strategy, max_window=20)``).
+        A factory rather than an instance: strategies hold locks and
+        caches that must not cross the process boundary.
+    workers:
+        Shard count (>= 1); default :data:`DEFAULT_SHARD_WORKERS`.
+    modelling:
+        Optional parent-side registry to mirror registrations into, so
+        an :class:`~repro.ires.platform.IReSPlatform` sharing it sees
+        the same histories.  The parent never fits through it.
+    max_workers:
+        Width of the :meth:`refresh` fan-out thread pool (capped at the
+        shard count; threads beyond one per shard cannot help because a
+        shard answers one RPC at a time).
+    rpc_timeout:
+        Seconds to wait for a single worker reply before declaring the
+        worker hung, terminating it, and respawning (``None`` = wait
+        forever).  Configurable through
+        ``FederationConfig(shard_rpc_timeout=...)``.
+    """
+
+    def __init__(
+        self,
+        strategy_factory: Callable[[], EstimationStrategy],
+        workers: int | None = None,
+        modelling: Modelling | None = None,
+        max_workers: int | None = None,
+        rpc_timeout: float | None = None,
+        mp_context: str | None = None,
+    ):
+        super().__init__(max_workers=max_workers)
+        if workers is not None and workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        if rpc_timeout is not None and not rpc_timeout > 0:
+            raise ValidationError(f"rpc_timeout must be > 0, got {rpc_timeout}")
+        self.workers = workers or DEFAULT_SHARD_WORKERS
+        self.rpc_timeout = rpc_timeout
+        self._strategy_factory = strategy_factory
+        self._modelling = modelling
+        methods = multiprocessing.get_all_start_methods()
+        start = mp_context or ("fork" if "fork" in methods else "spawn")
+        self._ctx = multiprocessing.get_context(start)
+        self._respawns = 0
+        self._closed = False
+        self._shards = [_Shard(index) for index in range(self.workers)]
+        for shard in self._shards:
+            self._start_worker(shard)
+
+    # Worker lifecycle -------------------------------------------------------
+
+    def _start_worker(self, shard: _Shard) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self._strategy_factory),
+            name=f"estimation-shard-{shard.index}",
+            daemon=True,
+        )
+        process.start()
+        # The parent must drop its copy of the child end so a dead
+        # worker shows up as EOF on this side of the pipe.
+        child_conn.close()
+        shard.process = process
+        shard.conn = parent_conn
+
+    def _respawn_locked(self, shard: _Shard) -> None:
+        """Replace a dead worker and replay its shard deterministically.
+
+        Caller holds ``shard.lock``.  Every template assigned to the
+        shard is re-registered and fed its *full* parent-side history,
+        so the fresh replica's next fit walks the identical window
+        schedule the dead worker would have.
+        """
+        if shard.conn is not None:
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+        if shard.process is not None and shard.process.is_alive():
+            shard.process.terminate()
+            shard.process.join(timeout=5)
+        self._start_worker(shard)
+        with self._stats_lock:
+            self._respawns += 1
+        for key in sorted(shard.keys):
+            state = self._templates[key]
+            rows = self._encode_rows(state, start=0)
+            self._call_locked(
+                shard,
+                {
+                    "op": "register",
+                    "key": key,
+                    "feature_names": state.history.feature_names,
+                    "metrics": state.history.metric_names,
+                },
+            )
+            if rows:
+                self._call_locked(shard, {"op": "extend", "key": key, "rows": rows})
+            state.synced = len(rows)
+
+    def inject_worker_crash(self, index: int) -> None:
+        """Hard-kill one shard's worker (test/bench hook).
+
+        The next serving RPC that touches the shard detects the death,
+        respawns the worker and replays its templates; this method only
+        delivers the crash and waits for the process to die.
+        """
+        shard = self._shards[index]
+        with shard.lock:
+            try:
+                shard.conn.send({"op": "crash"})
+            except (BrokenPipeError, OSError):
+                pass
+            shard.process.join(timeout=10)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain the pool: polite shutdown RPC, terminate as backstop."""
+        with self._registry_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for shard in self._shards:
+            with shard.lock:
+                if shard.conn is not None:
+                    try:
+                        shard.conn.send({"op": "shutdown"})
+                    except (BrokenPipeError, OSError):
+                        pass
+                if shard.process is not None:
+                    shard.process.join(timeout=timeout)
+                    if shard.process.is_alive():
+                        shard.process.terminate()
+                        shard.process.join(timeout=timeout)
+                if shard.conn is not None:
+                    try:
+                        shard.conn.close()
+                    except OSError:
+                        pass
+                    shard.conn = None
+
+    def _ensure_open(self) -> None:
+        with self._registry_lock:
+            if self._closed:
+                raise ShardedServingError("sharded service is closed")
+
+    # RPC --------------------------------------------------------------------
+
+    def _call_locked(self, shard: _Shard, message: dict):
+        """One request/reply exchange; caller holds ``shard.lock``.
+
+        Raises :class:`WorkerCrashError` when the worker is dead, the
+        pipe broke, or ``rpc_timeout`` elapsed (the hung worker is
+        terminated first so the retry starts from a clean respawn).
+        """
+        if self._closed or shard.conn is None:
+            raise ShardedServingError("sharded service is closed")
+        try:
+            shard.conn.send(message)
+        except (BrokenPipeError, OSError, ValueError) as error:
+            raise WorkerCrashError(
+                f"shard {shard.index} worker is gone: {error}"
+            ) from error
+        deadline = None if self.rpc_timeout is None else time.monotonic() + self.rpc_timeout
+        while True:
+            try:
+                if shard.conn.poll(0.05):
+                    reply = shard.conn.recv()
+                    break
+            except (EOFError, OSError) as error:
+                raise WorkerCrashError(
+                    f"shard {shard.index} worker died mid-call"
+                ) from error
+            if not shard.process.is_alive() and not shard.conn.poll():
+                raise WorkerCrashError(
+                    f"shard {shard.index} worker exited with code "
+                    f"{shard.process.exitcode}"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                shard.process.terminate()
+                shard.process.join(timeout=5)
+                raise WorkerCrashError(
+                    f"shard {shard.index} worker hung past "
+                    f"rpc_timeout={self.rpc_timeout}s on {message['op']!r}"
+                )
+        if reply["ok"]:
+            return reply["value"]
+        kind, text = reply["kind"], reply["error"]
+        if kind == "validation":
+            error = ValidationError(text)
+        elif kind == "estimation":
+            error = EstimationError(text)
+        else:
+            error = ShardedServingError(f"shard {shard.index}: {text}")
+        error.worker_reply = reply  # op-specific extras (e.g. "appended")
+        raise error
+
+    @staticmethod
+    def _encode_rows(state: _Template, start: int) -> list[Row]:
+        observations = state.history.observations
+        return [
+            (obs.tick, dict(obs.features), dict(obs.costs))
+            for obs in observations[start:]
+        ]
+
+    # Registration -----------------------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        """The shard index serving ``key`` (stable across processes)."""
+        return shard_of(key, self.workers)
+
+    def _on_register(self, state: _Template) -> None:
+        """Wire a fresh template to its shard.
+
+        The key joins ``shard.keys`` *before* the register RPC, inside
+        one shard-lock hold: if the worker crashes mid-registration the
+        respawn replay already covers this template (the worker-side
+        register is idempotent, so replay-then-nothing is fine), and a
+        concurrent respawn can never run between the RPC and the
+        bookkeeping.  Pre-existing history rows ride to the replica
+        with the first fit.
+        """
+        if self._modelling is not None:
+            self._modelling.register(state.key, state.history)
+        shard = self._shards[self.shard_of(state.key)]
+        message = {
+            "op": "register",
+            "key": state.key,
+            "feature_names": state.history.feature_names,
+            "metrics": state.history.metric_names,
+        }
+        with shard.lock:
+            shard.keys.add(state.key)
+            try:
+                self._call_locked(shard, message)
+            except WorkerCrashError:
+                # The replay registers (and back-fills) this key too.
+                self._respawn_locked(shard)
+
+    # Fitting ------------------------------------------------------------
+
+    def _fit_state(self, state: _Template) -> FittedCostModel:
+        """Ship the unsynced rows and fit on the shard; caller holds the
+        template lock.
+
+        The delta is computed *under the shard lock* so it is always
+        relative to what the replica actually holds — a respawn that
+        replayed the full history in between resets ``synced`` before
+        this runs, and the retry recomputes its delta after the replay.
+        """
+        shard = self._shards[self.shard_of(state.key)]
+        with shard.lock:
+            try:
+                fitted = self._fit_locked(shard, state)
+            except WorkerCrashError:
+                self._respawn_locked(shard)
+                fitted = self._fit_locked(shard, state)
+        return fitted
+
+    def _fit_locked(self, shard: _Shard, state: _Template) -> FittedCostModel:
+        rows = self._encode_rows(state, start=state.synced)
+        try:
+            fitted = self._call_locked(
+                shard,
+                {
+                    "op": "fit",
+                    "key": state.key,
+                    "rows": rows,
+                    "expected_size": state.synced + len(rows),
+                },
+            )
+        except WorkerCrashError:
+            raise  # caller respawns; the replay resets the sync cursor
+        except (ValidationError, EstimationError) as error:
+            # The replica appended (part of) the delta before the fit
+            # failed — a too-short history fails *after* its rows land.
+            # Advance the cursor by exactly that amount or the next fit
+            # would re-send the rows and corrupt the replica.
+            state.synced += getattr(error, "worker_reply", {}).get("appended", 0)
+            raise
+        state.synced += len(rows)
+        return fitted
+
+    @staticmethod
+    def _is_infrastructure_error(error: EstimationError) -> bool:
+        """A broken shard must surface from a burst, not be skipped as
+        "cannot fit yet" (which would silently serve stale snapshots)."""
+        return isinstance(error, ShardedServingError)
+
+    def _fit_stale(
+        self, stale: list[str], parallel: bool
+    ) -> dict[str, FittedCostModel | None]:
+        """One parent thread per busy shard issues that shard's fit
+        RPCs; the actual fitting runs in the worker processes, so a
+        burst overlaps across cores with no GIL contention."""
+        by_shard: dict[int, list[str]] = {}
+        for key in stale:
+            by_shard.setdefault(self.shard_of(key), []).append(key)
+        results: dict[str, FittedCostModel | None] = {}
+        if parallel and len(by_shard) > 1:
+            width = min(self.max_workers, len(by_shard))
+
+            def fit_group(group: list[str]) -> list[tuple[str, FittedCostModel | None]]:
+                return [(key, self._try_model(key)) for key in group]
+
+            with ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="shard-burst"
+            ) as pool:
+                for fitted in pool.map(fit_group, by_shard.values()):
+                    results.update(fitted)
+        else:
+            for key in stale:
+                results[key] = self._try_model(key)
+        return results
+
+    # Introspection --------------------------------------------------------
+
+    @property
+    def respawns(self) -> int:
+        """How many dead/hung workers were replaced so far."""
+        with self._stats_lock:
+            return self._respawns
+
+    def worker_pids(self) -> list[int | None]:
+        return [
+            None if shard.process is None else shard.process.pid
+            for shard in self._shards
+        ]
+
+    _DEAD_SHARD_STATS = {"pid": None, "templates": 0, "fits": 0, "engine_cache": None}
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard worker counters (pid, replica count, fits, cache).
+
+        Strictly read-only: a dead or unreachable worker reports the
+        placeholder row instead of being respawned here — healing
+        belongs to the serving path (the next fit RPC), not to
+        introspection, so a monitoring poll never blocks on a
+        full-history replay or perturbs the ``respawns`` counter.
+        """
+        out = []
+        for shard in self._shards:
+            with shard.lock:
+                try:
+                    out.append(self._call_locked(shard, {"op": "stats"}))
+                except (EstimationError, ValidationError):
+                    out.append(dict(self._DEAD_SHARD_STATS))
+        return out
+
+    def _engine_cache_stats(self) -> CacheStats | None:
+        """Engine-cache counters summed across the shard workers."""
+        caches = [
+            shard_stat["engine_cache"]
+            for shard_stat in self.shard_stats()
+            if shard_stat["engine_cache"] is not None
+        ]
+        if not caches:
+            return None
+        return CacheStats(
+            hits=sum(c.hits for c in caches),
+            misses=sum(c.misses for c in caches),
+            evictions=sum(c.evictions for c in caches),
+            expirations=sum(c.expirations for c in caches),
+            size=sum(c.size for c in caches),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ShardedEstimationService(workers={self.workers}, "
+            f"templates={len(self._templates)}, respawns={self.respawns})"
+        )

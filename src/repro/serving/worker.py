@@ -1,0 +1,288 @@
+"""Shard worker process: the remote half of the sharded serving RPC.
+
+A :class:`~repro.serving.sharded.ShardedEstimationService` owns a pool
+of these workers, one process per shard.  Each worker is *shared-
+nothing*: it builds its own :class:`~repro.ires.modelling.Modelling`
+registry (and therefore its own estimation strategy, incremental DREAM
+engines and :class:`~repro.core.cache.ModelCache`) from a picklable
+zero-argument ``strategy_factory``, and owns a private replica of every
+history assigned to its shard.  The parent process keeps the
+authoritative histories and streams row deltas to the worker lazily,
+right before each fit, so the replica is bitwise-identical to the
+parent's history at every fit point — which is what makes replay after
+a crash deterministic.
+
+RPC protocol
+------------
+
+Messages travel over one duplex :func:`multiprocessing.Pipe` per worker
+and are plain picklable values: requests are dicts of primitives (plus
+observation rows), replies wrap either a value or a typed error.
+
+Request shapes (``rows`` is ``[(tick, {feature: value}, {metric: value}),
+...]`` in history append order)::
+
+    {"op": "register", "key": str,
+     "feature_names": tuple[str, ...], "metrics": tuple[str, ...]}
+    {"op": "extend",   "key": str, "rows": list}         -> new size
+    {"op": "fit",      "key": str, "rows": list,
+     "expected_size": int}                               -> FittedCostModel
+    {"op": "stats"}       -> {"pid", "templates", "fits", "engine_cache"}
+    {"op": "ping"}        -> "pong"
+    {"op": "shutdown"}    -> None (worker exits after replying)
+    {"op": "crash"}       -> no reply; the worker hard-exits (test hook
+                             for the crash-detection/respawn path)
+
+Reply shapes::
+
+    {"ok": True,  "value": <op-specific value>}
+    {"ok": False, "kind": "validation" | "estimation" | "internal",
+     "error": str, ...}
+
+A failed ``fit`` reply additionally carries ``"appended": int`` — how
+many of the request's rows the replica appended before the failure.  A
+too-short history fails *after* the delta landed, and the parent must
+advance its sync cursor by exactly that amount or the next fit would
+re-send the rows and corrupt the replica's tick order.
+
+``kind`` preserves the parent-side exception taxonomy across the
+process boundary: ``validation`` re-raises as
+:class:`~repro.common.errors.ValidationError`, ``estimation`` as
+:class:`~repro.common.errors.EstimationError` (so "history still too
+short to fit" keeps its type through the gateway), and ``internal``
+as a :class:`~repro.serving.sharded.ShardedServingError`.
+
+The ``fit`` request carries ``expected_size`` — the parent's history
+size after the delta — as a desync tripwire: a replica that disagrees
+refuses to fit instead of silently training on a torn window.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.common.errors import EstimationError, ValidationError
+from repro.core.history import ExecutionHistory
+
+#: Observation rows on the wire: append-ordered (tick, features, costs).
+Row = tuple[int, dict[str, float], dict[str, float]]
+
+
+def strategy_from_config(config):
+    """Build the estimation strategy a ``FederationConfig`` names.
+
+    Module-level so ``functools.partial(strategy_from_config, config)``
+    is picklable and can travel to a spawned worker; the registry lookup
+    happens inside the worker process (backend *names* cross the process
+    boundary, strategy *instances* never do).
+    """
+    from repro.federation.registry import create_strategy
+
+    return create_strategy(config)
+
+
+def dream_strategy(
+    r2_required: float = 0.8,
+    max_window: int | None = None,
+    cache_capacity: int = 256,
+    cache_ttl_seconds: float | None = None,
+):
+    """Picklable factory for a worker-local incremental DREAM strategy.
+
+    The benches and tests shard without a full ``FederationConfig``;
+    ``functools.partial(dream_strategy, r2_required=..., ...)`` gives
+    them a wire-safe factory equivalent to the ``dream-incremental``
+    registry backend.
+    """
+    from repro.core.cache import ModelCache
+    from repro.ires.modelling import DreamStrategy
+
+    return DreamStrategy(
+        r2_required=r2_required,
+        max_window=max_window,
+        incremental=True,
+        engine_cache=ModelCache(
+            capacity=cache_capacity, ttl_seconds=cache_ttl_seconds
+        ),
+    )
+
+
+def _extend(history: ExecutionHistory, rows: Iterable[Row]) -> int:
+    for tick, features, costs in rows:
+        history.append(tick, features, costs)
+    return history.size
+
+
+class _OpError(Exception):
+    """Wraps a handler failure with op-specific reply extras."""
+
+    def __init__(self, error: BaseException, extras: dict):
+        super().__init__(str(error))
+        self.error = error
+        self.extras = extras
+
+
+class _WorkerState:
+    """One shard's private universe: modelling registry + counters."""
+
+    def __init__(self, strategy_factory):
+        from repro.ires.modelling import Modelling
+
+        self.modelling = Modelling(strategy_factory())
+        self.histories: dict[str, ExecutionHistory] = {}
+        self.fits = 0
+
+    def handle(self, message: dict):
+        op = message["op"]
+        if op == "ping":
+            return "pong"
+        if op == "register":
+            key = message["key"]
+            feature_names = tuple(message["feature_names"])
+            metrics = tuple(message["metrics"])
+            existing = self.histories.get(key)
+            if existing is not None:
+                # Idempotent: a respawn replay may have registered this
+                # key just before the original register RPC is retried.
+                # Duplicate detection is the parent's job; only a schema
+                # mismatch is a genuine error here.
+                if (
+                    existing.feature_names == feature_names
+                    and existing.metric_names == metrics
+                ):
+                    return None
+                raise ValidationError(
+                    f"template {key!r} already on this shard with a "
+                    "different feature/metric schema"
+                )
+            history = ExecutionHistory(feature_names, metrics)
+            self.histories[key] = history
+            self.modelling.register(key, history)
+            return None
+        if op == "extend":
+            return _extend(self._history(message["key"]), message["rows"])
+        if op == "fit":
+            key = message["key"]
+            history = self._history(key)
+            appended = 0
+            try:
+                for tick, features, costs in message["rows"]:
+                    history.append(tick, features, costs)
+                    appended += 1
+                expected = message["expected_size"]
+                if history.size != expected:
+                    raise RuntimeError(
+                        f"shard replica desync for {key!r}: replica has "
+                        f"{history.size} rows, parent expected {expected}"
+                    )
+                fitted = self.modelling.fit(key)
+            except BaseException as error:  # noqa: BLE001 - reply carries it
+                # The parent's sync cursor must advance by what actually
+                # landed, even though the fit failed (see module docs).
+                raise _OpError(error, {"appended": appended}) from error
+            self.fits += 1
+            return fitted
+        if op == "stats":
+            engine_cache = getattr(self.modelling.strategy, "engine_cache", None)
+            return {
+                "pid": os.getpid(),
+                "templates": len(self.histories),
+                "fits": self.fits,
+                "engine_cache": None if engine_cache is None else engine_cache.stats,
+            }
+        raise RuntimeError(f"unknown worker op {op!r}")
+
+    def _history(self, key: str) -> ExecutionHistory:
+        try:
+            return self.histories[key]
+        except KeyError:
+            known = ", ".join(sorted(self.histories)) or "<none>"
+            raise EstimationError(
+                f"shard has no replica for {key!r}; have: {known}"
+            ) from None
+
+
+def _serve_boot_error(conn, reply: dict) -> None:
+    """Answer every request with the saved boot failure until shutdown."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        op = message.get("op")
+        if op == "crash":
+            os._exit(17)
+        try:
+            conn.send({"ok": True, "value": None} if op == "shutdown" else reply)
+        except (BrokenPipeError, OSError):
+            return
+        if op == "shutdown":
+            return
+
+
+def _error_kind(error: BaseException) -> str:
+    # ValidationError first: the federation taxonomy dual-inherits, and
+    # a config-flavoured failure should stay a validation failure.
+    if isinstance(error, ValidationError):
+        return "validation"
+    if isinstance(error, EstimationError):
+        return "estimation"
+    return "internal"
+
+
+def worker_main(conn, strategy_factory) -> None:
+    """The worker process entry point: serve RPCs until shutdown.
+
+    Every request gets exactly one reply (except ``crash``, which
+    hard-exits, and ``shutdown``, which replies then returns).  Errors
+    never kill the loop — they are serialised back with their taxonomy
+    kind so the parent re-raises the right exception type.  That
+    includes *boot* failures (``strategy_factory()`` raising, e.g. a
+    strategy name registered only in the parent process under a spawn
+    context): instead of dying with an opaque exit code, the worker
+    stays up and answers every request with the boot error, so the
+    parent's first RPC surfaces the root cause instead of a futile
+    crash-respawn loop.
+    """
+    try:
+        state = _WorkerState(strategy_factory)
+    except BaseException as error:  # noqa: BLE001 - serialise the boot failure
+        _serve_boot_error(
+            conn,
+            {
+                "ok": False,
+                "kind": _error_kind(error),
+                "error": f"shard worker failed to start: {error}",
+            },
+        )
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away: nothing left to serve
+        op = message.get("op")
+        if op == "crash":
+            os._exit(17)  # simulate a hard worker death, no reply
+        if op == "shutdown":
+            try:
+                conn.send({"ok": True, "value": None})
+            except (BrokenPipeError, OSError):
+                pass
+            return
+        try:
+            reply = {"ok": True, "value": state.handle(message)}
+        except _OpError as wrapped:
+            reply = {
+                "ok": False,
+                "kind": _error_kind(wrapped.error),
+                "error": str(wrapped.error),
+                **wrapped.extras,
+            }
+        except BaseException as error:  # noqa: BLE001 - serialise everything
+            reply = {"ok": False, "kind": _error_kind(error), "error": str(error)}
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return

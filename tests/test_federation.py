@@ -68,21 +68,49 @@ class TestFederationConfig:
         config = FederationConfig()
         assert config.strategy == "dream-incremental"
         assert config.cache_capacity >= 1
+        assert config.serving_backend == "threaded"
+        assert config.shard_workers is None
 
-    @pytest.mark.parametrize("capacity", [0, -1])
-    def test_nonpositive_cache_capacity_rejected(self, capacity):
-        with pytest.raises(GatewayConfigError, match="cache_capacity"):
-            FederationConfig(cache_capacity=capacity)
+    def test_sharded_backend_accepted(self):
+        config = FederationConfig(serving_backend="sharded", shard_workers=3)
+        assert config.shard_workers == 3
 
-    @pytest.mark.parametrize("ttl", [0, -0.5])
-    def test_nonpositive_ttl_rejected(self, ttl):
-        with pytest.raises(GatewayConfigError, match="cache_ttl_seconds"):
-            FederationConfig(cache_ttl_seconds=ttl)
+    #: One row per rejection path (field, bad value, message pattern):
+    #: the serving fields introduced with the sharded backend plus the
+    #: pre-existing cache/worker validators.
+    REJECTED_FIELDS = [
+        ("cache_capacity", 0, "cache_capacity"),
+        ("cache_capacity", -1, "cache_capacity"),
+        ("cache_ttl_seconds", 0, "cache_ttl_seconds"),
+        ("cache_ttl_seconds", -0.5, "cache_ttl_seconds"),
+        ("max_fit_workers", 0, "max_fit_workers"),
+        ("max_fit_workers", -4, "max_fit_workers"),
+        ("shard_workers", 0, "shard_workers"),
+        ("shard_workers", -2, "shard_workers"),
+        ("shard_rpc_timeout", 0, "shard_rpc_timeout"),
+        ("shard_rpc_timeout", -1.5, "shard_rpc_timeout"),
+        ("serving_backend", "", "serving_backend"),
+        ("serving_backend", None, "serving_backend"),
+        ("serving_backend", "no-such-backend", "unknown serving backend"),
+    ]
 
-    @pytest.mark.parametrize("workers", [0, -4])
-    def test_nonpositive_workers_rejected(self, workers):
-        with pytest.raises(GatewayConfigError, match="max_fit_workers"):
-            FederationConfig(max_fit_workers=workers)
+    @pytest.mark.parametrize(
+        "field,value,pattern",
+        REJECTED_FIELDS,
+        ids=[f"{f}={v!r}" for f, v, _ in REJECTED_FIELDS],
+    )
+    def test_rejection_paths(self, field, value, pattern):
+        with pytest.raises(GatewayConfigError, match=pattern):
+            FederationConfig(**{field: value})
+
+    def test_unknown_serving_backend_lists_available(self):
+        from repro.federation import UnknownServingBackendError
+
+        with pytest.raises(UnknownServingBackendError) as info:
+            FederationConfig(serving_backend="fleet-of-zeppelins")
+        assert info.value.name == "fleet-of-zeppelins"
+        assert "threaded" in info.value.available
+        assert "sharded" in info.value.available
 
     def test_bad_thresholds_rejected(self):
         with pytest.raises(GatewayConfigError, match="r2_required"):

@@ -113,6 +113,40 @@ class TestModelCacheUnit:
         with pytest.raises(ValidationError):
             ModelCache(capacity=4, ttl_seconds=0.0)
 
+    def test_default_clock_is_monkeypatchable_time_fn(self, monkeypatch):
+        """Caches built WITHOUT an explicit clock (e.g. deep inside a
+        registry factory) read ``repro.core.cache.time_fn`` at every
+        lookup, so TTL tests fast-forward instead of sleeping."""
+        import repro.core.cache as cache_module
+
+        clock = FakeClock()
+        monkeypatch.setattr(cache_module, "time_fn", clock)
+        cache = ModelCache(capacity=4, ttl_seconds=10.0)  # no clock argument
+        cache.get_or_create("a", lambda: "A")
+        clock.advance(9.0)
+        assert cache.get_or_create("a", lambda: "A2") == "A"  # still live
+        clock.advance(11.0)
+        assert cache.get_or_create("a", lambda: "A3") == "A3"  # expired
+        assert cache.stats.expirations == 1
+
+    def test_time_fn_reaches_registry_built_caches(self, monkeypatch):
+        """The gateway's registry factories construct engine caches
+        without exposing the clock; the module hook still governs them."""
+        import repro.core.cache as cache_module
+        from repro.federation import FederationConfig, create_strategy
+
+        clock = FakeClock()
+        monkeypatch.setattr(cache_module, "time_fn", clock)
+        strategy = create_strategy(
+            FederationConfig(cache_capacity=4, cache_ttl_seconds=30.0)
+        )
+        history = drift_history(20)
+        strategy.fit(history)
+        clock.advance(60.0)  # idle past the TTL: instant, no sleeping
+        strategy.fit(history)
+        stats = strategy.engine_cache.stats
+        assert (stats.hits, stats.misses, stats.expirations) == (0, 2, 1)
+
 
 class TestDreamStrategyEviction:
     """Evicted engines must refit to the *identical* model."""

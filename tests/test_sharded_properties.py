@@ -1,0 +1,235 @@
+"""Property/stress suite: sharded serving == in-process serving, always.
+
+The acceptance bar for the cross-process backend is *oracle
+equivalence*: for ANY tenant count, shard count and interleaving of
+observes / fits / bursts, replaying the identical operation sequence
+through :class:`~repro.serving.ShardedEstimationService` and through
+the in-process :class:`~repro.serving.EstimationService` must produce
+
+* bitwise-identical window choices (``FittedCostModel.training_size``),
+* bitwise-identical predictions on a shared probe matrix
+  (``np.array_equal``, no tolerance: the worker runs the same NumPy
+  kernels on a bitwise-identical history replica), and
+* the same fit/skip outcome for too-short histories.
+
+Hypothesis drives the shapes (non-slow: small pools, fork-cheap); the
+``slow`` marker extends the PR 2 stress pattern with forced worker
+crashes mid-stream — a respawned worker replays the authoritative
+history and must land on the exact same models.
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import EstimationError
+from repro.common.rng import RngStream
+from repro.serving import EstimationService, ShardedEstimationService
+from repro.serving.worker import dream_strategy
+
+from tests.test_serving import FEATURES, METRICS, observation_stream
+
+R2 = 0.8
+MAX_WINDOW = 20
+
+factory = partial(
+    dream_strategy, r2_required=R2, max_window=MAX_WINDOW, cache_capacity=64
+)
+
+PROBE = np.array([[25.0, 2.0], [55.0, 4.0], [95.0, 8.0], [110.0, 3.0]])
+
+
+def assert_models_bitwise_equal(key, sharded_model, threaded_model):
+    __tracebackhide__ = True
+    assert sharded_model.training_size == threaded_model.training_size, key
+    sharded_columns = sharded_model.predict_batch(PROBE)
+    threaded_columns = threaded_model.predict_batch(PROBE)
+    for metric in METRICS:
+        assert np.array_equal(
+            sharded_columns[metric], threaded_columns[metric]
+        ), (key, metric)
+
+
+def replay(script, keys, sharded, threaded):
+    """Drive both services through one interleaving, checking every fit."""
+    cursors = {key: 0 for key in keys}
+    streams = {key: observation_stream(key, 64, seed=23) for key in keys}
+    for index, op in script:
+        key = keys[index % len(keys)]
+        if op == "observe":
+            cursor = cursors[key]
+            if cursor >= len(streams[key]):
+                continue
+            tick, features, costs = streams[key][cursor]
+            cursors[key] = cursor + 1
+            sharded.record(key, tick, features, costs)
+            threaded.record(key, tick, features, costs)
+        elif op == "fit":
+            try:
+                threaded_model = threaded.model(key)
+            except EstimationError:
+                with pytest.raises(EstimationError):
+                    sharded.model(key)
+                continue
+            assert_models_bitwise_equal(key, sharded.model(key), threaded_model)
+        else:  # burst
+            sharded_models = sharded.refresh(parallel=True)
+            threaded_models = threaded.refresh(parallel=True)
+            assert sorted(sharded_models) == sorted(threaded_models)
+            for fitted_key, threaded_model in threaded_models.items():
+                assert_models_bitwise_equal(
+                    fitted_key, sharded_models[fitted_key], threaded_model
+                )
+    # Final sweep: every fittable tenant agrees after the whole script.
+    final_sharded = sharded.refresh(parallel=False)
+    final_threaded = threaded.refresh(parallel=False)
+    assert sorted(final_sharded) == sorted(final_threaded)
+    for key, threaded_model in final_threaded.items():
+        assert_models_bitwise_equal(key, final_sharded[key], threaded_model)
+
+
+ops = st.sampled_from(["observe", "observe", "observe", "fit", "burst"])
+scripts = st.lists(st.tuples(st.integers(min_value=0, max_value=7), ops), max_size=60)
+
+
+class TestShardedEquivalenceProperties:
+    @given(
+        workers=st.integers(min_value=1, max_value=3),
+        n_templates=st.integers(min_value=1, max_value=4),
+        script=scripts,
+    )
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_any_interleaving_matches_in_process_service(
+        self, workers, n_templates, script
+    ):
+        keys = [f"tenant-{i}" for i in range(n_templates)]
+        threaded = EstimationService(
+            strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
+        )
+        with ShardedEstimationService(factory, workers=workers) as sharded:
+            for key in keys:
+                sharded.register(key, feature_names=FEATURES, metrics=METRICS)
+                threaded.register(key, feature_names=FEATURES, metrics=METRICS)
+            replay(script, keys, sharded, threaded)
+
+    def test_counters_match_in_process_service_on_shared_script(self):
+        """The sharded service keeps the ServiceStats contract: the same
+        deterministic script yields identical parent-side counters."""
+        script = [(i % 5, "observe") for i in range(40)] + [
+            (0, "fit"),
+            (0, "fit"),  # second is a snapshot hit on both services
+            (3, "burst"),
+        ]
+        keys = [f"tenant-{i}" for i in range(5)]
+        threaded = EstimationService(
+            strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
+        )
+        with ShardedEstimationService(factory, workers=2) as sharded:
+            for key in keys:
+                sharded.register(key, feature_names=FEATURES, metrics=METRICS)
+                threaded.register(key, feature_names=FEATURES, metrics=METRICS)
+            replay(script, keys, sharded, threaded)
+            for attribute in ("templates", "fits", "snapshot_hits", "observations"):
+                assert getattr(sharded.stats, attribute) == getattr(
+                    threaded.stats, attribute
+                ), attribute
+
+
+@pytest.mark.slow
+class TestShardedCrashStress:
+    """Extends the PR 2 stress pattern: crashes mid-stream, then bitwise
+    equality — replay-on-respawn must be invisible in the numbers."""
+
+    TEMPLATES = 16
+    BURSTS = 12
+    WARMUP = 14
+
+    def test_crash_and_respawn_is_bitwise_invisible(self):
+        rng = RngStream(97, "crash-stress")
+        keys = [f"tenant-{i:02d}" for i in range(self.TEMPLATES)]
+        streams = {
+            key: observation_stream(key, self.WARMUP + self.BURSTS, seed=41)
+            for key in keys
+        }
+        threaded = EstimationService(
+            strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
+        )
+        crashes = 0
+        with ShardedEstimationService(factory, workers=4) as sharded:
+            for key in keys:
+                sharded.register(key, feature_names=FEATURES, metrics=METRICS)
+                threaded.register(key, feature_names=FEATURES, metrics=METRICS)
+                for tick, features, costs in streams[key][: self.WARMUP]:
+                    sharded.record(key, tick, features, costs)
+                    threaded.record(key, tick, features, costs)
+            for burst in range(self.BURSTS):
+                for key in keys:
+                    tick, features, costs = streams[key][self.WARMUP + burst]
+                    sharded.record(key, tick, features, costs)
+                    threaded.record(key, tick, features, costs)
+                if burst in (3, 7):  # deterministic mid-run worker kills
+                    victim = int(rng.integers(0, sharded.workers))
+                    sharded.inject_worker_crash(victim)
+                    crashes += 1
+                sharded_models = sharded.refresh(parallel=True)
+                threaded_models = threaded.refresh(parallel=True)
+                assert sorted(sharded_models) == keys
+                assert sorted(threaded_models) == keys
+                for key in keys:
+                    assert_models_bitwise_equal(
+                        key, sharded_models[key], threaded_models[key]
+                    )
+            assert crashes == 2
+            # Every injected crash was detected and healed exactly once
+            # (a crashed worker with no subsequent traffic heals on the
+            # shard's next RPC, which the per-burst refresh guarantees).
+            assert sharded.respawns == crashes
+            assert sharded.stats.fits == threaded.stats.fits
+
+    def test_threaded_interleaving_against_sharded_sequential_replay(self):
+        """Concurrent parent threads on the sharded service vs a
+        sequential in-process replay (the PR 2 stress invariant, now
+        across the process boundary)."""
+        import threading
+
+        keys = [f"tenant-{i:02d}" for i in range(8)]
+        streams = {key: observation_stream(key, 30, seed=67) for key in keys}
+        with ShardedEstimationService(factory, workers=3) as sharded:
+            for key in keys:
+                sharded.register(key, feature_names=FEATURES, metrics=METRICS)
+            barrier = threading.Barrier(len(keys))
+
+            def tenant(key: str) -> None:
+                barrier.wait()
+                for tick, features, costs in streams[key]:
+                    sharded.record(key, tick, features, costs)
+                    if tick % 5 == 4:
+                        try:
+                            sharded.model(key)
+                        except EstimationError:
+                            pass
+
+            threads = [
+                threading.Thread(target=tenant, args=(key,)) for key in keys
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            final_sharded = {key: sharded.model(key) for key in keys}
+        replayed = EstimationService(
+            strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
+        )
+        for key in keys:
+            replayed.register(key, feature_names=FEATURES, metrics=METRICS)
+            for tick, features, costs in streams[key]:
+                replayed.record(key, tick, features, costs)
+        for key in keys:
+            assert_models_bitwise_equal(key, final_sharded[key], replayed.model(key))

@@ -1,0 +1,397 @@
+"""ShardedEstimationService: functional semantics + federation wiring.
+
+Covers the serving contract (registration, snapshots, refresh, stats),
+the worker lifecycle (crash detection, respawn replay, graceful
+shutdown, hung-worker timeout), the serving-backend registry, and the
+gateway integration (``FederationConfig(serving_backend="sharded")``
+drives the full Figure 1 pipeline to the same decisions as the
+in-process service).  Deep randomized equivalence lives in
+``tests/test_sharded_properties.py``.
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EstimationError, ValidationError
+from repro.serving import EstimationService, ShardedEstimationService, shard_of
+from repro.serving.sharded import ShardedServingError
+from repro.serving.worker import dream_strategy
+
+from tests.test_serving import FEATURES, METRICS, observation_stream
+
+R2 = 0.8
+MAX_WINDOW = 20
+
+#: Picklable worker strategy matching the threaded suite's DreamStrategy.
+factory = partial(
+    dream_strategy, r2_required=R2, max_window=MAX_WINDOW, cache_capacity=64
+)
+
+
+def _exploding_strategy():
+    """Picklable factory whose worker-side construction always fails."""
+    raise RuntimeError("boom: strategy not constructible in the worker")
+
+
+@pytest.fixture
+def sharded():
+    service = ShardedEstimationService(factory, workers=2)
+    yield service
+    service.close()
+
+
+def feed(service, key: str, ticks: int, seed: int = 17) -> None:
+    for tick, features, costs in observation_stream(key, ticks, seed):
+        service.record(key, tick, features, costs)
+
+
+class TestShardedFunctional:
+    def test_register_and_duplicate_rejected(self, sharded):
+        sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        with pytest.raises(ValidationError):
+            sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        with pytest.raises(ValidationError):
+            sharded.register("q2")  # neither history nor feature_names
+        with pytest.raises(EstimationError, match="no template"):
+            sharded.model("missing")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            ShardedEstimationService(factory, workers=0)
+        with pytest.raises(ValidationError):
+            ShardedEstimationService(factory, workers=2, max_workers=0)
+        with pytest.raises(ValidationError):
+            ShardedEstimationService(factory, workers=2, rpc_timeout=0.0)
+
+    def test_shard_assignment_is_stable_and_total(self, sharded):
+        keys = [f"q{i}" for i in range(16)]
+        assigned = {key: sharded.shard_of(key) for key in keys}
+        assert assigned == {key: shard_of(key, 2) for key in keys}
+        assert set(assigned.values()) <= {0, 1}
+        # CRC32 spreads 16 keys over both shards (not all on one).
+        assert len(set(assigned.values())) == 2
+
+    def test_snapshot_reused_until_history_moves(self, sharded):
+        sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        feed(sharded, "q1", 12)
+        first = sharded.model("q1")
+        assert sharded.model("q1") is first  # same version -> same snapshot
+        tick, features, costs = observation_stream("q1", 13)[-1]
+        sharded.record("q1", tick + 1, features, costs)
+        assert sharded.is_stale("q1")
+        assert sharded.model("q1") is not first
+        stats = sharded.stats
+        assert stats.fits == 2 and stats.snapshot_hits == 1
+
+    def test_preexisting_history_rows_are_replayed_on_first_fit(self, sharded):
+        from repro.core import ExecutionHistory
+
+        history = ExecutionHistory(FEATURES, METRICS)
+        for tick, features, costs in observation_stream("pre", 14):
+            history.append(tick, features, costs)
+        sharded.register("pre", history)
+        reference = EstimationService(
+            strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
+        )
+        reference.register("pre", feature_names=FEATURES, metrics=METRICS)
+        feed(reference, "pre", 14)
+        assert (
+            sharded.model("pre").training_size
+            == reference.model("pre").training_size
+        )
+
+    def test_estimate_batch_matches_per_row(self, sharded):
+        sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        feed(sharded, "q1", 15)
+        matrix = np.array([[30.0, 2.0], [75.0, 8.0], [110.0, 4.0]])
+        batched = sharded.estimate_batch("q1", matrix)
+        for i, row in enumerate(matrix):
+            single = sharded.estimate("q1", row)
+            for metric in METRICS:
+                assert batched[metric][i] == pytest.approx(single[metric], rel=1e-12)
+
+    def test_refresh_parallel_and_sequential_agree(self, sharded):
+        keys = [f"q{i}" for i in range(5)]
+        for key in keys:
+            sharded.register(key, feature_names=FEATURES, metrics=METRICS)
+            feed(sharded, key, 12, seed=3)
+        parallel = sharded.refresh(parallel=True)
+        assert sorted(parallel) == keys
+        # Re-refresh sequentially: everything fresh -> same snapshots.
+        sequential = sharded.refresh(parallel=False)
+        for key in keys:
+            assert sequential[key] is parallel[key]
+
+    def test_failed_fit_keeps_replica_in_sync(self, sharded):
+        """Regression (found by hypothesis): a fit on a too-short
+        history fails AFTER the delta rows landed on the replica; the
+        parent must not re-send them with the next fit."""
+        sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        feed(sharded, "q1", 3)  # below the minimum window (L + 2 = 4)
+        with pytest.raises(EstimationError):
+            sharded.model("q1")
+        tick, features, costs = observation_stream("q1", 4)[-1]
+        sharded.record("q1", tick, features, costs)
+        fitted = sharded.model("q1")  # must not double-append rows 0..2
+        reference = EstimationService(
+            strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
+        )
+        reference.register("q1", feature_names=FEATURES, metrics=METRICS)
+        feed(reference, "q1", 4)
+        assert fitted.training_size == reference.model("q1").training_size
+
+    def test_unfittable_template_does_not_poison_the_burst(self, sharded):
+        sharded.register("ready", feature_names=FEATURES, metrics=METRICS)
+        sharded.register("empty", feature_names=FEATURES, metrics=METRICS)
+        feed(sharded, "ready", 12)
+        models = sharded.refresh()
+        assert "ready" in models and "empty" not in models
+
+    def test_stats_aggregate_engine_caches_across_workers(self, sharded):
+        keys = [f"q{i}" for i in range(6)]
+        for key in keys:
+            sharded.register(key, feature_names=FEATURES, metrics=METRICS)
+            feed(sharded, key, 12, seed=5)
+        sharded.refresh()
+        sharded.refresh()  # all fresh: no new fits
+        stats = sharded.stats
+        assert stats.templates == 6
+        assert stats.fits == 6
+        assert stats.observations == 6 * 12
+        assert stats.bursts == 2
+        # One engine miss per template, summed across both workers.
+        assert stats.engine_cache is not None
+        assert stats.engine_cache.misses == 6
+        per_shard = sharded.shard_stats()
+        assert sum(s["templates"] for s in per_shard) == 6
+        assert sum(s["fits"] for s in per_shard) == 6
+        assert len({s["pid"] for s in per_shard}) == 2
+
+    def test_template_lock_excludes_fits(self, sharded):
+        sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        feed(sharded, "q1", 12)
+        with sharded.template_lock("q1"):
+            # Re-entrant for the owning thread; fits still succeed here.
+            assert sharded.model("q1") is not None
+
+
+class TestWorkerLifecycle:
+    def test_crash_is_detected_respawned_and_replayed(self, sharded):
+        sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        feed(sharded, "q1", 14)
+        before = sharded.model("q1")
+        pids_before = sharded.worker_pids()
+        victim = sharded.shard_of("q1")
+        sharded.inject_worker_crash(victim)
+        # Stale the template so the next model() must hit the worker.
+        tick, features, costs = observation_stream("q1", 15)[-1]
+        sharded.record("q1", tick + 1, features, costs)
+        after = sharded.model("q1")
+        assert sharded.respawns == 1
+        assert sharded.worker_pids()[victim] != pids_before[victim]
+        # The respawned replica refit deterministically from the replay.
+        reference = EstimationService(
+            strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
+        )
+        reference.register("q1", feature_names=FEATURES, metrics=METRICS)
+        feed(reference, "q1", 14)
+        reference.record("q1", tick + 1, features, costs)
+        expected = reference.model("q1")
+        assert after.training_size == expected.training_size
+        probe = np.array([[40.0, 3.0], [90.0, 6.0]])
+        got, want = after.predict_batch(probe), expected.predict_batch(probe)
+        for metric in METRICS:
+            assert np.array_equal(got[metric], want[metric])
+        assert before is not after
+
+    def test_rpc_timeout_counts_as_crash_and_respawns(self):
+        # A 10s timeout must never fire on a healthy fit; this asserts
+        # the guard is wired, not that it trips.
+        service = ShardedEstimationService(factory, workers=1, rpc_timeout=10.0)
+        try:
+            service.register("q1", feature_names=FEATURES, metrics=METRICS)
+            feed(service, "q1", 12)
+            assert service.model("q1") is not None
+            assert service.respawns == 0
+        finally:
+            service.close()
+
+    def test_rpc_timeout_configurable_through_the_gateway(self):
+        from repro.federation import FederationConfig, create_serving
+
+        config = FederationConfig(
+            serving_backend="sharded", shard_workers=1, shard_rpc_timeout=30.0
+        )
+        service = create_serving(config, modelling=None)
+        try:
+            assert service.rpc_timeout == 30.0
+        finally:
+            service.close()
+
+    def test_stats_are_read_only_and_never_heal_a_crash(self, sharded):
+        """Introspection must not respawn workers: a monitoring poll on
+        a crashed shard reports the placeholder row; healing happens on
+        the next serving RPC."""
+        sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        feed(sharded, "q1", 12)
+        sharded.model("q1")
+        victim = sharded.shard_of("q1")
+        sharded.inject_worker_crash(victim)
+        per_shard = sharded.shard_stats()
+        assert per_shard[victim]["pid"] is None  # placeholder, no respawn
+        assert sharded.respawns == 0
+        assert sharded.stats.templates == 1  # aggregate stats still work
+        tick, features, costs = observation_stream("q1", 13)[-1]
+        sharded.record("q1", tick + 1, features, costs)
+        assert sharded.model("q1") is not None  # the serving path heals
+        assert sharded.respawns == 1
+
+    def test_worker_boot_failure_surfaces_with_root_cause(self):
+        """A worker whose strategy factory raises must report WHY at the
+        first RPC (an infrastructure ShardedServingError), not die with
+        an opaque exit code and a futile crash-respawn loop."""
+        service = ShardedEstimationService(_exploding_strategy, workers=1)
+        try:
+            with pytest.raises(ShardedServingError, match="failed to start"):
+                service.register("q1", feature_names=FEATURES, metrics=METRICS)
+            assert service.respawns == 0  # a boot failure is not a crash
+        finally:
+            service.close()
+
+    def test_close_is_graceful_and_idempotent(self):
+        service = ShardedEstimationService(factory, workers=2)
+        service.register("q1", feature_names=FEATURES, metrics=METRICS)
+        processes = [shard.process for shard in service._shards]
+        service.close()
+        service.close()
+        assert all(not process.is_alive() for process in processes)
+        # Polite shutdown, not terminate: workers exit with code 0.
+        assert all(process.exitcode == 0 for process in processes)
+        with pytest.raises(ShardedServingError):
+            service.register("q2", feature_names=FEATURES, metrics=METRICS)
+        with pytest.raises(EstimationError):
+            service.model("q1")
+
+    def test_context_manager_closes(self):
+        with ShardedEstimationService(factory, workers=1) as service:
+            service.register("q1", feature_names=FEATURES, metrics=METRICS)
+            processes = [shard.process for shard in service._shards]
+        assert all(not process.is_alive() for process in processes)
+
+
+class TestServingBackendRegistry:
+    def test_builtins_registered(self):
+        from repro.federation import available_serving_backends
+
+        names = available_serving_backends()
+        assert "threaded" in names and "sharded" in names
+
+    def test_unknown_backend_rejected_eagerly_with_listing(self):
+        from repro.federation import FederationConfig, UnknownServingBackendError
+
+        with pytest.raises(UnknownServingBackendError) as excinfo:
+            FederationConfig(serving_backend="no-such-backend")
+        assert "threaded" in str(excinfo.value)
+        assert excinfo.value.phase == "configure"
+
+    def test_custom_backend_selected_by_config(self):
+        from repro.federation import (
+            FederationConfig,
+            create_serving,
+            register_serving_backend,
+            unregister_serving_backend,
+        )
+        from repro.ires.modelling import DreamStrategy, Modelling
+
+        seen = {}
+
+        def backend(config, modelling):
+            seen["config"] = config
+            service = EstimationService(modelling=modelling)
+            seen["service"] = service
+            return service
+
+        register_serving_backend("test-recording", backend)
+        try:
+            config = FederationConfig(serving_backend="test-recording")
+            modelling = Modelling(DreamStrategy())
+            service = create_serving(config, modelling)
+            assert service is seen["service"]
+            assert seen["config"] is config
+        finally:
+            unregister_serving_backend("test-recording")
+
+    def test_duplicate_backend_registration_refused(self):
+        from repro.federation import GatewayConfigError, register_serving_backend
+
+        with pytest.raises(GatewayConfigError, match="already registered"):
+            register_serving_backend("threaded", lambda config, modelling: None)
+
+
+class TestGatewayIntegration:
+    @staticmethod
+    def _midas(serving_backend: str):
+        from dataclasses import replace
+
+        from repro.midas import MidasSystem
+        from repro.midas.system import DEFAULT_CONFIG
+
+        config = replace(
+            DEFAULT_CONFIG, serving_backend=serving_backend, shard_workers=2
+        )
+        return MidasSystem(patient_count=240, seed=11, config=config)
+
+    def test_sharded_gateway_matches_threaded_decisions(self):
+        from repro.federation import SubmitRequest
+        from repro.ires.policy import UserPolicy
+
+        key = "medical-demographics"
+        reports = {}
+        for backend in ("threaded", "sharded"):
+            midas = self._midas(backend)
+            try:
+                midas.warm_up(key, runs=8)
+                report = midas.gateway.submit(
+                    SubmitRequest(key, {"min_age": 40}, UserPolicy(weights=(0.6, 0.4)))
+                )
+                reports[backend] = report
+            finally:
+                midas.gateway.close()
+        threaded, sharded = reports["threaded"], reports["sharded"]
+        assert sharded.chosen.describe() == threaded.chosen.describe()
+        assert sharded.predicted_costs == threaded.predicted_costs
+        assert sharded.measured_costs == threaded.measured_costs
+        assert sharded.cost_model.training_size == threaded.cost_model.training_size
+
+    def test_serving_report_envelope(self):
+        midas = self._midas("sharded")
+        try:
+            report = midas.gateway.serving_report()
+            assert report.backend == "sharded"
+            assert report.workers == 2
+            assert report.respawns == 0
+            assert report.stats.templates == len(midas.gateway.templates())
+            assert "sharded (2 worker processes)" in report.describe()
+        finally:
+            midas.gateway.close()
+
+    def test_gateway_close_drains_workers_and_context_manager(self):
+        midas = self._midas("sharded")
+        serving = midas.gateway.engine.serving
+        with midas.gateway as gateway:
+            assert gateway.serving_report().workers == 2
+        assert all(not shard.process.is_alive() for shard in serving._shards)
+
+    def test_strategy_instance_rejected_with_sharded_backend(self):
+        from dataclasses import replace
+
+        from repro.federation import GatewayConfigError
+        from repro.ires.modelling import DreamStrategy
+        from repro.midas import MidasSystem
+        from repro.midas.system import DEFAULT_CONFIG
+
+        config = replace(DEFAULT_CONFIG, serving_backend="sharded")
+        with pytest.raises(GatewayConfigError, match="threaded"):
+            MidasSystem(patient_count=240, config=config, strategy=DreamStrategy())
