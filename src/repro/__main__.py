@@ -5,6 +5,7 @@ without installing).  Usage::
 
     repro demo [--quick] [--serving-backend threaded|sharded]
                [--shard-workers N]       # drive the federation gateway
+               [--ingest-batch N] [--ingest-flush-ms MS]  # batched front door
     repro list                           # what can be reproduced
     repro table1                         # instance pricing (verbatim)
     repro table2                         # MLR R^2 vs window size
@@ -45,6 +46,8 @@ def run_demo(
     quick: bool = False,
     serving_backend: str = "threaded",
     shard_workers: int | None = None,
+    ingest_batch: int | None = None,
+    ingest_flush_ms: float | None = None,
 ) -> int:
     """Drive the federation gateway end to end on the MIDAS setup.
 
@@ -54,7 +57,10 @@ def run_demo(
     and prints the serving-layer counters.  ``--serving-backend
     sharded`` routes every model fit through the shared-nothing worker
     pool instead of the in-process service (identical predictions, no
-    GIL contention between tenants).
+    GIL contention between tenants).  ``--ingest-batch N`` adds a
+    batched front-door burst — coalesced ``ingest()`` + ``drain()``
+    with the size watermark at ``N`` — and prints the admission and
+    backpressure counters from the serving report.
     """
     from dataclasses import replace
 
@@ -65,8 +71,16 @@ def run_demo(
 
     runs = 12 if quick else 30
     key = "medical-demographics"
+    overrides = {}
+    if ingest_batch is not None:
+        overrides["ingest_batch_max"] = ingest_batch
+    if ingest_flush_ms is not None:
+        overrides["ingest_flush_ms"] = ingest_flush_ms
     config = replace(
-        DEFAULT_CONFIG, serving_backend=serving_backend, shard_workers=shard_workers
+        DEFAULT_CONFIG,
+        serving_backend=serving_backend,
+        shard_workers=shard_workers,
+        **overrides,
     )
     print("Building the MIDAS federation gateway (Amazon/Hive + Azure/PostgreSQL)...")
     midas = MidasSystem(patient_count=400 if quick else 1500, seed=7, config=config)
@@ -114,10 +128,42 @@ def run_demo(
         print(f"  weights={w}: {item.describe()}")
     print(f"  enumerations performed: {batch.enumerations} (batch of {len(batch)})")
 
+    if ingest_batch is not None:
+        from repro.common.rng import RngStream
+        from repro.federation import BatchObserveRequest, ObserveRequest
+        from repro.midas import MEDICAL_QUERIES
+
+        rng = RngStream(11, "demo-ingest")
+        template = MEDICAL_QUERIES[key]
+        burst = 2 * ingest_batch
+        print()
+        print(
+            f"Front-door ingest burst: {burst} observes in 8-row batch "
+            f"envelopes (size watermark at {ingest_batch})..."
+        )
+        rows = tuple(
+            ObserveRequest(key, template.sample_params(rng)) for _ in range(burst)
+        )
+        for start in range(0, burst, 8):
+            gateway.ingest(BatchObserveRequest(key, rows[start : start + 8]))
+        batch = gateway.drain()
+        if len(batch):
+            print(
+                f"  drained batch #{batch.seq}: {len(batch)} items, "
+                f"failed={batch.failed}, fit_rounds={batch.fit_rounds}"
+            )
+        else:
+            print(
+                f"  queue empty at drain: all {burst} items went out "
+                f"through {batch.seq} watermark flushes"
+            )
+
     serving = gateway.serving_report()
     stats = serving.stats
     print()
     print(f"Serving report : {serving.describe()}")
+    if serving.ingest is not None:
+        print(f"Ingest counters: {serving.ingest.describe()}")
     if stats.engine_cache is not None:
         print(
             f"Engine cache   : hits={stats.engine_cache.hits}, "
@@ -163,6 +209,22 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="demo only: shard worker processes for --serving-backend sharded",
     )
+    parser.add_argument(
+        "--ingest-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="demo only: run a batched front-door burst with the size "
+        "watermark at N items and print the ingest counters",
+    )
+    parser.add_argument(
+        "--ingest-flush-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="demo only: staleness watermark for the front-door burst "
+        "(milliseconds; requires --ingest-batch)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.artifact == "list":
@@ -171,7 +233,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if arguments.artifact == "demo":
         return run_demo(
-            arguments.quick, arguments.serving_backend, arguments.shard_workers
+            arguments.quick,
+            arguments.serving_backend,
+            arguments.shard_workers,
+            arguments.ingest_batch,
+            arguments.ingest_flush_ms,
         )
     if arguments.artifact == "table1":
         print(format_table1(run_table1()))

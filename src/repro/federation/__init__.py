@@ -39,10 +39,15 @@ Quickstart::
 from repro.federation.config import (
     DEFAULT_CACHE_CAPACITY,
     DEFAULT_EXACT_LIMIT,
+    DEFAULT_INGEST_BATCH_MAX,
+    DEFAULT_INGEST_QUEUE_DEPTH,
     FederationConfig,
 )
 from repro.federation.envelopes import (
+    BatchObserveRequest,
     BatchReport,
+    IngestBatch,
+    IngestStats,
     ObservationReport,
     ObserveRequest,
     ServingReport,
@@ -54,12 +59,14 @@ from repro.federation.errors import (
     EnvelopeError,
     FederationError,
     GatewayConfigError,
+    IngestOverflowError,
     InsufficientHistoryError,
     SessionStateError,
     UnknownServingBackendError,
     UnknownStrategyError,
     UnknownTemplateError,
 )
+from repro.federation.frontdoor import FrontDoor, IngestTicket
 from repro.federation.gateway import FederationGateway
 from repro.federation.registry import (
     available_serving_backends,
@@ -76,8 +83,13 @@ from repro.federation.session import GatewaySession
 __all__ = [
     "DEFAULT_CACHE_CAPACITY",
     "DEFAULT_EXACT_LIMIT",
+    "DEFAULT_INGEST_BATCH_MAX",
+    "DEFAULT_INGEST_QUEUE_DEPTH",
     "FederationConfig",
+    "BatchObserveRequest",
     "BatchReport",
+    "IngestBatch",
+    "IngestStats",
     "ObservationReport",
     "ObserveRequest",
     "ServingReport",
@@ -87,11 +99,14 @@ __all__ = [
     "EnvelopeError",
     "FederationError",
     "GatewayConfigError",
+    "IngestOverflowError",
     "InsufficientHistoryError",
     "SessionStateError",
     "UnknownServingBackendError",
     "UnknownStrategyError",
     "UnknownTemplateError",
+    "FrontDoor",
+    "IngestTicket",
     "FederationGateway",
     "available_serving_backends",
     "available_strategies",

@@ -30,6 +30,14 @@ DEFAULT_EXACT_LIMIT = 32_768
 
 _OPTIMIZER_ALGORITHMS = ("exact", "nsga2", "nsga-g")
 
+#: Default bound on admitted-but-unflushed ingest items at the front door.
+DEFAULT_INGEST_QUEUE_DEPTH = 4096
+
+#: Default size watermark: a flush starts once this many items are pending.
+DEFAULT_INGEST_BATCH_MAX = 512
+
+_INGEST_OVERFLOW_MODES = ("reject", "block")
+
 
 @dataclass(frozen=True)
 class FederationConfig:
@@ -73,6 +81,21 @@ class FederationConfig:
         Thread-pool width for burst refreshes (``None`` = service
         default).  For the sharded backend this caps the parent-side
         fan-out threads, one per busy shard.
+    ingest_queue_depth / ingest_batch_max / ingest_flush_ms /
+    ingest_overflow:
+        The gateway's batched front door (``gateway.ingest()`` /
+        ``gateway.drain()``).  ``ingest_queue_depth`` bounds how many
+        admitted-but-unflushed requests the door holds;
+        ``ingest_batch_max`` is the size watermark that starts a
+        coalesced flush (must not exceed the queue depth, or the
+        watermark could never fire); ``ingest_flush_ms`` is an optional
+        staleness watermark — an admission finding items older than this
+        flushes first (``None`` disables it; ``drain()`` remains the
+        explicit barrier).  ``ingest_overflow`` picks the backpressure
+        discipline at a full queue: ``"reject"`` raises a typed
+        :class:`~repro.federation.errors.IngestOverflowError`,
+        ``"block"`` makes the admitting caller wait (or flush itself) —
+        never a silent drop.
     strategy_options:
         Backend-specific extras passed to the registry factory (e.g.
         ``{"window_multiple": 2}`` for the windowed BML baseline).
@@ -90,6 +113,10 @@ class FederationConfig:
     shard_workers: int | None = None
     shard_rpc_timeout: float | None = None
     max_fit_workers: int | None = None
+    ingest_queue_depth: int = DEFAULT_INGEST_QUEUE_DEPTH
+    ingest_batch_max: int = DEFAULT_INGEST_BATCH_MAX
+    ingest_flush_ms: float | None = None
+    ingest_overflow: str = "reject"
     strategy_options: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -151,4 +178,27 @@ class FederationConfig:
         if self.max_fit_workers is not None and self.max_fit_workers < 1:
             raise GatewayConfigError(
                 f"max_fit_workers must be >= 1 (or None), got {self.max_fit_workers}"
+            )
+        if self.ingest_queue_depth < 1:
+            raise GatewayConfigError(
+                f"ingest_queue_depth must be >= 1, got {self.ingest_queue_depth}"
+            )
+        if self.ingest_batch_max < 1:
+            raise GatewayConfigError(
+                f"ingest_batch_max must be >= 1, got {self.ingest_batch_max}"
+            )
+        if self.ingest_batch_max > self.ingest_queue_depth:
+            raise GatewayConfigError(
+                f"ingest_batch_max ({self.ingest_batch_max}) must not exceed "
+                f"ingest_queue_depth ({self.ingest_queue_depth}); the size "
+                "watermark could never fire"
+            )
+        if self.ingest_flush_ms is not None and not self.ingest_flush_ms > 0:
+            raise GatewayConfigError(
+                f"ingest_flush_ms must be > 0 (or None), got {self.ingest_flush_ms}"
+            )
+        if self.ingest_overflow not in _INGEST_OVERFLOW_MODES:
+            raise GatewayConfigError(
+                f"ingest_overflow must be one of {_INGEST_OVERFLOW_MODES}, "
+                f"got {self.ingest_overflow!r}"
             )

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engines.simulate import QueryExecution
-from repro.federation.errors import EnvelopeError
+from repro.federation.errors import EnvelopeError, FederationError
 from repro.ires.enumerator import QepCandidate
 from repro.ires.modelling import FittedCostModel
 from repro.ires.platform import SubmissionResult
@@ -83,6 +83,45 @@ class ObserveRequest:
             raise EnvelopeError(
                 f"tick must be >= 0, got {self.tick}", template=self.template
             )
+
+
+@dataclass(frozen=True)
+class BatchObserveRequest:
+    """A pre-coalesced batch of profiling executions for one template.
+
+    The rows are applied in order under one template-lock scope, with
+    the query parsed and the QEP space enumerated once per distinct
+    query instance instead of once per row — the envelope a tenant that
+    already aggregates its execution log should send instead of one
+    :class:`ObserveRequest` per row.
+    """
+
+    template: str
+    requests: tuple[ObserveRequest, ...]
+
+    def __post_init__(self):
+        _checked_template(self.template)
+        object.__setattr__(self, "requests", tuple(self.requests))
+        if not self.requests:
+            raise EnvelopeError(
+                "BatchObserveRequest needs at least one row",
+                template=self.template,
+            )
+        for request in self.requests:
+            if not isinstance(request, ObserveRequest):
+                raise EnvelopeError(
+                    f"batch rows must be ObserveRequest, got {type(request).__name__}",
+                    template=self.template,
+                )
+            if request.template != self.template:
+                raise EnvelopeError(
+                    f"batch targets {self.template!r} but contains a row for "
+                    f"{request.template!r}",
+                    template=self.template,
+                )
+
+    def __len__(self) -> int:
+        return len(self.requests)
 
 
 @dataclass(frozen=True)
@@ -170,6 +209,83 @@ class SubmissionReport:
 
 
 @dataclass(frozen=True)
+class IngestStats:
+    """A consistent snapshot of the front door's admission counters.
+
+    ``admitted`` counts individual items (a
+    :class:`BatchObserveRequest` contributes one per row); ``rejected``
+    counts items turned away by the overflow policy and ``blocked``
+    counts admissions that had to wait (or flush) for queue space.
+    Flushes are broken down by what triggered them — the size watermark,
+    the staleness watermark, or an explicit ``drain()``/``close()``.
+    """
+
+    admitted: int
+    submits: int
+    observes: int
+    rejected: int
+    blocked: int
+    flushes: int
+    size_flushes: int
+    interval_flushes: int
+    drain_flushes: int
+    #: Items carried by all flushes so far, and the largest single flush.
+    items_flushed: int
+    max_batch: int
+    #: Coalesced fit rounds executed (each is one ``refresh_batch``
+    #: spanning every template whose next item was a submission).
+    fit_rounds: int
+    #: High-water mark and current size of the pending queue.
+    peak_depth: int
+    pending: int
+
+    def describe(self) -> str:
+        return (
+            f"admitted={self.admitted} (submits={self.submits}, "
+            f"observes={self.observes}), rejected={self.rejected}, "
+            f"blocked={self.blocked}, flushes={self.flushes} "
+            f"(size={self.size_flushes}, interval={self.interval_flushes}, "
+            f"drain={self.drain_flushes}), fit_rounds={self.fit_rounds}, "
+            f"max_batch={self.max_batch}, peak_depth={self.peak_depth}, "
+            f"pending={self.pending}"
+        )
+
+
+@dataclass(frozen=True)
+class IngestBatch:
+    """One coalesced flush of admitted front-door traffic.
+
+    ``reports`` and ``errors`` are aligned with the flushed items in
+    admission order: exactly one of the two is non-``None`` per slot
+    (per-item error isolation — one tenant's failure never voids the
+    rest of the batch).  Auto-triggered flushes resolve their tickets
+    and discard the batch object; :meth:`FederationGateway.drain`
+    returns the final one.
+    """
+
+    seq: int
+    #: What started the flush: "size", "interval" or "drain".
+    trigger: str
+    #: Template keys the batch touched, sorted.
+    templates: tuple[str, ...]
+    submits: int
+    observes: int
+    #: Coalesced fit rounds this flush needed (1 for observe-then-submit
+    #: traffic; more only when submits interleave with later observes on
+    #: the same template).
+    fit_rounds: int
+    reports: tuple[SubmissionReport | ObservationReport | None, ...]
+    errors: tuple[FederationError | None, ...]
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for error in self.errors if error is not None)
+
+
+@dataclass(frozen=True)
 class ServingReport:
     """Serving-layer status: live backend, worker pool, counters.
 
@@ -183,6 +299,9 @@ class ServingReport:
     workers: int
     respawns: int
     stats: ServiceStats
+    #: Front-door admission counters; ``None`` until the gateway's
+    #: ``ingest()`` path has been used.
+    ingest: IngestStats | None = None
 
     def describe(self) -> str:
         pool = f"{self.workers} worker processes" if self.workers else "in-process"

@@ -27,6 +27,7 @@ PHASES = (
     "configure",
     "register",
     "validate",
+    "ingest",
     "estimate",
     "optimize",
     "execute",
@@ -137,3 +138,26 @@ class EnvelopeError(FederationError, ValidationError):
     """A request envelope failed validation before entering the pipeline."""
 
     phase = "validate"
+
+
+class IngestOverflowError(FederationError, ValidationError):
+    """The front door's bounded ingest queue rejected an admission.
+
+    Raised in ``ingest_overflow="reject"`` mode when admitting the
+    request would push the queue past ``ingest_queue_depth`` (and in
+    both modes for a single batch larger than the whole queue).  Carries
+    the template key and the depth the queue was bounded at, so a client
+    can shed load per tenant instead of guessing from a message string.
+    """
+
+    phase = "ingest"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        template: str | None = None,
+        queue_depth: int | None = None,
+    ):
+        super().__init__(message, template=template)
+        self.queue_depth = queue_depth

@@ -1,0 +1,475 @@
+"""Backpressured front door: bounded admission, coalesced flushes.
+
+The gateway's single-call surface (:meth:`FederationGateway.submit` /
+``observe``) pays one fit RPC per stale template and one envelope per
+execution row — exactly the regime where the sharded backend trails the
+thread pool.  :class:`FrontDoor` is the batch-first alternative:
+requests are *admitted* into a bounded queue (``gateway.ingest()``) and
+*executed* later in one coalesced flush (``gateway.drain()``, or
+automatically at the size/staleness watermarks), where every stale
+template a flush segment touches is refitted through one
+``refresh_batch`` call — one ``fit_many`` RPC per shard — instead of N
+independent fits.
+
+Equivalence contract
+--------------------
+
+A drained batch is **bitwise-identical** to the same requests replayed
+sequentially through the single-call surface: same windows, same
+predictions, same fit counts (property-tested on both backends).  Two
+rules make that hold:
+
+* **Global admission order.**  The simulator draws measurement noise
+  from one sequential stream, so flushed items execute in exact
+  admission order — batching reorders *fits*, never executions.
+* **Segment cuts.**  Within a flush, fits are hoisted to segment
+  boundaries: a segment ends just before a submission whose template
+  already appended history earlier in the segment (an executed
+  observation or submission), because the sequential path would refit
+  that template *after* those appends.  Canonical observe-then-submit
+  traffic therefore coalesces into a single fit round per flush.
+
+Backpressure
+------------
+
+Admission never silently drops.  At a full queue, ``"reject"`` mode
+raises a typed :class:`~repro.federation.errors.IngestOverflowError`
+(template + phase + bound); ``"block"`` mode makes the admitting caller
+wait — and when no flush is in progress the blocked caller flushes the
+queue *itself*, so blocking can never deadlock: either a flush is
+running (space appears when it finishes) or the blocked thread creates
+the space on its own.
+
+Mixing paths: a template's traffic should go through either the front
+door or the direct single-call surface at any given time — admitted
+items carry admission-time ticks, so a direct auto-ticked call racing a
+pending flush on the *same* template could append out of tick order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace
+
+from repro.common.errors import EstimationError
+from repro.federation.envelopes import (
+    BatchObserveRequest,
+    IngestBatch,
+    IngestStats,
+    ObservationReport,
+    ObserveRequest,
+    SubmissionReport,
+    SubmitRequest,
+)
+from repro.federation.errors import (
+    EnvelopeError,
+    FederationError,
+    IngestOverflowError,
+    SessionStateError,
+)
+
+#: Module-level clock, monkeypatchable in tests (the staleness watermark
+#: and blocked-admission bookkeeping read it; same idiom as
+#: :data:`repro.core.cache.time_fn`).
+time_fn = time.monotonic
+
+#: How long a blocked admission (or a drain waiting out another flush)
+#: sleeps between queue re-checks.  A re-check loop rather than a bare
+#: wait: the wake-up condition is "space appeared *or* the door closed",
+#: and the poll bounds the stall even if a notify is lost.
+_BLOCK_POLL_SECONDS = 0.05
+
+
+class IngestTicket:
+    """One admitted request's claim on its future flush outcome.
+
+    Resolved when the item's flush completes: exactly one of
+    :attr:`report` / :attr:`error` is set, :attr:`batch_seq` names the
+    flush, and :meth:`wait` unblocks.
+    """
+
+    __slots__ = ("seq", "template", "kind", "tick", "report", "error", "batch_seq", "_done")
+
+    def __init__(self, seq: int, template: str, kind: str, tick: int):
+        self.seq = seq
+        self.template = template
+        #: ``"submit"`` or ``"observe"``.
+        self.kind = kind
+        #: Logical tick assigned at admission (global arrival order).
+        self.tick = tick
+        self.report: SubmissionReport | ObservationReport | None = None
+        self.error: FederationError | None = None
+        self.batch_seq: int | None = None
+        self._done = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout)
+
+    def result(self) -> SubmissionReport | ObservationReport:
+        """The flushed report; raises the item's typed error instead if
+        its execution failed, or :class:`SessionStateError` before the
+        flush has happened."""
+        if not self._done.is_set():
+            raise SessionStateError(
+                f"ticket {self.seq} is not flushed yet; call drain() "
+                "or wait() first",
+                template=self.template,
+                phase="ingest",
+            )
+        if self.error is not None:
+            raise self.error
+        return self.report
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "done" if self.done else "pending"
+        return f"IngestTicket(seq={self.seq}, {self.kind} {self.template!r}, {state})"
+
+
+class _Item:
+    """One queued admission: envelope + admission-time tick + ticket."""
+
+    __slots__ = ("seq", "kind", "request", "tick", "admitted_at", "ticket")
+
+    def __init__(self, seq, kind, request, tick, admitted_at, ticket):
+        self.seq = seq
+        self.kind = kind
+        self.request = request
+        self.tick = tick
+        self.admitted_at = admitted_at
+        self.ticket = ticket
+
+
+class FrontDoor:
+    """The gateway's bounded, batch-coalescing admission layer.
+
+    Constructed lazily by :meth:`FederationGateway.ingest`; all policy
+    comes from the gateway's
+    :class:`~repro.federation.config.FederationConfig`
+    (``ingest_queue_depth``, ``ingest_batch_max``, ``ingest_flush_ms``,
+    ``ingest_overflow``).  Flushes run on the calling thread — the
+    admission that trips a watermark, the blocked admission helping
+    itself, or the explicit :meth:`drain` — never on a hidden
+    background thread, so tests and replays stay deterministic.
+    """
+
+    def __init__(self, gateway):
+        self._gateway = gateway
+        config = gateway.config
+        self.queue_depth: int = config.ingest_queue_depth
+        self.batch_max: int = config.ingest_batch_max
+        self.flush_ms: float | None = config.ingest_flush_ms
+        self.overflow: str = config.ingest_overflow
+        self._lock = threading.Lock()
+        self._space = threading.Condition(self._lock)
+        self._pending: list[_Item] = []
+        self._flushing = False
+        self._closed = False
+        self._seq = 0
+        self._batch_seq = 0
+        self._admitted = 0
+        self._submits = 0
+        self._observes = 0
+        self._rejected = 0
+        self._blocked = 0
+        self._flushes = 0
+        self._size_flushes = 0
+        self._interval_flushes = 0
+        self._drain_flushes = 0
+        self._items_flushed = 0
+        self._max_batch = 0
+        self._fit_rounds = 0
+        self._peak_depth = 0
+
+    # Admission --------------------------------------------------------------
+
+    def ingest(self, request):
+        """Admit one envelope; returns its ticket(s), not its result.
+
+        A :class:`BatchObserveRequest` is admitted atomically (all rows
+        or none) and returns one ticket per row, in row order.
+        """
+        if isinstance(request, BatchObserveRequest):
+            return self._admit([("observe", row) for row in request.requests])
+        if isinstance(request, SubmitRequest):
+            return self._admit([("submit", request)])[0]
+        if isinstance(request, ObserveRequest):
+            return self._admit([("observe", request)])[0]
+        raise EnvelopeError(
+            "ingest() takes a SubmitRequest, ObserveRequest or "
+            f"BatchObserveRequest, got {type(request).__name__}"
+        )
+
+    def _admit(self, entries: list[tuple[str, SubmitRequest | ObserveRequest]]):
+        n = len(entries)
+        template = entries[0][1].template
+        for _kind, request in entries:
+            self._gateway._require_template(request.template)
+        blocked_counted = False
+        tickets = None
+        while True:
+            job = None
+            with self._space:
+                self._ensure_open_locked()
+                if n > self.queue_depth:
+                    self._rejected += n
+                    raise IngestOverflowError(
+                        f"batch of {n} rows exceeds the whole ingest queue "
+                        f"(depth {self.queue_depth}); raise ingest_queue_depth "
+                        "or split the batch",
+                        template=template,
+                        queue_depth=self.queue_depth,
+                    )
+                if len(self._pending) + n > self.queue_depth:
+                    if self.overflow == "reject":
+                        self._rejected += n
+                        raise IngestOverflowError(
+                            f"ingest queue is full ({len(self._pending)}/"
+                            f"{self.queue_depth} pending)",
+                            template=template,
+                            queue_depth=self.queue_depth,
+                        )
+                    if not blocked_counted:
+                        self._blocked += 1
+                        blocked_counted = True
+                    if not self._flushing and self._pending:
+                        # Self-help: nobody is flushing, so the blocked
+                        # caller drains the queue itself — blocking can
+                        # never deadlock.
+                        job = self._take_locked("size")
+                    else:
+                        self._space.wait(_BLOCK_POLL_SECONDS)
+                else:
+                    tickets = self._enqueue_locked(entries)
+                    trigger = self._trigger_locked()
+                    if trigger is not None and not self._flushing:
+                        job = self._take_locked(trigger)
+            if job is not None:
+                self._run_flush(*job)
+            if tickets is not None:
+                return tickets
+
+    def _enqueue_locked(self, entries) -> list[IngestTicket]:
+        now = time_fn()
+        tickets = []
+        for kind, request in entries:
+            seq = self._seq
+            self._seq += 1
+            tick = self._gateway._resolve_tick(request.tick)
+            ticket = IngestTicket(seq, request.template, kind, tick)
+            self._pending.append(_Item(seq, kind, request, tick, now, ticket))
+            tickets.append(ticket)
+            if kind == "submit":
+                self._submits += 1
+            else:
+                self._observes += 1
+        self._admitted += len(entries)
+        self._peak_depth = max(self._peak_depth, len(self._pending))
+        return tickets
+
+    def _trigger_locked(self) -> str | None:
+        if len(self._pending) >= self.batch_max:
+            return "size"
+        if (
+            self.flush_ms is not None
+            and self._pending
+            and (time_fn() - self._pending[0].admitted_at) * 1000.0 >= self.flush_ms
+        ):
+            return "interval"
+        return None
+
+    def _take_locked(self, trigger: str) -> tuple[list[_Item], str]:
+        items = self._pending
+        self._pending = []
+        self._flushing = True
+        return items, trigger
+
+    def _ensure_open_locked(self) -> None:
+        if self._closed:
+            raise SessionStateError(
+                "ingest front door is closed", phase="ingest"
+            )
+
+    # Flushing ---------------------------------------------------------------
+
+    def drain(self) -> IngestBatch:
+        """Flush everything pending and return the batch (a barrier).
+
+        Waits out any in-flight flush first.  With nothing pending —
+        including after :meth:`close` — returns an empty batch carrying
+        the last flush's sequence number; draining an idle (or closed)
+        door is always a safe no-op.
+        """
+        while True:
+            with self._space:
+                if self._flushing:
+                    self._space.wait(_BLOCK_POLL_SECONDS)
+                    continue
+                if not self._pending:
+                    return IngestBatch(
+                        seq=self._batch_seq,
+                        trigger="drain",
+                        templates=(),
+                        submits=0,
+                        observes=0,
+                        fit_rounds=0,
+                        reports=(),
+                        errors=(),
+                    )
+                job = self._take_locked("drain")
+            return self._run_flush(*job)
+
+    def close(self) -> IngestBatch:
+        """Stop admissions, then flush what was already admitted.
+
+        Closing first means a racing ``ingest()`` either lands before
+        the close (and its item is in the returned batch) or fails with
+        the typed closed error — never admitted-then-dropped.
+        """
+        with self._space:
+            self._closed = True
+            self._space.notify_all()
+        return self.drain()
+
+    def _run_flush(self, items: list[_Item], trigger: str) -> IngestBatch:
+        gateway = self._gateway
+        reports: list = [None] * len(items)
+        errors: list = [None] * len(items)
+        fit_rounds = 0
+        try:
+            for start, end in self._segments(items):
+                segment = items[start:end]
+                prefit: list[str] = []
+                for item in segment:
+                    if item.kind == "submit" and item.request.template not in prefit:
+                        prefit.append(item.request.template)
+                if prefit and gateway._prefit_for_flush(prefit):
+                    fit_rounds += 1
+                for offset, item in enumerate(segment, start=start):
+                    request = replace(item.request, tick=item.tick)
+                    try:
+                        if item.kind == "submit":
+                            reports[offset] = gateway.submit(request)
+                        else:
+                            reports[offset] = gateway.observe(request)
+                    except FederationError as error:
+                        errors[offset] = error
+                    except EstimationError as error:
+                        # Keep the batch's error surface typed even for
+                        # engine-room failures outside the taxonomy.
+                        wrapped = FederationError(
+                            str(error),
+                            template=item.request.template,
+                            phase="ingest",
+                        )
+                        wrapped.__cause__ = error
+                        errors[offset] = wrapped
+        except BaseException as error:
+            # Infrastructure failure mid-flush (e.g. a shard that died
+            # twice): resolve the stranded tickets before propagating so
+            # no waiter hangs forever.
+            aborted = FederationError(
+                f"ingest flush aborted: {error}", phase="ingest"
+            )
+            aborted.__cause__ = error
+            for offset in range(len(items)):
+                if reports[offset] is None and errors[offset] is None:
+                    errors[offset] = aborted
+            raise
+        finally:
+            batch = self._finalize(items, trigger, reports, errors, fit_rounds)
+        return batch
+
+    @staticmethod
+    def _segments(items: list[_Item]) -> list[tuple[int, int]]:
+        """Cut the flush into fit-coalescible runs (see module docs).
+
+        A segment ends just before a submission whose template already
+        appended history within the segment — the sequential oracle
+        would refit it *after* those appends, so its fit belongs to the
+        next segment's prefit round.
+        """
+        bounds = []
+        start = 0
+        appended: set[str] = set()
+        for index, item in enumerate(items):
+            key = item.request.template
+            if item.kind == "submit" and key in appended:
+                bounds.append((start, index))
+                start = index
+                appended = set()
+            # Both kinds append: an observe logs its row, an executed
+            # submission logs its measured run.
+            appended.add(key)
+        bounds.append((start, len(items)))
+        return bounds
+
+    def _finalize(self, items, trigger, reports, errors, fit_rounds) -> IngestBatch:
+        with self._space:
+            self._flushing = False
+            self._batch_seq += 1
+            seq = self._batch_seq
+            self._flushes += 1
+            if trigger == "size":
+                self._size_flushes += 1
+            elif trigger == "interval":
+                self._interval_flushes += 1
+            else:
+                self._drain_flushes += 1
+            self._items_flushed += len(items)
+            self._max_batch = max(self._max_batch, len(items))
+            self._fit_rounds += fit_rounds
+            self._space.notify_all()
+        batch = IngestBatch(
+            seq=seq,
+            trigger=trigger,
+            templates=tuple(sorted({item.request.template for item in items})),
+            submits=sum(1 for item in items if item.kind == "submit"),
+            observes=sum(1 for item in items if item.kind == "observe"),
+            fit_rounds=fit_rounds,
+            reports=tuple(reports),
+            errors=tuple(errors),
+        )
+        for item, report, error in zip(items, reports, errors):
+            ticket = item.ticket
+            ticket.report = report
+            ticket.error = error
+            ticket.batch_seq = seq
+            ticket._done.set()
+        return batch
+
+    # Introspection ----------------------------------------------------------
+
+    def stats(self) -> IngestStats:
+        with self._space:
+            return IngestStats(
+                admitted=self._admitted,
+                submits=self._submits,
+                observes=self._observes,
+                rejected=self._rejected,
+                blocked=self._blocked,
+                flushes=self._flushes,
+                size_flushes=self._size_flushes,
+                interval_flushes=self._interval_flushes,
+                drain_flushes=self._drain_flushes,
+                items_flushed=self._items_flushed,
+                max_batch=self._max_batch,
+                fit_rounds=self._fit_rounds,
+                peak_depth=self._peak_depth,
+                pending=len(self._pending),
+            )
+
+    @property
+    def pending(self) -> int:
+        with self._space:
+            return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FrontDoor(depth={self.queue_depth}, batch_max={self.batch_max}, "
+            f"overflow={self.overflow!r}, pending={self.pending})"
+        )

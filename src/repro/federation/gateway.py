@@ -26,7 +26,10 @@ from dataclasses import replace
 from repro.engines.simulate import MultiEngineSimulator
 from repro.federation.config import FederationConfig
 from repro.federation.envelopes import (
+    BatchObserveRequest,
     BatchReport,
+    IngestBatch,
+    IngestStats,
     ObservationReport,
     ObserveRequest,
     ServingReport,
@@ -40,6 +43,7 @@ from repro.federation.errors import (
     InsufficientHistoryError,
     UnknownTemplateError,
 )
+from repro.federation.frontdoor import FrontDoor, IngestTicket
 from repro.federation.registry import create_serving, create_strategy
 from repro.federation.session import GatewaySession
 from repro.common.errors import EstimationError
@@ -123,6 +127,7 @@ class FederationGateway:
         self._lock = threading.Lock()
         self._tick = 0
         self._rotation: dict[str, int] = {}
+        self._front_door: FrontDoor | None = None
 
     # Registration ---------------------------------------------------------
 
@@ -272,6 +277,73 @@ class FederationGateway:
         """Open a pinned-snapshot session for one template."""
         return GatewaySession(self, key)
 
+    # Ingest (batched front door) -------------------------------------------
+
+    def ingest(
+        self,
+        request: SubmitRequest | ObserveRequest | BatchObserveRequest,
+    ) -> IngestTicket | list[IngestTicket]:
+        """Admit a request into the batched front door.
+
+        Returns immediately with an :class:`IngestTicket` (a list of
+        them for a :class:`BatchObserveRequest`, one per row); the work
+        runs when a flush fires — at the configured size/staleness
+        watermarks or an explicit :meth:`drain`.  Backpressure at a full
+        queue follows ``config.ingest_overflow``: a typed
+        :class:`~repro.federation.errors.IngestOverflowError` or a
+        blocking wait, never a silent drop.  Drained batches are
+        bitwise-identical to the same requests replayed through
+        :meth:`submit`/:meth:`observe` (see
+        :mod:`repro.federation.frontdoor`).
+        """
+        return self._door().ingest(request)
+
+    def drain(self) -> IngestBatch:
+        """Flush every admitted-but-pending request and return the
+        batch.  Idempotent: draining an idle or closed door returns an
+        empty batch."""
+        door = self._front_door
+        if door is None:
+            with self._lock:
+                door = self._front_door
+        if door is None:
+            return IngestBatch(
+                seq=0, trigger="drain", templates=(), submits=0,
+                observes=0, fit_rounds=0, reports=(), errors=(),
+            )
+        return door.drain()
+
+    def _door(self) -> FrontDoor:
+        with self._lock:
+            if self._front_door is None:
+                self._front_door = FrontDoor(self)
+            return self._front_door
+
+    def _prefit_for_flush(self, keys: list[str]) -> bool:
+        """Refit a flush segment's stale submit templates in one
+        coalesced ``refresh_batch`` (one ``fit_many`` RPC per shard on
+        the sharded backend).  Skips templates the sequential oracle
+        would not fit either (empty history, already fresh); returns
+        whether a fit round was actually issued.  Per-template "cannot
+        fit yet" failures are left for the item's own execution to
+        surface as the typed error; infrastructure failures propagate.
+        """
+        serving = self.engine.serving
+        stale = [
+            key
+            for key in keys
+            if self.engine.history(key).size > 0 and serving.is_stale(key)
+        ]
+        if not stale:
+            return False
+        serving.refresh_batch(stale)
+        return True
+
+    def ingest_stats(self) -> IngestStats | None:
+        """Front-door admission counters; ``None`` until first use."""
+        door = self._front_door
+        return None if door is None else door.stats()
+
     def _pin(self, key: str) -> tuple[FittedCostModel, int]:
         """Fit-or-fetch the template's snapshot plus its history version,
         atomically with respect to appends on that template."""
@@ -399,6 +471,7 @@ class FederationGateway:
             workers=getattr(serving, "workers", 0),
             respawns=getattr(serving, "respawns", 0),
             stats=serving.stats,
+            ingest=self.ingest_stats(),
         )
 
     @property
@@ -411,7 +484,12 @@ class FederationGateway:
     def close(self) -> None:
         """Release serving-layer resources (shard worker processes for
         the ``"sharded"`` backend; a no-op for the in-process one).
+        The front door closes first — admitted-but-pending requests are
+        flushed while the serving layer is still alive, never dropped.
         Idempotent; the gateway is unusable for fits afterwards."""
+        door = self._front_door
+        if door is not None:
+            door.close()
         self.engine.serving.close()
 
     def __enter__(self) -> "FederationGateway":

@@ -47,6 +47,7 @@ from repro.core.cache import CacheStats, ModelCache
 from repro.serving.service import (
     DEFAULT_MAX_WORKERS,
     BaseEstimationService,
+    BatchRefreshResult,
     EstimationService,
     ServiceStats,
 )
@@ -56,14 +57,17 @@ from repro.serving.sharded import (
     ShardedServingError,
     shard_of,
 )
+from repro.serving.worker import PROTOCOL_VERSION
 
 __all__ = [
     "BaseEstimationService",
+    "BatchRefreshResult",
     "CacheStats",
     "ModelCache",
     "DEFAULT_MAX_WORKERS",
     "DEFAULT_SHARD_WORKERS",
     "EstimationService",
+    "PROTOCOL_VERSION",
     "ServiceStats",
     "ShardedEstimationService",
     "ShardedServingError",

@@ -71,6 +71,30 @@ class ServiceStats:
     burst_fits: int
     #: Engine-cache counters when the strategy exposes a ModelCache.
     engine_cache: CacheStats | None = None
+    #: ``refresh_batch`` calls, and how many stale fits they grouped
+    #: (the sharded backend ships each group as one ``fit_many`` RPC
+    #: per shard instead of one ``fit`` RPC per template).
+    batch_refreshes: int = 0
+    batch_fits: int = 0
+
+
+@dataclass(frozen=True)
+class BatchRefreshResult:
+    """Outcome of one :meth:`BaseEstimationService.refresh_batch`.
+
+    Per-template error isolation: a tenant whose history is still too
+    short (or whose fit failed for any non-infrastructure reason) lands
+    in :attr:`errors` instead of poisoning the batch — every other
+    requested template still gets its model.  Backend-infrastructure
+    failures (a broken shard) are raised, never recorded.
+    """
+
+    #: Current model per requested template that has one.
+    models: dict[str, FittedCostModel]
+    #: Typed failure per requested template that could not be fitted.
+    errors: dict[str, EstimationError]
+    #: The stale subset that was actually (re)fitted, sorted.
+    fitted: tuple[str, ...]
 
 
 class _Template:
@@ -113,6 +137,8 @@ class BaseEstimationService(ABC):
         self._observations = 0
         self._bursts = 0
         self._burst_fits = 0
+        self._batch_refreshes = 0
+        self._batch_fits = 0
 
     # Subclass hooks -------------------------------------------------------
 
@@ -293,6 +319,64 @@ class BaseEstimationService(ABC):
             self._burst_fits += len(stale)
         return {key: model for key, model in results.items() if model is not None}
 
+    def _fit_batch(
+        self, stale: list[str]
+    ) -> dict[str, FittedCostModel | EstimationError]:
+        """Fit a coalesced group of stale templates in one backend call.
+
+        The base implementation fits sequentially through :meth:`model`
+        (the in-process service has no round-trip to amortise); the
+        sharded backend overrides this with one ``fit_many`` RPC per
+        shard.  Per-template failures are *returned*, not raised —
+        infrastructure failures are re-raised, never recorded.
+        """
+        outcomes: dict[str, FittedCostModel | EstimationError] = {}
+        for key in stale:
+            try:
+                outcomes[key] = self.model(key)
+            except EstimationError as error:
+                if self._is_infrastructure_error(error):
+                    raise
+                outcomes[key] = error
+        return outcomes
+
+    def refresh_batch(self, keys: list[str] | None = None) -> BatchRefreshResult:
+        """Bring a group of templates up to date in one coalesced call.
+
+        The batch-first sibling of :meth:`refresh`: instead of N
+        independent stale fits it hands the whole stale subset to the
+        backend's :meth:`_fit_batch` (one grouped transport call where
+        the backend has one), and instead of silently omitting tenants
+        that cannot be fitted it returns their typed errors alongside
+        the healthy models.  Fresh templates resolve through
+        :meth:`model` and count as snapshot hits, exactly as the
+        single-call path would.
+        """
+        requested = self.keys() if keys is None else list(keys)
+        stale = [key for key in requested if self.is_stale(key)]
+        outcomes = self._fit_batch(stale)
+        models: dict[str, FittedCostModel] = {}
+        errors: dict[str, EstimationError] = {}
+        for key in requested:
+            outcome = outcomes.get(key)
+            if outcome is None:
+                try:
+                    outcome = self.model(key)
+                except EstimationError as error:
+                    if self._is_infrastructure_error(error):
+                        raise
+                    outcome = error
+            if isinstance(outcome, EstimationError):
+                errors[key] = outcome
+            else:
+                models[key] = outcome
+        with self._stats_lock:
+            self._batch_refreshes += 1
+            self._batch_fits += len(stale)
+        return BatchRefreshResult(
+            models=models, errors=errors, fitted=tuple(sorted(stale))
+        )
+
     # Estimation -----------------------------------------------------------
 
     def estimate(self, key: str, features) -> dict[str, float]:
@@ -318,6 +402,8 @@ class BaseEstimationService(ABC):
                 bursts=self._bursts,
                 burst_fits=self._burst_fits,
                 engine_cache=engine_cache,
+                batch_refreshes=self._batch_refreshes,
+                batch_fits=self._batch_fits,
             )
 
 

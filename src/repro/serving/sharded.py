@@ -52,13 +52,14 @@ import threading
 import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
 from typing import Callable
 
 from repro.common.errors import EstimationError, ValidationError
 from repro.core.cache import CacheStats
 from repro.ires.modelling import EstimationStrategy, FittedCostModel, Modelling
 from repro.serving.service import BaseEstimationService, _Template
-from repro.serving.worker import Row, worker_main
+from repro.serving.worker import PROTOCOL_VERSION, Row, worker_main
 
 #: Default shard-pool width: one worker per core up to a small ceiling
 #: (past the core count, extra processes only add IPC overhead).
@@ -152,6 +153,7 @@ class ShardedEstimationService(BaseEstimationService):
         start = mp_context or ("fork" if "fork" in methods else "spawn")
         self._ctx = multiprocessing.get_context(start)
         self._respawns = 0
+        self._rpc_ops: dict[str, int] = {}
         self._closed = False
         self._shards = [_Shard(index) for index in range(self.workers)]
         for shard in self._shards:
@@ -265,6 +267,9 @@ class ShardedEstimationService(BaseEstimationService):
         """
         if self._closed or shard.conn is None:
             raise ShardedServingError("sharded service is closed")
+        message.setdefault("v", PROTOCOL_VERSION)
+        with self._stats_lock:
+            self._rpc_ops[message["op"]] = self._rpc_ops.get(message["op"], 0) + 1
         try:
             shard.conn.send(message)
         except (BrokenPipeError, OSError, ValueError) as error:
@@ -423,7 +428,132 @@ class ShardedEstimationService(BaseEstimationService):
                 results[key] = self._try_model(key)
         return results
 
+    def _fit_batch(
+        self, stale: list[str]
+    ) -> dict[str, FittedCostModel | EstimationError]:
+        """One coalesced ``fit_many`` RPC per busy shard.
+
+        The batch-first transport the front door flushes through: every
+        shard receives its whole stale group (templates + row deltas) in
+        a single pipe round-trip instead of one ``fit`` RPC per
+        template.  Groups on different shards fan out across parent
+        threads exactly like :meth:`_fit_stale` bursts.
+        """
+        by_shard: dict[int, list[str]] = {}
+        for key in stale:
+            by_shard.setdefault(self.shard_of(key), []).append(key)
+        groups = list(by_shard.values())
+        outcomes: dict[str, FittedCostModel | EstimationError] = {}
+        if len(groups) > 1:
+            width = min(self.max_workers, len(groups))
+            with ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="shard-batch"
+            ) as pool:
+                for fitted in pool.map(self._fit_group, groups):
+                    outcomes.update(fitted)
+        elif groups:
+            outcomes.update(self._fit_group(groups[0]))
+        return outcomes
+
+    def _fit_group(
+        self, keys: list[str]
+    ) -> dict[str, FittedCostModel | EstimationError]:
+        """Fit one shard's stale group through a single ``fit_many``.
+
+        Lock order matches the single-call path (template lock, then
+        shard lock); template locks are taken in sorted key order so two
+        concurrent batches over the same shard can never deadlock each
+        other.  Holding every template lock across the RPC keeps the
+        captured history versions authoritative — an external append
+        blocks until the batch's snapshots are installed.
+        """
+        keys = sorted(keys)
+        states = [self._state(key) for key in keys]
+        shard = self._shards[self.shard_of(keys[0])]
+        outcomes: dict[str, FittedCostModel | EstimationError] = {}
+        with ExitStack() as stack:
+            for state in states:
+                stack.enter_context(state.lock)
+            with shard.lock:
+                pending: list[tuple[_Template, int]] = []
+                for state in states:
+                    version = state.history.version
+                    if (
+                        state.snapshot is not None
+                        and state.snapshot_version == version
+                    ):
+                        # Another thread refitted it since the stale
+                        # scan; same snapshot hit model() would record.
+                        outcomes[state.key] = state.snapshot
+                        with self._stats_lock:
+                            self._snapshot_hits += 1
+                        continue
+                    pending.append((state, version))
+                if not pending:
+                    return outcomes
+                try:
+                    replies = self._fit_many_locked(shard, pending)
+                except WorkerCrashError:
+                    # The replay resets every sync cursor; the retry
+                    # recomputes its deltas against the fresh replica.
+                    self._respawn_locked(shard)
+                    replies = self._fit_many_locked(shard, pending)
+                deferred: Exception | None = None
+                for (state, version), reply in zip(pending, replies):
+                    # Cursor math holds for success and failure alike:
+                    # the worker reports what actually landed.
+                    state.synced += reply.get("appended", 0)
+                    if reply["ok"]:
+                        state.snapshot = reply["value"]
+                        state.snapshot_version = version
+                        with self._stats_lock:
+                            self._fits += 1
+                        outcomes[state.key] = reply["value"]
+                        continue
+                    kind, text = reply["kind"], reply["error"]
+                    if kind == "estimation":
+                        # "Cannot fit yet" — isolated, never poisons
+                        # the shard-mates.
+                        outcomes[state.key] = EstimationError(text)
+                    elif deferred is None:
+                        # Validation/internal failures surface exactly
+                        # as the single-call path raises them — but only
+                        # after every reply's bookkeeping has landed.
+                        if kind == "validation":
+                            deferred = ValidationError(text)
+                        else:
+                            deferred = ShardedServingError(
+                                f"shard {shard.index}: {text}"
+                            )
+                if deferred is not None:
+                    raise deferred
+        return outcomes
+
+    def _fit_many_locked(
+        self, shard: _Shard, pending: list[tuple[_Template, int]]
+    ) -> list[dict]:
+        """Issue one ``fit_many`` for the shard's pending group (caller
+        holds the template locks and the shard lock)."""
+        items = []
+        for state, _version in pending:
+            rows = self._encode_rows(state, start=state.synced)
+            items.append(
+                {
+                    "key": state.key,
+                    "rows": rows,
+                    "expected_size": state.synced + len(rows),
+                }
+            )
+        return self._call_locked(shard, {"op": "fit_many", "items": items})
+
     # Introspection --------------------------------------------------------
+
+    def rpc_counts(self) -> dict[str, int]:
+        """Requests issued per RPC op since construction (``fit``,
+        ``fit_many``, ``register``, ...).  The batching guarantees are
+        asserted against these counters, never against timing."""
+        with self._stats_lock:
+            return dict(self._rpc_ops)
 
     @property
     def respawns(self) -> int:
@@ -440,21 +570,32 @@ class ShardedEstimationService(BaseEstimationService):
     _DEAD_SHARD_STATS = {"pid": None, "templates": 0, "fits": 0, "engine_cache": None}
 
     def shard_stats(self) -> list[dict]:
-        """Per-shard worker counters (pid, replica count, fits, cache).
+        """Per-shard worker counters (pid, replica count, fits, cache),
+        plus the parent-side ``backlog``: rows appended to the shard's
+        templates since their last fit (the load signal the flush
+        watermarks and future rebalancing read).
 
         Strictly read-only: a dead or unreachable worker reports the
         placeholder row instead of being respawned here — healing
         belongs to the serving path (the next fit RPC), not to
         introspection, so a monitoring poll never blocks on a
-        full-history replay or perturbs the ``respawns`` counter.
+        full-history replay or perturbs the ``respawns`` counter.  The
+        backlog comes from the authoritative parent histories, so it is
+        reported even for a dead worker.
         """
         out = []
         for shard in self._shards:
             with shard.lock:
+                backlog = sum(
+                    self._templates[key].history.size - self._templates[key].synced
+                    for key in shard.keys
+                )
                 try:
-                    out.append(self._call_locked(shard, {"op": "stats"}))
+                    row = dict(self._call_locked(shard, {"op": "stats"}))
                 except (EstimationError, ValidationError):
-                    out.append(dict(self._DEAD_SHARD_STATS))
+                    row = dict(self._DEAD_SHARD_STATS)
+                row["backlog"] = backlog
+                out.append(row)
         return out
 
     def _engine_cache_stats(self) -> CacheStats | None:

@@ -19,6 +19,13 @@ Messages travel over one duplex :func:`multiprocessing.Pipe` per worker
 and are plain picklable values: requests are dicts of primitives (plus
 observation rows), replies wrap either a value or a typed error.
 
+Every request carries ``"v": PROTOCOL_VERSION``.  A worker that receives
+a different version answers with an ``internal``-kind error instead of
+guessing at the message's semantics — a mixed-protocol deployment (old
+parent, new worker or vice versa) fails loudly on the first RPC rather
+than corrupting replicas silently.  ``crash`` and ``shutdown`` are
+exempt so a mismatched pool can still be torn down.
+
 Request shapes (``rows`` is ``[(tick, {feature: value}, {metric: value}),
 ...]`` in history append order)::
 
@@ -27,11 +34,21 @@ Request shapes (``rows`` is ``[(tick, {feature: value}, {metric: value}),
     {"op": "extend",   "key": str, "rows": list}         -> new size
     {"op": "fit",      "key": str, "rows": list,
      "expected_size": int}                               -> FittedCostModel
+    {"op": "fit_many", "items": [{"key", "rows", "expected_size"}, ...]}
+                          -> [{"key", "ok", ...}, ...] (see below)
     {"op": "stats"}       -> {"pid", "templates", "fits", "engine_cache"}
     {"op": "ping"}        -> "pong"
     {"op": "shutdown"}    -> None (worker exits after replying)
     {"op": "crash"}       -> no reply; the worker hard-exits (test hook
                              for the crash-detection/respawn path)
+
+``fit_many`` is the batch-first sibling of ``fit``: one round-trip
+carries every stale template of the shard plus its coalesced row delta,
+and the reply isolates failures per item — each element is either
+``{"key", "ok": True, "value": FittedCostModel, "appended": int}`` or
+``{"key", "ok": False, "kind", "error", "appended": int}``.  A failing
+tenant never voids its shard-mates' fits, and ``appended`` lets the
+parent advance each sync cursor by what actually landed.
 
 Reply shapes::
 
@@ -67,6 +84,11 @@ from repro.core.history import ExecutionHistory
 
 #: Observation rows on the wire: append-ordered (tick, features, costs).
 Row = tuple[int, dict[str, float], dict[str, float]]
+
+#: Wire-protocol version stamped on every request.  Bumped whenever a
+#: message shape changes incompatibly (v2 added ``fit_many`` and the
+#: version field itself); parent and workers must match exactly.
+PROTOCOL_VERSION = 2
 
 
 def strategy_from_config(config):
@@ -163,26 +185,39 @@ class _WorkerState:
         if op == "extend":
             return _extend(self._history(message["key"]), message["rows"])
         if op == "fit":
-            key = message["key"]
-            history = self._history(key)
-            appended = 0
-            try:
-                for tick, features, costs in message["rows"]:
-                    history.append(tick, features, costs)
-                    appended += 1
-                expected = message["expected_size"]
-                if history.size != expected:
-                    raise RuntimeError(
-                        f"shard replica desync for {key!r}: replica has "
-                        f"{history.size} rows, parent expected {expected}"
+            return self._fit_one(
+                message["key"], message["rows"], message["expected_size"]
+            )
+        if op == "fit_many":
+            # Per-item isolation: each item either fits or carries its
+            # own typed failure; a broken tenant never voids the batch.
+            results = []
+            for item in message["items"]:
+                key = item["key"]
+                try:
+                    fitted = self._fit_one(
+                        key, item["rows"], item["expected_size"]
                     )
-                fitted = self.modelling.fit(key)
-            except BaseException as error:  # noqa: BLE001 - reply carries it
-                # The parent's sync cursor must advance by what actually
-                # landed, even though the fit failed (see module docs).
-                raise _OpError(error, {"appended": appended}) from error
-            self.fits += 1
-            return fitted
+                except _OpError as wrapped:
+                    results.append(
+                        {
+                            "key": key,
+                            "ok": False,
+                            "kind": _error_kind(wrapped.error),
+                            "error": str(wrapped.error),
+                            **wrapped.extras,
+                        }
+                    )
+                else:
+                    results.append(
+                        {
+                            "key": key,
+                            "ok": True,
+                            "value": fitted,
+                            "appended": len(item["rows"]),
+                        }
+                    )
+            return results
         if op == "stats":
             engine_cache = getattr(self.modelling.strategy, "engine_cache", None)
             return {
@@ -192,6 +227,28 @@ class _WorkerState:
                 "engine_cache": None if engine_cache is None else engine_cache.stats,
             }
         raise RuntimeError(f"unknown worker op {op!r}")
+
+    def _fit_one(self, key: str, rows: Iterable[Row], expected: int):
+        """Append one template's delta and refit it (``fit`` semantics;
+        ``fit_many`` calls this once per item)."""
+        appended = 0
+        try:
+            history = self._history(key)
+            for tick, features, costs in rows:
+                history.append(tick, features, costs)
+                appended += 1
+            if history.size != expected:
+                raise RuntimeError(
+                    f"shard replica desync for {key!r}: replica has "
+                    f"{history.size} rows, parent expected {expected}"
+                )
+            fitted = self.modelling.fit(key)
+        except BaseException as error:  # noqa: BLE001 - reply carries it
+            # The parent's sync cursor must advance by what actually
+            # landed, even though the fit failed (see module docs).
+            raise _OpError(error, {"appended": appended}) from error
+        self.fits += 1
+        return fitted
 
     def _history(self, key: str) -> ExecutionHistory:
         try:
@@ -219,6 +276,26 @@ def _serve_boot_error(conn, reply: dict) -> None:
             return
         if op == "shutdown":
             return
+
+
+def _version_mismatch(message: dict) -> dict | None:
+    """An ``internal``-kind error reply when the request's protocol
+    version does not match ours, else ``None``.  ``crash``/``shutdown``
+    are exempt so a mismatched pool can still be torn down cleanly."""
+    if message.get("op") in ("crash", "shutdown"):
+        return None
+    version = message.get("v")
+    if version == PROTOCOL_VERSION:
+        return None
+    return {
+        "ok": False,
+        "kind": "internal",
+        "error": (
+            f"shard RPC protocol mismatch: worker speaks v{PROTOCOL_VERSION}, "
+            f"request carried {'no version' if version is None else f'v{version}'}"
+            " — parent and workers must run the same build"
+        ),
+    }
 
 
 def _error_kind(error: BaseException) -> str:
@@ -271,6 +348,13 @@ def worker_main(conn, strategy_factory) -> None:
             except (BrokenPipeError, OSError):
                 pass
             return
+        mismatch = _version_mismatch(message)
+        if mismatch is not None:
+            try:
+                conn.send(mismatch)
+            except (BrokenPipeError, OSError):
+                return
+            continue
         try:
             reply = {"ok": True, "value": state.handle(message)}
         except _OpError as wrapped:

@@ -92,6 +92,14 @@ class TestFederationConfig:
         ("serving_backend", "", "serving_backend"),
         ("serving_backend", None, "serving_backend"),
         ("serving_backend", "no-such-backend", "unknown serving backend"),
+        ("ingest_queue_depth", 0, "ingest_queue_depth"),
+        ("ingest_queue_depth", -8, "ingest_queue_depth"),
+        ("ingest_batch_max", 0, "ingest_batch_max"),
+        ("ingest_batch_max", -1, "ingest_batch_max"),
+        ("ingest_flush_ms", 0, "ingest_flush_ms"),
+        ("ingest_flush_ms", -25.0, "ingest_flush_ms"),
+        ("ingest_overflow", "drop", "ingest_overflow"),
+        ("ingest_overflow", "", "ingest_overflow"),
     ]
 
     @pytest.mark.parametrize(
@@ -123,6 +131,10 @@ class TestFederationConfig:
             FederationConfig(exact_limit=0)
         with pytest.raises(GatewayConfigError, match="metrics"):
             FederationConfig(metrics=())
+        # Cross-field: a size watermark above the queue bound could
+        # never fire, so it is refused eagerly.
+        with pytest.raises(GatewayConfigError, match="could never fire"):
+            FederationConfig(ingest_queue_depth=8, ingest_batch_max=9)
 
     def test_config_errors_are_structured_and_compatible(self):
         with pytest.raises(FederationError) as info:
@@ -619,6 +631,15 @@ class TestCliDemo:
         out = capsys.readouterr().out
         assert "Pinned-session policy sweep" in out
         assert "enumerations performed: 1" in out
+
+    def test_demo_ingest_batch_prints_front_door_counters(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["demo", "--quick", "--ingest-batch", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Front-door ingest burst" in out
+        assert "Ingest counters: admitted=32" in out
+        assert "rejected=0" in out and "flushes=2 (size=2" in out
 
 
 @pytest.mark.slow

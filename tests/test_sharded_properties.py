@@ -27,6 +27,13 @@ from hypothesis import strategies as st
 
 from repro.common.errors import EstimationError
 from repro.common.rng import RngStream
+from repro.federation import (
+    FederationConfig,
+    FederationError,
+    ObserveRequest,
+    SubmitRequest,
+)
+from repro.midas import MEDICAL_QUERIES, MidasSystem
 from repro.serving import EstimationService, ShardedEstimationService
 from repro.serving.worker import dream_strategy
 
@@ -75,6 +82,18 @@ def replay(script, keys, sharded, threaded):
                     sharded.model(key)
                 continue
             assert_models_bitwise_equal(key, sharded.model(key), threaded_model)
+        elif op == "batch":
+            # The coalesced path (one fit_many per shard) against the
+            # in-process base implementation of the same call.
+            sharded_result = sharded.refresh_batch()
+            threaded_result = threaded.refresh_batch()
+            assert sorted(sharded_result.models) == sorted(threaded_result.models)
+            assert sorted(sharded_result.errors) == sorted(threaded_result.errors)
+            assert sharded_result.fitted == threaded_result.fitted
+            for fitted_key, threaded_model in threaded_result.models.items():
+                assert_models_bitwise_equal(
+                    fitted_key, sharded_result.models[fitted_key], threaded_model
+                )
         else:  # burst
             sharded_models = sharded.refresh(parallel=True)
             threaded_models = threaded.refresh(parallel=True)
@@ -93,6 +112,15 @@ def replay(script, keys, sharded, threaded):
 
 ops = st.sampled_from(["observe", "observe", "observe", "fit", "burst"])
 scripts = st.lists(st.tuples(st.integers(min_value=0, max_value=7), ops), max_size=60)
+
+# Variant that also exercises the coalesced refresh_batch path (PR 6):
+# weighted towards observes so batches actually have stale work to do.
+batch_ops = st.sampled_from(
+    ["observe", "observe", "observe", "fit", "burst", "batch", "batch"]
+)
+batch_scripts = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=7), batch_ops), max_size=60
+)
 
 
 class TestShardedEquivalenceProperties:
@@ -119,6 +147,34 @@ class TestShardedEquivalenceProperties:
                 threaded.register(key, feature_names=FEATURES, metrics=METRICS)
             replay(script, keys, sharded, threaded)
 
+    @given(
+        workers=st.integers(min_value=1, max_value=3),
+        n_templates=st.integers(min_value=1, max_value=4),
+        script=batch_scripts,
+    )
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_refresh_batch_interleavings_match_in_process_service(
+        self, workers, n_templates, script
+    ):
+        """The coalesced fit path (one fit_many RPC per shard) is
+        model-for-model, error-for-error identical to the in-process
+        base implementation under any interleaving."""
+        keys = [f"tenant-{i}" for i in range(n_templates)]
+        threaded = EstimationService(
+            strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
+        )
+        with ShardedEstimationService(factory, workers=workers) as sharded:
+            for key in keys:
+                sharded.register(key, feature_names=FEATURES, metrics=METRICS)
+                threaded.register(key, feature_names=FEATURES, metrics=METRICS)
+            replay(script, keys, sharded, threaded)
+            assert sharded.stats.fits == threaded.stats.fits
+            assert sharded.stats.batch_refreshes == threaded.stats.batch_refreshes
+
     def test_counters_match_in_process_service_on_shared_script(self):
         """The sharded service keeps the ServiceStats contract: the same
         deterministic script yields identical parent-side counters."""
@@ -140,6 +196,134 @@ class TestShardedEquivalenceProperties:
                 assert getattr(sharded.stats, attribute) == getattr(
                     threaded.stats, attribute
                 ), attribute
+
+
+GATEWAY_KEYS = ("medical-demographics", "medical-severe-cases")
+gateway_ops = st.sampled_from(["observe", "observe", "observe", "submit"])
+gateway_scripts = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1), gateway_ops),
+    min_size=1,
+    max_size=24,
+)
+
+
+def build_gateway_traffic(script, seed):
+    """Materialise one request object per script entry (shared between
+    both systems, so parameter sampling cannot diverge)."""
+    rng = RngStream(seed, "gateway-property")
+    traffic = []
+    for index, op in script:
+        key = GATEWAY_KEYS[index]
+        params = MEDICAL_QUERIES[key].sample_params(rng)
+        if op == "submit":
+            traffic.append(("submit", SubmitRequest(key, params)))
+        else:
+            traffic.append(("observe", ObserveRequest(key, params)))
+    return traffic
+
+
+def gateway_config(backend):
+    return FederationConfig(
+        serving_backend=backend, shard_workers=2, max_window=24
+    )
+
+
+def run_sequential(traffic, backend, seed):
+    """Single-call replay: one outcome per item, plus the fit counter."""
+    midas = MidasSystem(patient_count=250, seed=seed, config=gateway_config(backend))
+    outcomes = []
+    try:
+        for op, request in traffic:
+            call = midas.gateway.submit if op == "submit" else midas.gateway.observe
+            try:
+                outcomes.append(("ok", call(request)))
+            except FederationError as error:
+                outcomes.append(("error", type(error).__name__))
+        fits = midas.gateway.serving_stats.fits
+        observations = midas.gateway.serving_stats.observations
+    finally:
+        midas.gateway.close()
+    return outcomes, fits, observations
+
+
+def run_batched(traffic, backend, seed):
+    """The same traffic through ingest() + drain()."""
+    midas = MidasSystem(patient_count=250, seed=seed, config=gateway_config(backend))
+    outcomes = []
+    try:
+        for _op, request in traffic:
+            midas.gateway.ingest(request)
+        batch = midas.gateway.drain()
+        for report, error in zip(batch.reports, batch.errors):
+            if error is None:
+                outcomes.append(("ok", report))
+            else:
+                outcomes.append(("error", type(error).__name__))
+        fits = midas.gateway.serving_stats.fits
+        observations = midas.gateway.serving_stats.observations
+    finally:
+        midas.gateway.close()
+    return outcomes, fits, observations
+
+
+def assert_gateway_outcomes_equal(sequential, batched):
+    __tracebackhide__ = True
+    seq_outcomes, seq_fits, seq_observations = sequential
+    bat_outcomes, bat_fits, bat_observations = batched
+    assert len(seq_outcomes) == len(bat_outcomes)
+    for position, (left, right) in enumerate(zip(seq_outcomes, bat_outcomes)):
+        assert left[0] == right[0], (position, left[0], right[0])
+        if left[0] == "error":
+            assert left[1] == right[1], position
+            continue
+        seq_report, bat_report = left[1], right[1]
+        assert type(seq_report) is type(bat_report), position
+        assert seq_report.tick == bat_report.tick, position
+        if hasattr(seq_report, "predicted_costs"):
+            assert seq_report.predicted_costs == bat_report.predicted_costs
+            assert seq_report.measured_costs == bat_report.measured_costs
+            assert seq_report.chosen.describe() == bat_report.chosen.describe()
+        else:
+            assert seq_report.measured == bat_report.measured
+            assert seq_report.candidate.describe() == bat_report.candidate.describe()
+    assert seq_fits == bat_fits
+    assert seq_observations == bat_observations
+
+
+class TestGatewayIngestEquivalenceProperties:
+    """ISSUE 6 satellite: ANY interleaving of submits/observes through
+    ingest()+drain() is bitwise-identical to the sequential single-call
+    replay — reports, error types, ticks, fit and observation counters.
+
+    Submits before any history exercise the failure-parity half of the
+    contract: both paths must raise InsufficientHistoryError for the
+    same items and still agree on every tick that follows."""
+
+    @given(script=gateway_scripts, seed=st.integers(min_value=1, max_value=10_000))
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_threaded_ingest_matches_sequential_replay(self, script, seed):
+        traffic = build_gateway_traffic(script, seed)
+        assert_gateway_outcomes_equal(
+            run_sequential(traffic, "threaded", seed),
+            run_batched(traffic, "threaded", seed),
+        )
+
+    @given(script=gateway_scripts, seed=st.integers(min_value=1, max_value=10_000))
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sharded_ingest_matches_sequential_replay(self, script, seed):
+        traffic = build_gateway_traffic(script, seed)
+        assert_gateway_outcomes_equal(
+            run_sequential(traffic, "sharded", seed),
+            run_batched(traffic, "sharded", seed),
+        )
 
 
 @pytest.mark.slow
@@ -233,3 +417,60 @@ class TestShardedCrashStress:
                 replayed.record(key, tick, features, costs)
         for key in keys:
             assert_models_bitwise_equal(key, final_sharded[key], replayed.model(key))
+
+    def test_gateway_drain_survives_worker_crash_mid_batch(self):
+        """ISSUE 6: a worker killed between admission and drain() must
+        be invisible — the respawned worker replays the authoritative
+        history and the drained batch stays bitwise-identical to a
+        crash-free sequential replay."""
+        seed = 89
+        warm_runs = 10
+        rng = RngStream(29, "crash-mid-batch")
+        traffic = []
+        for _ in range(6):
+            for key in GATEWAY_KEYS:
+                params = MEDICAL_QUERIES[key].sample_params(rng)
+                traffic.append(("observe", ObserveRequest(key, params)))
+        for key in GATEWAY_KEYS:
+            params = MEDICAL_QUERIES[key].sample_params(rng)
+            traffic.append(("submit", SubmitRequest(key, params)))
+
+        def warmed(config):
+            midas = MidasSystem(patient_count=250, seed=seed, config=config)
+            for key in GATEWAY_KEYS:
+                midas.warm_up(key, runs=warm_runs)
+            return midas
+
+        sequential = warmed(gateway_config("sharded"))
+        seq_outcomes = []
+        try:
+            for op, request in traffic:
+                call = (
+                    sequential.gateway.submit
+                    if op == "submit"
+                    else sequential.gateway.observe
+                )
+                seq_outcomes.append(("ok", call(request)))
+            seq_fits = sequential.gateway.serving_stats.fits
+        finally:
+            sequential.gateway.close()
+
+        batched = warmed(gateway_config("sharded"))
+        try:
+            for _op, request in traffic:
+                batched.gateway.ingest(request)
+            serving = batched.gateway.engine.serving
+            # Kill the worker owning the first template AFTER admission,
+            # BEFORE the flush: the fit_many retry path must heal it.
+            serving.inject_worker_crash(serving.shard_of(GATEWAY_KEYS[0]))
+            batch = batched.gateway.drain()
+            assert batch.failed == 0
+            bat_outcomes = [("ok", report) for report in batch.reports]
+            assert serving.respawns >= 1
+            bat_fits = batched.gateway.serving_stats.fits
+        finally:
+            batched.gateway.close()
+
+        assert_gateway_outcomes_equal(
+            (seq_outcomes, seq_fits, 0), (bat_outcomes, bat_fits, 0)
+        )
