@@ -6,6 +6,7 @@ without installing).  Usage::
     repro demo [--quick] [--serving-backend threaded|sharded]
                [--shard-workers N]       # drive the federation gateway
                [--ingest-batch N] [--ingest-flush-ms MS]  # batched front door
+               [--rebalance]             # elastic shard topology walkthrough
     repro list                           # what can be reproduced
     repro table1                         # instance pricing (verbatim)
     repro table2                         # MLR R^2 vs window size
@@ -48,6 +49,7 @@ def run_demo(
     shard_workers: int | None = None,
     ingest_batch: int | None = None,
     ingest_flush_ms: float | None = None,
+    rebalance: bool = False,
 ) -> int:
     """Drive the federation gateway end to end on the MIDAS setup.
 
@@ -60,7 +62,11 @@ def run_demo(
     GIL contention between tenants).  ``--ingest-batch N`` adds a
     batched front-door burst — coalesced ``ingest()`` + ``drain()``
     with the size watermark at ``N`` — and prints the admission and
-    backpressure counters from the serving report.
+    backpressure counters from the serving report.  ``--rebalance``
+    (implies the sharded backend) warms a second template into a skewed
+    load, runs one elastic-topology control cycle and prints the typed
+    ``TopologyReport`` — routing table version, per-shard load
+    accounting, applied migrations.
     """
     from dataclasses import replace
 
@@ -72,6 +78,13 @@ def run_demo(
     runs = 12 if quick else 30
     key = "medical-demographics"
     overrides = {}
+    if rebalance:
+        if serving_backend != "sharded":
+            print("--rebalance requires the sharded backend; enabling it.")
+            serving_backend = "sharded"
+        from repro.federation import RebalanceConfig
+
+        overrides["rebalance"] = RebalanceConfig(max_moves=2)
     if ingest_batch is not None:
         overrides["ingest_batch_max"] = ingest_batch
     if ingest_flush_ms is not None:
@@ -158,6 +171,18 @@ def run_demo(
                 f"through {batch.seq} watermark flushes"
             )
 
+    if rebalance:
+        hot = "medical-severe-cases"
+        print()
+        print(
+            f"Elastic topology: skewing load onto {hot!r} "
+            "and running one rebalance cycle..."
+        )
+        midas.warm_up(hot, runs=2 * runs)
+        gateway.model(hot)
+        report = gateway.rebalance()
+        print(report.describe())
+
     serving = gateway.serving_report()
     stats = serving.stats
     print()
@@ -225,6 +250,12 @@ def main(argv: list[str] | None = None) -> int:
         help="demo only: staleness watermark for the front-door burst "
         "(milliseconds; requires --ingest-batch)",
     )
+    parser.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="demo only: run an elastic shard-topology control cycle and "
+        "print the TopologyReport (implies --serving-backend sharded)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.artifact == "list":
@@ -238,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
             arguments.shard_workers,
             arguments.ingest_batch,
             arguments.ingest_flush_ms,
+            arguments.rebalance,
         )
     if arguments.artifact == "table1":
         print(format_table1(run_table1()))

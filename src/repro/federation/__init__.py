@@ -53,6 +53,7 @@ from repro.federation.envelopes import (
     ServingReport,
     SubmissionReport,
     SubmitRequest,
+    TopologyReport,
 )
 from repro.federation.errors import (
     DuplicateTemplateError,
@@ -80,6 +81,10 @@ from repro.federation.registry import (
 )
 from repro.federation.session import GatewaySession
 
+# Re-exported for configuration ergonomics: the elastic-topology knobs
+# live in the serving layer but are set through FederationConfig.
+from repro.serving.topology import RebalanceConfig
+
 __all__ = [
     "DEFAULT_CACHE_CAPACITY",
     "DEFAULT_EXACT_LIMIT",
@@ -95,6 +100,8 @@ __all__ = [
     "ServingReport",
     "SubmissionReport",
     "SubmitRequest",
+    "TopologyReport",
+    "RebalanceConfig",
     "DuplicateTemplateError",
     "EnvelopeError",
     "FederationError",

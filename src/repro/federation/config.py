@@ -15,8 +15,12 @@ instead of deep inside the first fit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.federation.errors import GatewayConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.serving.topology import RebalanceConfig
 
 #: Default bound on live per-template estimation engines (mirrors
 #: :data:`repro.ires.modelling.DEFAULT_ENGINE_CAPACITY`, restated here so
@@ -96,6 +100,17 @@ class FederationConfig:
         :class:`~repro.federation.errors.IngestOverflowError`,
         ``"block"`` makes the admitting caller wait (or flush itself) —
         never a silent drop.
+    rebalance:
+        Elastic-topology policy knobs
+        (:class:`~repro.serving.topology.RebalanceConfig`) for the
+        sharded backend: the gateway runs one
+        :class:`~repro.serving.topology.RebalancePolicy` control cycle
+        every ``rebalance.cadence_flushes`` front-door flushes (and on
+        explicit ``gateway.rebalance()`` calls), migrating hot templates
+        to cold shards and growing/shrinking the pool.  ``None`` (the
+        default) leaves placement static.  Requires
+        ``serving_backend="sharded"`` — the threaded service has no
+        shards to balance.
     strategy_options:
         Backend-specific extras passed to the registry factory (e.g.
         ``{"window_multiple": 2}`` for the windowed BML baseline).
@@ -117,6 +132,7 @@ class FederationConfig:
     ingest_batch_max: int = DEFAULT_INGEST_BATCH_MAX
     ingest_flush_ms: float | None = None
     ingest_overflow: str = "reject"
+    rebalance: RebalanceConfig | None = None
     strategy_options: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -202,3 +218,17 @@ class FederationConfig:
                 f"ingest_overflow must be one of {_INGEST_OVERFLOW_MODES}, "
                 f"got {self.ingest_overflow!r}"
             )
+        if self.rebalance is not None:
+            # Deferred import, same reason as the registry lookup above.
+            from repro.serving.topology import RebalanceConfig
+
+            if not isinstance(self.rebalance, RebalanceConfig):
+                raise GatewayConfigError(
+                    "rebalance must be a RebalanceConfig (or None), got "
+                    f"{type(self.rebalance).__name__}"
+                )
+            if self.serving_backend != "sharded":
+                raise GatewayConfigError(
+                    "rebalance requires serving_backend='sharded': the "
+                    f"{self.serving_backend!r} backend has no shards to balance"
+                )

@@ -28,6 +28,7 @@ from repro.ires.platform import SubmissionResult
 from repro.ires.policy import UserPolicy
 from repro.moqp.problem import Candidate
 from repro.serving.service import ServiceStats
+from repro.serving.topology import RebalanceOutcome, ShardLoad
 
 
 def _checked_template(template: str) -> None:
@@ -311,6 +312,51 @@ class ServingReport:
             f"fits={s.fits}, snapshot_hits={s.snapshot_hits}, "
             f"observations={s.observations}, respawns={self.respawns}"
         )
+
+
+@dataclass(frozen=True)
+class TopologyReport:
+    """Elastic shard topology status: routes, load, last control cycle.
+
+    Produced by ``gateway.topology_report()`` (and returned from
+    ``gateway.rebalance()``).  ``route_version`` is the monotone counter
+    bumped by every route flip; ``shards`` carries the per-shard load
+    accounting (routed templates, pending-row backlog, RPC queue depth,
+    fit wall-time EWMA) the rebalance policy reads.  For the threaded
+    backend every pool field is zero/empty — there is no topology to
+    report, only the fact that placement is not in play.
+    """
+
+    backend: str
+    workers: int
+    route_version: int
+    migrations: int
+    respawns: int
+    shards: tuple[ShardLoad, ...] = ()
+    #: Outcome of the most recent rebalance cycle; ``None`` before one runs.
+    last_cycle: RebalanceOutcome | None = None
+
+    def describe(self) -> str:
+        if not self.shards:
+            return f"{self.backend}: no shard topology (in-process serving)"
+        lines = [
+            f"{self.backend}: {self.workers} shards, route v{self.route_version}, "
+            f"migrations={self.migrations}, respawns={self.respawns}"
+        ]
+        for shard in self.shards:
+            ewma = (
+                "-"
+                if shard.fit_seconds_ewma is None
+                else f"{shard.fit_seconds_ewma * 1000.0:.2f}ms"
+            )
+            lines.append(
+                f"  shard {shard.index}: templates={len(shard.routed)}, "
+                f"backlog={shard.backlog}, queue={shard.queue_depth}, "
+                f"fit_ewma={ewma}"
+            )
+        if self.last_cycle is not None:
+            lines.append(f"  last cycle: {self.last_cycle.describe()}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)

@@ -382,6 +382,12 @@ class FrontDoor:
             raise
         finally:
             batch = self._finalize(items, trigger, reports, errors, fit_rounds)
+        # Elastic-topology control loop: a successful flush is the
+        # cadence tick (a no-op unless the gateway was configured with
+        # FederationConfig(rebalance=...)).  After _finalize, so the
+        # flush flag is already released and tickets are resolved —
+        # rebalancing never extends the batch's latency window.
+        gateway._auto_rebalance()
         return batch
 
     @staticmethod

@@ -35,12 +35,14 @@ from repro.federation.envelopes import (
     ServingReport,
     SubmissionReport,
     SubmitRequest,
+    TopologyReport,
 )
 from repro.federation.errors import (
     DuplicateTemplateError,
     EnvelopeError,
     GatewayConfigError,
     InsufficientHistoryError,
+    SessionStateError,
     UnknownTemplateError,
 )
 from repro.federation.frontdoor import FrontDoor, IngestTicket
@@ -59,6 +61,7 @@ from repro.plans.catalog import Catalog
 from repro.plans.statistics import TableStats
 from repro.serving.service import ServiceStats
 from repro.serving.sharded import ShardedServingError
+from repro.serving.topology import RebalancePolicy
 from repro.tpch.queries import QueryTemplate
 
 
@@ -128,6 +131,19 @@ class FederationGateway:
         self._tick = 0
         self._rotation: dict[str, int] = {}
         self._front_door: FrontDoor | None = None
+        self._closed = False
+        self._close_lock = threading.Lock()
+        # Elastic-topology control loop: one stateful policy for the
+        # gateway's lifetime (heat EWMAs carry across cycles), driven
+        # either by explicit rebalance() calls or automatically every
+        # config.rebalance.cadence_flushes front-door flushes.
+        self._rebalance_policy = (
+            None
+            if self.config.rebalance is None
+            else RebalancePolicy(self.config.rebalance)
+        )
+        self._flushes_since_rebalance = 0
+        self._last_rebalance = None
 
     # Registration ---------------------------------------------------------
 
@@ -315,6 +331,14 @@ class FederationGateway:
 
     def _door(self) -> FrontDoor:
         with self._lock:
+            if self._closed:
+                # Without this gate, a post-close ingest would lazily
+                # build a *fresh* door and silently accept work the dead
+                # serving layer can never flush.
+                raise SessionStateError(
+                    "gateway is closed; no further requests can be admitted",
+                    phase="ingest",
+                )
             if self._front_door is None:
                 self._front_door = FrontDoor(self)
             return self._front_door
@@ -479,18 +503,99 @@ class FederationGateway:
         """Estimation-engine cache counters, when the backend has one."""
         return self.serving_stats.engine_cache
 
+    # Elastic topology -----------------------------------------------------
+
+    def topology_report(self) -> TopologyReport:
+        """Typed elastic-topology report: routing-table version, applied
+        migrations, per-shard load accounting, last rebalance cycle.
+        For the threaded backend the pool fields are zero/empty."""
+        serving = self.engine.serving
+        if not hasattr(serving, "shard_loads"):
+            return TopologyReport(
+                backend=self.config.serving_backend,
+                workers=0,
+                route_version=0,
+                migrations=0,
+                respawns=0,
+            )
+        return TopologyReport(
+            backend=self.config.serving_backend,
+            workers=serving.workers,
+            route_version=serving.route_version,
+            migrations=serving.migrations,
+            respawns=serving.respawns,
+            shards=tuple(serving.shard_loads()),
+            last_cycle=self._last_rebalance,
+        )
+
+    def rebalance(self) -> TopologyReport:
+        """Run one rebalance control cycle now and report the topology.
+
+        Uses the configured policy (``FederationConfig(rebalance=...)``)
+        or a default-knobbed one on first call; requires the sharded
+        backend.  Safe to call concurrently with traffic — migrations
+        hold the per-template locks, so a mid-burst move is bitwise
+        invisible to predictions.
+        """
+        serving = self.engine.serving
+        if not hasattr(serving, "rebalance"):
+            raise GatewayConfigError(
+                "rebalance requires serving_backend='sharded': the "
+                f"{self.config.serving_backend!r} backend has no shards "
+                "to balance"
+            )
+        with self._lock:
+            if self._rebalance_policy is None:
+                self._rebalance_policy = RebalancePolicy()
+            policy = self._rebalance_policy
+        self._last_rebalance = serving.rebalance(policy)
+        return self.topology_report()
+
+    def _auto_rebalance(self) -> None:
+        """Front-door hook: one policy cycle every ``cadence_flushes``
+        flushes, when a rebalance config is present (no-op otherwise)."""
+        policy = self._rebalance_policy
+        if policy is None or not hasattr(self.engine.serving, "rebalance"):
+            return
+        with self._lock:
+            if self._closed:
+                return
+            self._flushes_since_rebalance += 1
+            if self._flushes_since_rebalance < policy.config.cadence_flushes:
+                return
+            self._flushes_since_rebalance = 0
+        try:
+            self._last_rebalance = self.engine.serving.rebalance(policy)
+        except ShardedServingError:
+            # close() raced the cycle; the final flush already ran, so
+            # losing one advisory rebalance is harmless.
+            return
+
     # Lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
         """Release serving-layer resources (shard worker processes for
         the ``"sharded"`` backend; a no-op for the in-process one).
-        The front door closes first — admitted-but-pending requests are
-        flushed while the serving layer is still alive, never dropped.
-        Idempotent; the gateway is unusable for fits afterwards."""
-        door = self._front_door
-        if door is not None:
-            door.close()
-        self.engine.serving.close()
+
+        Idempotent and ordered: the closed flag flips first (under the
+        gateway lock, so no concurrent ``ingest`` can lazily build a
+        fresh door afterwards — it gets a typed
+        :class:`~repro.federation.errors.SessionStateError` instead),
+        then the front door closes — which waits out any in-flight
+        ``drain`` and flushes admitted-but-pending requests while the
+        serving layer is still alive, never dropping them — and only
+        then does the serving layer shut down.  Concurrent and repeat
+        ``close()`` calls serialise on a dedicated mutex, so a second
+        closer can never tear the serving layer down under the first
+        one's final flush.  ``drain()`` keeps working after close,
+        returning empty batches."""
+        with self._close_lock:
+            with self._lock:
+                self._closed = True
+                door = self._front_door
+            if door is not None:
+                door.close()
+            self.engine.serving.close()
 
     def __enter__(self) -> "FederationGateway":
         return self

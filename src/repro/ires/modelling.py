@@ -187,6 +187,11 @@ class Modelling:
     def register(self, query_key: str, history: ExecutionHistory) -> None:
         self._histories[query_key] = history
 
+    def deregister(self, query_key: str) -> None:
+        """Drop a query's history if present (shard migration moves the
+        replica elsewhere; unknown keys are a no-op by design)."""
+        self._histories.pop(query_key, None)
+
     def history(self, query_key: str) -> ExecutionHistory:
         try:
             return self._histories[query_key]

@@ -55,7 +55,17 @@ from repro.serving.sharded import (
     DEFAULT_SHARD_WORKERS,
     ShardedEstimationService,
     ShardedServingError,
+    StaleRouteError,
     shard_of,
+)
+from repro.serving.topology import (
+    Migration,
+    RebalanceConfig,
+    RebalanceOutcome,
+    RebalancePlan,
+    RebalancePolicy,
+    ShardLoad,
+    TemplateLoad,
 )
 from repro.serving.worker import PROTOCOL_VERSION
 
@@ -67,9 +77,17 @@ __all__ = [
     "DEFAULT_MAX_WORKERS",
     "DEFAULT_SHARD_WORKERS",
     "EstimationService",
+    "Migration",
     "PROTOCOL_VERSION",
+    "RebalanceConfig",
+    "RebalanceOutcome",
+    "RebalancePlan",
+    "RebalancePolicy",
     "ServiceStats",
+    "ShardLoad",
     "ShardedEstimationService",
     "ShardedServingError",
+    "StaleRouteError",
+    "TemplateLoad",
     "shard_of",
 ]

@@ -30,6 +30,7 @@ backends oracle-equivalent by construction.
 from __future__ import annotations
 
 import threading
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -39,6 +40,7 @@ import numpy as np
 from repro.common.errors import EstimationError, ValidationError
 from repro.core.cache import CacheStats
 from repro.core.history import ExecutionHistory
+from repro.serving.topology import LOAD_EWMA_ALPHA
 from repro.ires.modelling import (
     DreamStrategy,
     EstimationStrategy,
@@ -102,10 +104,22 @@ class _Template:
 
     ``synced`` is the sharded backend's replica cursor (how many history
     rows its shard worker has been fed); the in-process service never
-    touches it.
+    touches it.  ``fits`` / ``fit_seconds_ewma`` are the template's load
+    accounting (lifetime fit count and an EWMA of one fit's wall time,
+    guarded by the service's ``_stats_lock``) — the per-template heat
+    signal the rebalance policy ranks hot tenants by.
     """
 
-    __slots__ = ("key", "history", "lock", "snapshot", "snapshot_version", "synced")
+    __slots__ = (
+        "key",
+        "history",
+        "lock",
+        "snapshot",
+        "snapshot_version",
+        "synced",
+        "fits",
+        "fit_seconds_ewma",
+    )
 
     def __init__(self, key: str, history: ExecutionHistory):
         self.key = key
@@ -114,6 +128,8 @@ class _Template:
         self.snapshot: FittedCostModel | None = None
         self.snapshot_version: int | None = None
         self.synced = 0
+        self.fits = 0
+        self.fit_seconds_ewma: float | None = None
 
 
 class BaseEstimationService(ABC):
@@ -151,6 +167,19 @@ class BaseEstimationService(ABC):
         self, stale: list[str], parallel: bool
     ) -> dict[str, FittedCostModel | None]:
         """Fit a burst of stale templates, possibly concurrently."""
+
+    def _note_template_fit(self, state: _Template, seconds: float) -> None:
+        """Fold one successful fit's wall time into the template's load
+        accounting (any thread; takes the stats lock)."""
+        with self._stats_lock:
+            state.fits += 1
+            if state.fit_seconds_ewma is None:
+                state.fit_seconds_ewma = seconds
+            else:
+                state.fit_seconds_ewma = (
+                    LOAD_EWMA_ALPHA * seconds
+                    + (1.0 - LOAD_EWMA_ALPHA) * state.fit_seconds_ewma
+                )
 
     def _on_register(self, state: _Template) -> None:
         """Wire a freshly registered template into the backend."""
@@ -261,7 +290,9 @@ class BaseEstimationService(ABC):
                 with self._stats_lock:
                     self._snapshot_hits += 1
                 return state.snapshot
+            started = time.perf_counter()
             fitted = self._fit_state(state)
+            self._note_template_fit(state, time.perf_counter() - started)
             state.snapshot = fitted
             state.snapshot_version = version
             with self._stats_lock:

@@ -9,9 +9,18 @@ refresh and :class:`~repro.serving.service.ServiceStats` are literally
 the shared skeleton — while moving every fit into a pool of shard
 worker processes:
 
-* **Hash partitioning.**  Template keys are assigned to shards by a
-  stable CRC32 (never the salted built-in ``hash``), so the same key
-  lands on the same shard across processes, restarts and replays.
+* **Routed partitioning.**  Template keys are *placed* by an explicit
+  routing table; a fresh registration seeds its route from a stable
+  CRC32 (never the salted built-in ``hash``), so the default placement
+  is identical across processes, restarts and replays — but placement
+  is a degree of freedom, not an invariant: :meth:`migrate` replays a
+  template's authoritative history onto another shard and flips its
+  route atomically, and :meth:`resize` grows or shrinks the pool live
+  (shrink migrates the doomed shards' templates first).  Every route
+  flip bumps a monotone *route version*; a straggler RPC that reaches
+  the old shard after the flip is refused with a loud
+  :class:`StaleRouteError` naming that version, never served from the
+  dropped replica.
 * **Shared nothing.**  Each worker owns its own
   :class:`~repro.ires.modelling.Modelling`, estimation strategy,
   incremental DREAM engines and :class:`~repro.core.cache.ModelCache`
@@ -31,6 +40,15 @@ worker processes:
   replica desync, a hung RPC) surface as
   :class:`ShardedServingError` and are never silently swallowed by a
   burst, unlike a plain "history still too short" skip.
+* **Load accounting + rebalancing.**  Each shard tracks a fit
+  wall-time EWMA, an RPC queue depth (threads waiting on the shard
+  lock) and its pending-row backlog; :meth:`shard_loads` /
+  :meth:`template_loads` publish the snapshots a
+  :class:`~repro.serving.topology.RebalancePolicy` turns into
+  hottest-template-to-coldest-shard moves, applied through
+  :meth:`rebalance`.  Placement never changes predictions — the chaos
+  harness (``tests/chaos.py``) proves any interleaving of migrations,
+  crashes and resizes bitwise-equivalent to the in-process oracle.
 * **Graceful shutdown.**  :meth:`ShardedEstimationService.close` (or
   the context manager) drains the pool: polite ``shutdown`` RPC first,
   ``terminate`` as the backstop.  Workers are daemonic, so a dying
@@ -52,13 +70,20 @@ import threading
 import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
-from contextlib import ExitStack
+from contextlib import ExitStack, contextmanager
 from typing import Callable
 
 from repro.common.errors import EstimationError, ValidationError
 from repro.core.cache import CacheStats
 from repro.ires.modelling import EstimationStrategy, FittedCostModel, Modelling
 from repro.serving.service import BaseEstimationService, _Template
+from repro.serving.topology import (
+    LOAD_EWMA_ALPHA,
+    RebalanceOutcome,
+    RebalancePolicy,
+    ShardLoad,
+    TemplateLoad,
+)
 from repro.serving.worker import PROTOCOL_VERSION, Row, worker_main
 
 #: Default shard-pool width: one worker per core up to a small ceiling
@@ -81,6 +106,15 @@ class WorkerCrashError(ShardedServingError):
     """
 
 
+class StaleRouteError(ShardedServingError):
+    """An RPC reached a shard *after* its template was migrated away.
+
+    The worker keeps a tombstone (key -> route version) for every
+    replica it was told to ``forget``, and refuses any straggler request
+    that still names the key.  Loud by design: a fit silently served
+    from a dropped replica would mean the atomic route flip leaked."""
+
+
 def shard_of(key: str, workers: int) -> int:
     """Stable shard index of a template key (CRC32, not salted hash)."""
     return zlib.crc32(key.encode("utf-8")) % workers
@@ -90,9 +124,13 @@ class _Shard:
     """One worker process plus its pipe; ``lock`` serialises the shard's
     RPC traffic (one in-flight request per worker).  A template's
     ``synced`` replica cursor is read and written only under its
-    shard's lock."""
+    shard's lock.  ``fit_ewma`` and ``waiters`` are the shard's load
+    accounting (guarded by the service's ``_stats_lock``): the EWMA of
+    one fit RPC's parent-observed wall time per template, and how many
+    threads currently wait for (or hold) the shard lock on a fit path —
+    the RPC queue depth."""
 
-    __slots__ = ("index", "process", "conn", "lock", "keys")
+    __slots__ = ("index", "process", "conn", "lock", "keys", "fit_ewma", "waiters")
 
     def __init__(self, index: int):
         self.index = index
@@ -100,6 +138,8 @@ class _Shard:
         self.conn = None
         self.lock = threading.RLock()
         self.keys: set[str] = set()
+        self.fit_ewma: float | None = None
+        self.waiters = 0
 
 
 class ShardedEstimationService(BaseEstimationService):
@@ -155,6 +195,18 @@ class ShardedEstimationService(BaseEstimationService):
         self._respawns = 0
         self._rpc_ops: dict[str, int] = {}
         self._closed = False
+        # Explicit routing table: key -> shard index.  Seeded from CRC32
+        # at registration, rewritten by migrate()/resize().  Reads are
+        # GIL-atomic dict lookups; writes happen under the owning
+        # template's lock (plus both shard locks), which is what freezes
+        # routes for every fit path — they all hold the template lock
+        # before resolving a shard.
+        self._routes: dict[str, int] = {}
+        self._route_version = 0
+        self._migrations = 0
+        # Serialises control-plane operations (resize, rebalance cycles)
+        # against each other; the data plane never takes it.
+        self._topology_lock = threading.RLock()
         self._shards = [_Shard(index) for index in range(self.workers)]
         for shard in self._shards:
             self._start_worker(shard)
@@ -226,30 +278,57 @@ class ShardedEstimationService(BaseEstimationService):
                 pass
             shard.process.join(timeout=10)
 
+    def inject_worker_hang(self, index: int) -> None:
+        """Wedge one shard's worker without killing it (test hook).
+
+        The process stays alive but stops answering, which is the
+        failure mode only the ``rpc_timeout`` guard can detect — so this
+        hook refuses to run without one (the next RPC would block
+        forever).  The next serving RPC that touches the shard waits out
+        the timeout, terminates the wedged process and respawns it.
+        """
+        if self.rpc_timeout is None:
+            raise ValidationError(
+                "inject_worker_hang requires rpc_timeout: without the "
+                "hung-worker guard the next RPC would wait forever"
+            )
+        shard = self._shards[index]
+        with shard.lock:
+            try:
+                shard.conn.send({"op": "hang", "v": PROTOCOL_VERSION})
+            except (BrokenPipeError, OSError):
+                pass
+
+    @staticmethod
+    def _shutdown_shard(shard: _Shard, timeout: float) -> None:
+        """Drain one shard: polite shutdown RPC, terminate as backstop.
+        Caller holds (or exclusively owns) the shard."""
+        with shard.lock:
+            if shard.conn is not None:
+                try:
+                    shard.conn.send({"op": "shutdown"})
+                except (BrokenPipeError, OSError):
+                    pass
+            if shard.process is not None:
+                shard.process.join(timeout=timeout)
+                if shard.process.is_alive():
+                    shard.process.terminate()
+                    shard.process.join(timeout=timeout)
+            if shard.conn is not None:
+                try:
+                    shard.conn.close()
+                except OSError:
+                    pass
+                shard.conn = None
+
     def close(self, timeout: float = 5.0) -> None:
         """Drain the pool: polite shutdown RPC, terminate as backstop."""
         with self._registry_lock:
             if self._closed:
                 return
             self._closed = True
-        for shard in self._shards:
-            with shard.lock:
-                if shard.conn is not None:
-                    try:
-                        shard.conn.send({"op": "shutdown"})
-                    except (BrokenPipeError, OSError):
-                        pass
-                if shard.process is not None:
-                    shard.process.join(timeout=timeout)
-                    if shard.process.is_alive():
-                        shard.process.terminate()
-                        shard.process.join(timeout=timeout)
-                if shard.conn is not None:
-                    try:
-                        shard.conn.close()
-                    except OSError:
-                        pass
-                    shard.conn = None
+        for shard in tuple(self._shards):
+            self._shutdown_shard(shard, timeout)
 
     def _ensure_open(self) -> None:
         with self._registry_lock:
@@ -270,6 +349,7 @@ class ShardedEstimationService(BaseEstimationService):
         message.setdefault("v", PROTOCOL_VERSION)
         with self._stats_lock:
             self._rpc_ops[message["op"]] = self._rpc_ops.get(message["op"], 0) + 1
+        started = time.perf_counter()
         try:
             shard.conn.send(message)
         except (BrokenPipeError, OSError, ValueError) as error:
@@ -298,6 +378,19 @@ class ShardedEstimationService(BaseEstimationService):
                     f"shard {shard.index} worker hung past "
                     f"rpc_timeout={self.rpc_timeout}s on {message['op']!r}"
                 )
+        if message["op"] in ("fit", "fit_many"):
+            # Per-template fit cost EWMA, parent-observed (RPC included):
+            # the wall-time half of the shard's load accounting.
+            span = len(message.get("items", ())) or 1
+            sample = (time.perf_counter() - started) / span
+            with self._stats_lock:
+                if shard.fit_ewma is None:
+                    shard.fit_ewma = sample
+                else:
+                    shard.fit_ewma = (
+                        LOAD_EWMA_ALPHA * sample
+                        + (1.0 - LOAD_EWMA_ALPHA) * shard.fit_ewma
+                    )
         if reply["ok"]:
             return reply["value"]
         kind, text = reply["kind"], reply["error"]
@@ -305,6 +398,8 @@ class ShardedEstimationService(BaseEstimationService):
             error = ValidationError(text)
         elif kind == "estimation":
             error = EstimationError(text)
+        elif kind == "stale_route":
+            error = StaleRouteError(f"shard {shard.index}: {text}")
         else:
             error = ShardedServingError(f"shard {shard.index}: {text}")
         error.worker_reply = reply  # op-specific extras (e.g. "appended")
@@ -321,7 +416,13 @@ class ShardedEstimationService(BaseEstimationService):
     # Registration -----------------------------------------------------------
 
     def shard_of(self, key: str) -> int:
-        """The shard index serving ``key`` (stable across processes)."""
+        """The shard index serving ``key``: the routing-table entry for
+        a registered key, the stable CRC32 default otherwise (so the
+        would-be placement of a not-yet-registered key is still
+        answerable, and matches the module-level :func:`shard_of`)."""
+        route = self._routes.get(key)
+        if route is not None:
+            return route
         return shard_of(key, self.workers)
 
     def _on_register(self, state: _Template) -> None:
@@ -337,7 +438,8 @@ class ShardedEstimationService(BaseEstimationService):
         """
         if self._modelling is not None:
             self._modelling.register(state.key, state.history)
-        shard = self._shards[self.shard_of(state.key)]
+        index = shard_of(state.key, self.workers)
+        shard = self._shards[index]
         message = {
             "op": "register",
             "key": state.key,
@@ -345,6 +447,7 @@ class ShardedEstimationService(BaseEstimationService):
             "metrics": state.history.metric_names,
         }
         with shard.lock:
+            self._routes[state.key] = index
             shard.keys.add(state.key)
             try:
                 self._call_locked(shard, message)
@@ -353,6 +456,18 @@ class ShardedEstimationService(BaseEstimationService):
                 self._respawn_locked(shard)
 
     # Fitting ------------------------------------------------------------
+
+    @contextmanager
+    def _queue_slot(self, shard: _Shard):
+        """Count this thread toward the shard's RPC queue depth while it
+        waits for (and holds) the shard lock on a fit path."""
+        with self._stats_lock:
+            shard.waiters += 1
+        try:
+            yield
+        finally:
+            with self._stats_lock:
+                shard.waiters -= 1
 
     def _fit_state(self, state: _Template) -> FittedCostModel:
         """Ship the unsynced rows and fit on the shard; caller holds the
@@ -364,7 +479,7 @@ class ShardedEstimationService(BaseEstimationService):
         this runs, and the retry recomputes its delta after the replay.
         """
         shard = self._shards[self.shard_of(state.key)]
-        with shard.lock:
+        with self._queue_slot(shard), shard.lock:
             try:
                 fitted = self._fit_locked(shard, state)
             except WorkerCrashError:
@@ -458,75 +573,92 @@ class ShardedEstimationService(BaseEstimationService):
     def _fit_group(
         self, keys: list[str]
     ) -> dict[str, FittedCostModel | EstimationError]:
-        """Fit one shard's stale group through a single ``fit_many``.
+        """Fit one stale group through coalesced ``fit_many`` RPCs.
 
         Lock order matches the single-call path (template lock, then
         shard lock); template locks are taken in sorted key order so two
-        concurrent batches over the same shard can never deadlock each
-        other.  Holding every template lock across the RPC keeps the
-        captured history versions authoritative — an external append
-        blocks until the batch's snapshots are installed.
+        concurrent batches can never deadlock each other.  Holding every
+        template lock across the RPC keeps the captured history versions
+        authoritative — an external append blocks until the batch's
+        snapshots are installed.
+
+        The group arrives pre-bucketed by the caller's *stale scan*
+        routes, but those may be outdated by the time the locks land: a
+        migration between the scan and here moves a key to another
+        shard.  Routes *are* frozen once the template locks are held
+        (:meth:`migrate` needs them), so the group is re-bucketed by the
+        live routing table now and usually collapses back to one shard —
+        after a migration it simply issues one ``fit_many`` per live
+        shard, sequentially, and a stale-route fit is structurally
+        impossible.
         """
         keys = sorted(keys)
         states = [self._state(key) for key in keys]
-        shard = self._shards[self.shard_of(keys[0])]
         outcomes: dict[str, FittedCostModel | EstimationError] = {}
         with ExitStack() as stack:
             for state in states:
                 stack.enter_context(state.lock)
-            with shard.lock:
-                pending: list[tuple[_Template, int]] = []
-                for state in states:
-                    version = state.history.version
-                    if (
-                        state.snapshot is not None
-                        and state.snapshot_version == version
-                    ):
-                        # Another thread refitted it since the stale
-                        # scan; same snapshot hit model() would record.
-                        outcomes[state.key] = state.snapshot
-                        with self._stats_lock:
-                            self._snapshot_hits += 1
-                        continue
-                    pending.append((state, version))
-                if not pending:
-                    return outcomes
-                try:
-                    replies = self._fit_many_locked(shard, pending)
-                except WorkerCrashError:
-                    # The replay resets every sync cursor; the retry
-                    # recomputes its deltas against the fresh replica.
-                    self._respawn_locked(shard)
-                    replies = self._fit_many_locked(shard, pending)
-                deferred: Exception | None = None
-                for (state, version), reply in zip(pending, replies):
-                    # Cursor math holds for success and failure alike:
-                    # the worker reports what actually landed.
-                    state.synced += reply.get("appended", 0)
-                    if reply["ok"]:
-                        state.snapshot = reply["value"]
-                        state.snapshot_version = version
-                        with self._stats_lock:
-                            self._fits += 1
-                        outcomes[state.key] = reply["value"]
-                        continue
-                    kind, text = reply["kind"], reply["error"]
-                    if kind == "estimation":
-                        # "Cannot fit yet" — isolated, never poisons
-                        # the shard-mates.
-                        outcomes[state.key] = EstimationError(text)
-                    elif deferred is None:
-                        # Validation/internal failures surface exactly
-                        # as the single-call path raises them — but only
-                        # after every reply's bookkeeping has landed.
-                        if kind == "validation":
-                            deferred = ValidationError(text)
-                        else:
-                            deferred = ShardedServingError(
-                                f"shard {shard.index}: {text}"
-                            )
-                if deferred is not None:
-                    raise deferred
+            by_shard: dict[int, list[tuple[_Template, int]]] = {}
+            for state in states:
+                version = state.history.version
+                if state.snapshot is not None and state.snapshot_version == version:
+                    # Another thread refitted it since the stale scan;
+                    # same snapshot hit model() would record.
+                    outcomes[state.key] = state.snapshot
+                    with self._stats_lock:
+                        self._snapshot_hits += 1
+                    continue
+                by_shard.setdefault(self.shard_of(state.key), []).append(
+                    (state, version)
+                )
+            deferred: Exception | None = None
+            for index in sorted(by_shard):
+                shard = self._shards[index]
+                pending = by_shard[index]
+                with self._queue_slot(shard), shard.lock:
+                    started = time.perf_counter()
+                    try:
+                        replies = self._fit_many_locked(shard, pending)
+                    except WorkerCrashError:
+                        # The replay resets every sync cursor; the retry
+                        # recomputes its deltas against the fresh replica.
+                        self._respawn_locked(shard)
+                        replies = self._fit_many_locked(shard, pending)
+                    per_item = (time.perf_counter() - started) / len(pending)
+                    for (state, version), reply in zip(pending, replies):
+                        # Cursor math holds for success and failure
+                        # alike: the worker reports what actually landed.
+                        state.synced += reply.get("appended", 0)
+                        if reply["ok"]:
+                            state.snapshot = reply["value"]
+                            state.snapshot_version = version
+                            with self._stats_lock:
+                                self._fits += 1
+                            self._note_template_fit(state, per_item)
+                            outcomes[state.key] = reply["value"]
+                            continue
+                        kind, text = reply["kind"], reply["error"]
+                        if kind == "estimation":
+                            # "Cannot fit yet" — isolated, never poisons
+                            # the shard-mates.
+                            outcomes[state.key] = EstimationError(text)
+                        elif deferred is None:
+                            # Validation/internal failures surface
+                            # exactly as the single-call path raises
+                            # them — but only after every reply's
+                            # bookkeeping has landed.
+                            if kind == "validation":
+                                deferred = ValidationError(text)
+                            elif kind == "stale_route":
+                                deferred = StaleRouteError(
+                                    f"shard {shard.index}: {text}"
+                                )
+                            else:
+                                deferred = ShardedServingError(
+                                    f"shard {shard.index}: {text}"
+                                )
+            if deferred is not None:
+                raise deferred
         return outcomes
 
     def _fit_many_locked(
@@ -546,6 +678,210 @@ class ShardedEstimationService(BaseEstimationService):
             )
         return self._call_locked(shard, {"op": "fit_many", "items": items})
 
+    # Elastic topology -----------------------------------------------------
+
+    def _replay_onto_locked(self, shard: _Shard, state: _Template) -> int:
+        """Register ``state`` on ``shard`` and feed it the full
+        authoritative history (caller holds the template lock and the
+        shard lock).  Retried once through a respawn — the respawn
+        replay only covers ``shard.keys``, which does not include this
+        template yet, so the retry starts from a clean, empty replica.
+        """
+
+        def ship() -> int:
+            self._call_locked(
+                shard,
+                {
+                    "op": "register",
+                    "key": state.key,
+                    "feature_names": state.history.feature_names,
+                    "metrics": state.history.metric_names,
+                },
+            )
+            rows = self._encode_rows(state, start=0)
+            if rows:
+                self._call_locked(
+                    shard, {"op": "extend", "key": state.key, "rows": rows}
+                )
+            return len(rows)
+
+        try:
+            return ship()
+        except WorkerCrashError:
+            self._respawn_locked(shard)
+            return ship()
+
+    def migrate(self, key: str, dst_shard: int) -> bool:
+        """Move one template's replica to ``dst_shard``; returns whether
+        a move happened (``False`` if it already lives there).
+
+        Authoritative-history replay plus an atomic route flip: under
+        the template lock (freezing the route — every fit path resolves
+        its shard while holding it) and both shard locks, the full
+        parent-side history is replayed onto the destination worker,
+        then the routing table, both shards' key sets and the sync
+        cursor flip together under a bumped route version.  Finally the
+        source worker is told to ``forget`` the replica, leaving a
+        version-stamped tombstone: any in-flight RPC that reaches the
+        old shard after the flip is refused with a loud
+        :class:`StaleRouteError` instead of being served from a dropped
+        replica.  Replay walks the identical window schedule the source
+        replica did (the crash-respawn guarantee), so a migration is
+        bitwise invisible to predictions.
+        """
+        self._ensure_open()
+        if not 0 <= dst_shard < self.workers:
+            raise ValidationError(
+                f"dst_shard must be in [0, {self.workers}), got {dst_shard}"
+            )
+        state = self._state(key)
+        with state.lock:
+            src_index = self.shard_of(key)
+            if src_index == dst_shard:
+                return False
+            src = self._shards[src_index]
+            dst = self._shards[dst_shard]
+            first, second = sorted((src, dst), key=lambda shard: shard.index)
+            with first.lock, second.lock:
+                shipped = self._replay_onto_locked(dst, state)
+                with self._stats_lock:
+                    self._route_version += 1
+                    self._migrations += 1
+                    version = self._route_version
+                self._routes[key] = dst_shard
+                src.keys.discard(key)
+                dst.keys.add(key)
+                state.synced = shipped
+                try:
+                    self._call_locked(
+                        src, {"op": "forget", "key": key, "route_v": version}
+                    )
+                except WorkerCrashError:
+                    # A dead source forgets by dying: its respawn replay
+                    # covers src.keys, which no longer includes this key.
+                    self._respawn_locked(src)
+        return True
+
+    def resize(self, workers: int) -> int:
+        """Grow or shrink the worker pool live; returns the new width.
+
+        Growth appends fresh (empty) shards — existing routes are
+        untouched, so nothing refits.  Shrink first migrates every
+        template off the doomed trailing shards to its CRC32 placement
+        in the smaller pool (deterministic, so a later restart at the
+        new width agrees), then drains the orphaned workers.
+        """
+        self._ensure_open()
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        with self._topology_lock:
+            current = len(self._shards)
+            if workers == current:
+                return current
+            if workers > current:
+                for index in range(current, workers):
+                    shard = _Shard(index)
+                    self._start_worker(shard)
+                    self._shards.append(shard)
+                self.workers = workers
+                with self._stats_lock:
+                    self._route_version += 1
+                return workers
+            for doomed in self._shards[workers:]:
+                for key in sorted(doomed.keys):
+                    self.migrate(key, shard_of(key, workers))
+            victims = self._shards[workers:]
+            del self._shards[workers:]
+            self.workers = workers
+            with self._stats_lock:
+                self._route_version += 1
+            for shard in victims:
+                self._shutdown_shard(shard, timeout=5.0)
+            return workers
+
+    def rebalance(self, policy: RebalancePolicy) -> RebalanceOutcome:
+        """Run one control cycle of ``policy`` and apply its plan.
+
+        Serialised by the topology lock (one control cycle at a time);
+        the data plane keeps serving throughout — each applied move
+        holds only its own template's lock.
+        """
+        self._ensure_open()
+        with self._topology_lock:
+            shards, templates = self._load_rows()
+            plan = policy.plan(shards, templates)
+            grew = None
+            if plan.grow_to is not None and plan.grow_to > self.workers:
+                grew = self.resize(plan.grow_to)
+            applied = []
+            for move in plan.moves:
+                if 0 <= move.dst < self.workers and self.migrate(move.key, move.dst):
+                    applied.append(move)
+            shrank = None
+            if plan.shrink_to is not None and plan.shrink_to < self.workers:
+                shrank = self.resize(plan.shrink_to)
+            return RebalanceOutcome(
+                moves=tuple(applied),
+                grew_to=grew,
+                shrank_to=shrank,
+                route_version=self.route_version,
+                reason=plan.reason,
+            )
+
+    @property
+    def route_version(self) -> int:
+        """Monotone counter bumped by every route flip (migrate/resize)."""
+        with self._stats_lock:
+            return self._route_version
+
+    @property
+    def migrations(self) -> int:
+        """How many template migrations were applied so far."""
+        with self._stats_lock:
+            return self._migrations
+
+    def _load_rows(self) -> tuple[list[ShardLoad], list[TemplateLoad]]:
+        """One consistent-enough pass over the pool's load accounting."""
+        shard_rows: list[ShardLoad] = []
+        template_rows: list[TemplateLoad] = []
+        for shard in tuple(self._shards):
+            with shard.lock:
+                entries = []
+                for key in sorted(shard.keys):
+                    state = self._templates.get(key)
+                    if state is None:
+                        continue
+                    entries.append((state, state.history.size - state.synced))
+            with self._stats_lock:
+                shard_rows.append(
+                    ShardLoad(
+                        index=shard.index,
+                        routed=tuple(state.key for state, _ in entries),
+                        backlog=sum(backlog for _, backlog in entries),
+                        queue_depth=shard.waiters,
+                        fit_seconds_ewma=shard.fit_ewma,
+                    )
+                )
+                for state, backlog in entries:
+                    template_rows.append(
+                        TemplateLoad(
+                            key=state.key,
+                            shard=shard.index,
+                            fits=state.fits,
+                            fit_seconds_ewma=state.fit_seconds_ewma,
+                            backlog=backlog,
+                        )
+                    )
+        return shard_rows, template_rows
+
+    def shard_loads(self) -> list[ShardLoad]:
+        """Per-shard load accounting snapshots (parent-side, no RPC)."""
+        return self._load_rows()[0]
+
+    def template_loads(self) -> list[TemplateLoad]:
+        """Per-template load accounting snapshots (parent-side, no RPC)."""
+        return self._load_rows()[1]
+
     # Introspection --------------------------------------------------------
 
     def rpc_counts(self) -> dict[str, int]:
@@ -564,38 +900,48 @@ class ShardedEstimationService(BaseEstimationService):
     def worker_pids(self) -> list[int | None]:
         return [
             None if shard.process is None else shard.process.pid
-            for shard in self._shards
+            for shard in tuple(self._shards)
         ]
 
     _DEAD_SHARD_STATS = {"pid": None, "templates": 0, "fits": 0, "engine_cache": None}
 
     def shard_stats(self) -> list[dict]:
         """Per-shard worker counters (pid, replica count, fits, cache),
-        plus the parent-side ``backlog``: rows appended to the shard's
-        templates since their last fit (the load signal the flush
-        watermarks and future rebalancing read).
+        plus the parent-side load accounting: ``backlog`` (rows appended
+        to the shard's templates since their last fit), ``routed`` (how
+        many templates the routing table currently places here),
+        ``queue_depth`` (threads waiting on this shard's RPC lane) and
+        ``fit_ewma_ms`` (EWMA of one fit's parent-observed wall time) —
+        the signals the flush watermarks and the rebalance policy read.
 
         Strictly read-only: a dead or unreachable worker reports the
         placeholder row instead of being respawned here — healing
         belongs to the serving path (the next fit RPC), not to
         introspection, so a monitoring poll never blocks on a
         full-history replay or perturbs the ``respawns`` counter.  The
-        backlog comes from the authoritative parent histories, so it is
-        reported even for a dead worker.
+        parent-side fields come from the authoritative histories and
+        routing table, so they are reported even for a dead worker.
         """
         out = []
-        for shard in self._shards:
+        for shard in tuple(self._shards):
             with shard.lock:
                 backlog = sum(
                     self._templates[key].history.size - self._templates[key].synced
                     for key in shard.keys
                 )
+                routed = len(shard.keys)
                 try:
                     row = dict(self._call_locked(shard, {"op": "stats"}))
                 except (EstimationError, ValidationError):
                     row = dict(self._DEAD_SHARD_STATS)
+            with self._stats_lock:
                 row["backlog"] = backlog
-                out.append(row)
+                row["routed"] = routed
+                row["queue_depth"] = shard.waiters
+                row["fit_ewma_ms"] = (
+                    None if shard.fit_ewma is None else shard.fit_ewma * 1000.0
+                )
+            out.append(row)
         return out
 
     def _engine_cache_stats(self) -> CacheStats | None:

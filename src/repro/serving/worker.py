@@ -36,11 +36,23 @@ Request shapes (``rows`` is ``[(tick, {feature: value}, {metric: value}),
      "expected_size": int}                               -> FittedCostModel
     {"op": "fit_many", "items": [{"key", "rows", "expected_size"}, ...]}
                           -> [{"key", "ok", ...}, ...] (see below)
+    {"op": "forget",   "key": str, "route_v": int}       -> None
     {"op": "stats"}       -> {"pid", "templates", "fits", "engine_cache"}
     {"op": "ping"}        -> "pong"
     {"op": "shutdown"}    -> None (worker exits after replying)
     {"op": "crash"}       -> no reply; the worker hard-exits (test hook
                              for the crash-detection/respawn path)
+    {"op": "hang"}        -> no reply; the worker wedges forever (test
+                             hook for the rpc_timeout hung-worker guard)
+
+``forget`` is the migration half-close: the parent flipped the key's
+route to another shard, so this worker drops its replica *and records
+the route version it was dropped at*.  Any straggler RPC that still
+names the key (an in-flight fit addressed under the old route) is then
+refused with a ``stale_route``-kind error naming that version — loudly,
+never as a soft "cannot fit yet" — because a fit landing on a forgotten
+replica would mean the atomic route flip was not atomic after all.  A
+later ``register`` (the key migrating back) clears the tombstone.
 
 ``fit_many`` is the batch-first sibling of ``fit``: one round-trip
 carries every stale template of the shard plus its coalesced row delta,
@@ -53,7 +65,8 @@ parent advance each sync cursor by what actually landed.
 Reply shapes::
 
     {"ok": True,  "value": <op-specific value>}
-    {"ok": False, "kind": "validation" | "estimation" | "internal",
+    {"ok": False, "kind": "validation" | "estimation" | "stale_route"
+                          | "internal",
      "error": str, ...}
 
 A failed ``fit`` reply additionally carries ``"appended": int`` — how
@@ -66,8 +79,9 @@ re-send the rows and corrupt the replica's tick order.
 process boundary: ``validation`` re-raises as
 :class:`~repro.common.errors.ValidationError`, ``estimation`` as
 :class:`~repro.common.errors.EstimationError` (so "history still too
-short to fit" keeps its type through the gateway), and ``internal``
-as a :class:`~repro.serving.sharded.ShardedServingError`.
+short to fit" keeps its type through the gateway), ``stale_route`` as
+a :class:`~repro.serving.sharded.StaleRouteError`, and ``internal`` as
+a :class:`~repro.serving.sharded.ShardedServingError`.
 
 The ``fit`` request carries ``expected_size`` — the parent's history
 size after the delta — as a desync tripwire: a replica that disagrees
@@ -77,6 +91,7 @@ refuses to fit instead of silently training on a torn window.
 from __future__ import annotations
 
 import os
+import time
 from typing import Iterable
 
 from repro.common.errors import EstimationError, ValidationError
@@ -87,8 +102,9 @@ Row = tuple[int, dict[str, float], dict[str, float]]
 
 #: Wire-protocol version stamped on every request.  Bumped whenever a
 #: message shape changes incompatibly (v2 added ``fit_many`` and the
-#: version field itself); parent and workers must match exactly.
-PROTOCOL_VERSION = 2
+#: version field itself; v3 added ``forget``/``hang`` and the
+#: ``stale_route`` error kind); parent and workers must match exactly.
+PROTOCOL_VERSION = 3
 
 
 def strategy_from_config(config):
@@ -145,6 +161,11 @@ class _OpError(Exception):
         self.extras = extras
 
 
+class _StaleRouteReference(Exception):
+    """An RPC named a key that was migrated off this shard (serialised
+    back as the ``stale_route`` kind)."""
+
+
 class _WorkerState:
     """One shard's private universe: modelling registry + counters."""
 
@@ -153,6 +174,8 @@ class _WorkerState:
 
         self.modelling = Modelling(strategy_factory())
         self.histories: dict[str, ExecutionHistory] = {}
+        #: Migration tombstones: key -> route version it left at.
+        self.forgotten: dict[str, int] = {}
         self.fits = 0
 
     def handle(self, message: dict):
@@ -181,6 +204,13 @@ class _WorkerState:
             history = ExecutionHistory(feature_names, metrics)
             self.histories[key] = history
             self.modelling.register(key, history)
+            self.forgotten.pop(key, None)  # the key migrated back
+            return None
+        if op == "forget":
+            key = message["key"]
+            self.histories.pop(key, None)
+            self.modelling.deregister(key)
+            self.forgotten[key] = int(message.get("route_v", 0))
             return None
         if op == "extend":
             return _extend(self._history(message["key"]), message["rows"])
@@ -254,6 +284,15 @@ class _WorkerState:
         try:
             return self.histories[key]
         except KeyError:
+            if key in self.forgotten:
+                # Not "cannot fit yet" (the estimation kind, which batch
+                # callers soak up): a straggler RPC outran a route flip,
+                # and that must surface as a loud infrastructure error.
+                raise _StaleRouteReference(
+                    f"stale route: replica for {key!r} was migrated off "
+                    f"this shard at route version {self.forgotten[key]}; "
+                    "refusing the RPC"
+                ) from None
             known = ", ".join(sorted(self.histories)) or "<none>"
             raise EstimationError(
                 f"shard has no replica for {key!r}; have: {known}"
@@ -270,6 +309,9 @@ def _serve_boot_error(conn, reply: dict) -> None:
         op = message.get("op")
         if op == "crash":
             os._exit(17)
+        if op == "hang":
+            while True:
+                time.sleep(3600)
         try:
             conn.send({"ok": True, "value": None} if op == "shutdown" else reply)
         except (BrokenPipeError, OSError):
@@ -305,6 +347,8 @@ def _error_kind(error: BaseException) -> str:
         return "validation"
     if isinstance(error, EstimationError):
         return "estimation"
+    if isinstance(error, _StaleRouteReference):
+        return "stale_route"
     return "internal"
 
 
@@ -342,6 +386,12 @@ def worker_main(conn, strategy_factory) -> None:
         op = message.get("op")
         if op == "crash":
             os._exit(17)  # simulate a hard worker death, no reply
+        if op == "hang":
+            # Simulated wedge, no reply: the process stays alive but
+            # stops serving, which is exactly what the parent's
+            # rpc_timeout guard must detect and terminate.
+            while True:
+                time.sleep(3600)
         if op == "shutdown":
             try:
                 conn.send({"ok": True, "value": None})

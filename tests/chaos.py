@@ -1,0 +1,261 @@
+"""Chaos fault-plan driver: elastic topology vs the in-process oracle.
+
+ISSUE 7's equivalence bar for the elastic sharded backend is the same
+one PR 5 set for the static backend, now under *placement* chaos: for
+ANY interleaving of observes / fits / bursts / batch refreshes, and ANY
+plan of infrastructure faults — worker crashes, wedged (hung) workers,
+forced template migrations, pool grow/shrink — replaying the identical
+operation sequence through :class:`~repro.serving.ShardedEstimationService`
+and through the single-process :class:`~repro.serving.EstimationService`
+oracle must produce bitwise-identical window choices, predictions and
+parent-side fit counters.  Faults may move replicas around; they must
+never change a single number the service returns.
+
+The driver is deliberately dumb: a :class:`Fault` says *when* (a script
+step index) and *what*; targets are normalised onto the live topology
+at fire time (modulo the current pool width), so hypothesis can draw
+fault plans without knowing how earlier resizes reshaped the pool.
+Suites stay thin clients — they describe a script and a fault plan and
+assert on the returned :class:`ChaosLog`; every equivalence check lives
+here, once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.midas import MidasSystem
+from repro.serving import EstimationService, ShardedEstimationService
+from repro.serving.worker import dream_strategy
+
+from tests.helpers import (
+    FEATURES,
+    GATEWAY_KEYS,
+    MAX_WINDOW,
+    METRICS,
+    R2,
+    assert_gateway_outcomes_equal,
+    assert_models_bitwise_equal,
+    build_gateway_traffic,
+    gateway_config,
+    observation_stream,
+    run_sequential,
+    sharded_factory,
+)
+
+#: ``rpc_timeout`` forced onto a run whose plan contains ``hang`` faults
+#: and whose caller did not pick one — a wedged worker is undetectable
+#: without the guard, so the run would block forever.
+HANG_GUARD_TIMEOUT = 2.0
+
+#: Pool-width ceiling for normalised ``resize`` faults: keeps
+#: hypothesis-drawn plans from forking an unbounded number of workers.
+MAX_CHAOS_WORKERS = 4
+
+FAULT_KINDS = ("crash", "hang", "migrate", "resize")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted infrastructure failure.
+
+    ``at`` is the script step index the fault fires *before*; a value
+    past the end of the script fires after the last step, before the
+    final sweep.  Targets are normalised at fire time: ``shard`` and
+    ``dst`` modulo the live pool width, ``key_index`` modulo the tenant
+    count, ``workers`` clamped to [1, MAX_CHAOS_WORKERS].
+    """
+
+    at: int
+    kind: str
+    shard: int = 0
+    key_index: int = 0
+    dst: int = 0
+    workers: int = 1
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.at < 0:
+            raise ValueError(f"fault step index must be >= 0, got {self.at}")
+
+
+@dataclass
+class ChaosLog:
+    """What a fault plan actually did, plus the run's final counters."""
+
+    crashes: int = 0
+    hangs: int = 0
+    migrations: int = 0
+    resizes: int = 0
+    #: (kind, detail) per applied fault, post-normalisation, in order.
+    applied: list = field(default_factory=list)
+    # Final sharded-side counters, captured before close:
+    respawns: int = 0
+    route_version: int = 0
+    fits: int = 0
+    workers: int = 0
+
+
+def _apply(fault: Fault, sharded, keys, log: ChaosLog) -> None:
+    """Fire one fault against the live topology, recording what landed."""
+    if fault.kind == "crash":
+        victim = fault.shard % sharded.workers
+        sharded.inject_worker_crash(victim)
+        log.crashes += 1
+        log.applied.append(("crash", victim))
+    elif fault.kind == "hang":
+        victim = fault.shard % sharded.workers
+        sharded.inject_worker_hang(victim)
+        log.hangs += 1
+        log.applied.append(("hang", victim))
+    elif fault.kind == "migrate":
+        key = keys[fault.key_index % len(keys)]
+        dst = fault.dst % sharded.workers
+        if sharded.migrate(key, dst):
+            log.migrations += 1
+            log.applied.append(("migrate", (key, dst)))
+    else:  # resize
+        target = max(1, min(fault.workers, MAX_CHAOS_WORKERS))
+        if target != sharded.workers:
+            sharded.resize(target)
+            log.resizes += 1
+            log.applied.append(("resize", target))
+
+
+def replay_script(script, keys, sharded, threaded, *, faults=(), seed=23,
+                  stream_length=64, log=None) -> ChaosLog:
+    """Drive both (already registered) services through one interleaving,
+    firing ``faults`` at their step indices and checking every fit.
+
+    Script entries are ``(index, op)`` with ``op`` one of ``observe``
+    (next row of tenant ``index % len(keys)``'s deterministic stream),
+    ``fit`` (single-template model, failure parity included), ``batch``
+    (coalesced ``refresh_batch``) and ``burst`` (parallel ``refresh``).
+    Ends with a full sweep plus the fit-counter equality check.
+    """
+    log = log if log is not None else ChaosLog()
+    pending = sorted(faults, key=lambda fault: fault.at)
+    cursors = {key: 0 for key in keys}
+    streams = {key: observation_stream(key, stream_length, seed=seed) for key in keys}
+    for step, (index, op) in enumerate(script):
+        while pending and pending[0].at <= step:
+            _apply(pending.pop(0), sharded, keys, log)
+        key = keys[index % len(keys)]
+        if op == "observe":
+            cursor = cursors[key]
+            if cursor >= len(streams[key]):
+                continue
+            tick, features, costs = streams[key][cursor]
+            cursors[key] = cursor + 1
+            sharded.record(key, tick, features, costs)
+            threaded.record(key, tick, features, costs)
+        elif op == "fit":
+            try:
+                threaded_model = threaded.model(key)
+            except EstimationError:
+                with pytest.raises(EstimationError):
+                    sharded.model(key)
+                continue
+            assert_models_bitwise_equal(key, sharded.model(key), threaded_model)
+        elif op == "batch":
+            # The coalesced path (one fit_many per shard) against the
+            # in-process base implementation of the same call.
+            sharded_result = sharded.refresh_batch()
+            threaded_result = threaded.refresh_batch()
+            assert sorted(sharded_result.models) == sorted(threaded_result.models)
+            assert sorted(sharded_result.errors) == sorted(threaded_result.errors)
+            assert sharded_result.fitted == threaded_result.fitted
+            for fitted_key, threaded_model in threaded_result.models.items():
+                assert_models_bitwise_equal(
+                    fitted_key, sharded_result.models[fitted_key], threaded_model
+                )
+        else:  # burst
+            sharded_models = sharded.refresh(parallel=True)
+            threaded_models = threaded.refresh(parallel=True)
+            assert sorted(sharded_models) == sorted(threaded_models)
+            for fitted_key, threaded_model in threaded_models.items():
+                assert_models_bitwise_equal(
+                    fitted_key, sharded_models[fitted_key], threaded_model
+                )
+    # Late faults (at >= len(script)) fire before the final sweep: the
+    # sweep itself must still agree through them.
+    while pending:
+        _apply(pending.pop(0), sharded, keys, log)
+    final_sharded = sharded.refresh(parallel=False)
+    final_threaded = threaded.refresh(parallel=False)
+    assert sorted(final_sharded) == sorted(final_threaded)
+    for key, threaded_model in final_threaded.items():
+        assert_models_bitwise_equal(key, final_sharded[key], threaded_model)
+    assert sharded.stats.fits == threaded.stats.fits
+    log.respawns = sharded.respawns
+    log.route_version = sharded.route_version
+    log.fits = sharded.stats.fits
+    log.workers = sharded.workers
+    return log
+
+
+def run_chaos_script(script, faults, *, keys, workers=2, rpc_timeout=None,
+                     seed=23, stream_length=64) -> ChaosLog:
+    """Build both services, register ``keys``, replay ``script`` with
+    ``faults``, tear down.  The one-call front for chaos suites."""
+    if rpc_timeout is None and any(fault.kind == "hang" for fault in faults):
+        rpc_timeout = HANG_GUARD_TIMEOUT
+    threaded = EstimationService(
+        strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
+    )
+    with ShardedEstimationService(
+        sharded_factory, workers=workers, rpc_timeout=rpc_timeout
+    ) as sharded:
+        for key in keys:
+            sharded.register(key, feature_names=FEATURES, metrics=METRICS)
+            threaded.register(key, feature_names=FEATURES, metrics=METRICS)
+        return replay_script(
+            script, keys, sharded, threaded,
+            faults=faults, seed=seed, stream_length=stream_length,
+        )
+
+
+def run_gateway_chaos(script, faults, *, seed) -> ChaosLog:
+    """Gateway-level chaos: the scripted traffic through ``ingest()`` +
+    ``drain()`` on the sharded backend with faults fired between
+    admissions, against the fault-free sequential replay.  Faults with
+    ``at`` past the traffic fire after admission, before the drain."""
+    overrides = {}
+    if any(fault.kind == "hang" for fault in faults):
+        overrides["shard_rpc_timeout"] = HANG_GUARD_TIMEOUT
+    config = gateway_config("sharded", **overrides)
+    traffic = build_gateway_traffic(script, seed)
+    sequential = run_sequential(traffic, "sharded", seed, config=config)
+
+    log = ChaosLog()
+    pending = sorted(faults, key=lambda fault: fault.at)
+    midas = MidasSystem(patient_count=250, seed=seed, config=config)
+    outcomes = []
+    try:
+        serving = midas.gateway.engine.serving
+        for step, (_op, request) in enumerate(traffic):
+            while pending and pending[0].at <= step:
+                _apply(pending.pop(0), serving, GATEWAY_KEYS, log)
+            midas.gateway.ingest(request)
+        while pending:
+            _apply(pending.pop(0), serving, GATEWAY_KEYS, log)
+        batch = midas.gateway.drain()
+        for report, error in zip(batch.reports, batch.errors):
+            if error is None:
+                outcomes.append(("ok", report))
+            else:
+                outcomes.append(("error", type(error).__name__))
+        fits = midas.gateway.serving_stats.fits
+        observations = midas.gateway.serving_stats.observations
+        log.respawns = serving.respawns
+        log.route_version = serving.route_version
+        log.fits = fits
+        log.workers = serving.workers
+    finally:
+        midas.gateway.close()
+    assert_gateway_outcomes_equal(sequential, (outcomes, fits, observations))
+    return log

@@ -1,0 +1,30 @@
+"""Shared pytest wiring: one pinned hypothesis settings profile.
+
+Every property suite used to restate ``deadline=None`` and the
+``too_slow`` suppression per test; the profiles below make that the
+suite-wide default so individual ``@settings`` decorators only say what
+is genuinely test-specific (``max_examples``).
+
+* ``dev`` (default) — no deadline (fork-heavy sharded examples are
+  legitimately slow), randomization ON (``derandomize=False``: every
+  run explores new interleavings), and ``print_blob=True`` so a failure
+  prints the ``@reproduce_failure`` seed blob needed to replay it.
+* ``ci`` — identical guarantees, selected explicitly in CI via
+  ``HYPOTHESIS_PROFILE=ci`` so the workflow states which contract it
+  runs under (and the two can diverge later without touching tests).
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_BASE = dict(
+    deadline=None,
+    derandomize=False,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.register_profile("dev", **_BASE)
+settings.register_profile("ci", **_BASE)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -40,6 +40,8 @@ from repro.federation import (
 )
 from repro.midas import MEDICAL_QUERIES, MidasSystem
 
+from tests.helpers import assert_report_pair_equal
+
 KEY = "medical-demographics"
 KEY2 = "medical-severe-cases"
 
@@ -218,6 +220,61 @@ class TestBackpressure:
         gateway.close()
         assert ticket.done and ticket.error is None
         assert gateway.ingest_stats().drain_flushes == 1
+
+
+class TestCloseWhileDraining:
+    """ISSUE 7 satellite: ``close()`` during an in-flight ``drain()``
+    must wait the flush out (tearing the serving layer down under a
+    running flush would kill workers mid-fit), resolve every ticket,
+    refuse post-close admissions with the typed session error, and stay
+    idempotent — on both serving backends."""
+
+    @pytest.mark.parametrize("backend", ["threaded", "sharded"])
+    def test_close_during_inflight_drain_is_ordered_and_idempotent(self, backend):
+        config = FederationConfig(
+            serving_backend=backend, shard_workers=2, max_window=24
+        )
+        midas = MidasSystem(patient_count=250, seed=81, config=config)
+        gateway = midas.gateway
+        rng = RngStream(19, "close-race")
+        entered = threading.Event()
+        release = threading.Event()
+        original = gateway.observe
+
+        def stalling_observe(request, **kwargs):
+            entered.set()
+            release.wait(timeout=10)
+            return original(request, **kwargs)
+
+        gateway.observe = stalling_observe
+        tickets = [gateway.ingest(observe_request(rng)) for _ in range(3)]
+
+        drained = {}
+
+        def drain():
+            drained["batch"] = gateway.drain()
+
+        drainer = threading.Thread(target=drain, daemon=True)
+        drainer.start()
+        assert entered.wait(timeout=10), "flush never started"
+        # close() lands mid-flush; it must block until the drain's
+        # flush finishes, then shut the serving layer down.
+        closer = threading.Thread(target=gateway.close, daemon=True)
+        closer.start()
+        release.set()
+        drainer.join(timeout=30)
+        closer.join(timeout=30)
+        assert not drainer.is_alive(), "drain() deadlocked against close()"
+        assert not closer.is_alive(), "close() deadlocked against drain()"
+        batch = drained["batch"]
+        assert len(batch) == 3 and batch.failed == 0
+        assert all(ticket.done and ticket.error is None for ticket in tickets)
+        # The door is gone: admission is refused with the typed error...
+        with pytest.raises(SessionStateError, match="closed"):
+            gateway.ingest(observe_request(rng))
+        # ...while repeat close and drain stay safe no-ops.
+        gateway.close()
+        assert len(gateway.drain()) == 0
 
 
 @pytest.mark.slow
@@ -435,16 +492,8 @@ class TestOracleEquivalence:
 
         assert batch.failed == 0
         assert len(seq_reports) == len(batch.reports)
-        for left, right in zip(seq_reports, batch.reports):
-            assert type(left) is type(right)
-            assert left.tick == right.tick
-            if hasattr(left, "predicted_costs"):
-                assert left.predicted_costs == right.predicted_costs
-                assert left.measured_costs == right.measured_costs
-                assert left.chosen.describe() == right.chosen.describe()
-            else:
-                assert left.measured == right.measured
-                assert left.candidate.describe() == right.candidate.describe()
+        for position, (left, right) in enumerate(zip(seq_reports, batch.reports)):
+            assert_report_pair_equal(left, right, position)
         # Fit counts are part of the oracle contract.
         assert seq_stats.fits == bat_stats.fits
         assert seq_stats.observations == bat_stats.observations

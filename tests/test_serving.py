@@ -18,32 +18,13 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 import pytest
 
-from repro.cloud.variability import default_federation_load
 from repro.common.errors import EstimationError, ValidationError
 from repro.common.rng import RngStream
 from repro.core import ExecutionHistory, ModelCache
 from repro.ires.modelling import DreamStrategy
 from repro.serving import EstimationService
 
-FEATURES = ("size", "nodes")
-METRICS = ("time", "money")
-
-
-def observation_stream(key: str, ticks: int, seed: int = 17):
-    """A deterministic per-template stream of (tick, features, costs)."""
-    rng = RngStream(seed, "serving", key)
-    load = default_federation_load(rng.child("load"))
-    out = []
-    for tick in range(ticks):
-        size = float(rng.uniform(10, 100))
-        nodes = float(rng.integers(2, 9))
-        factor = load.factor(tick)
-        time = factor * (5 + 0.4 * size / nodes) * (1 + float(rng.normal(0, 0.03)))
-        money = factor * (0.01 * size + 0.002 * nodes * time)
-        out.append(
-            (tick, {"size": size, "nodes": nodes}, {"time": time, "money": money})
-        )
-    return out
+from tests.helpers import FEATURES, METRICS, observation_stream
 
 
 def make_service(**kwargs) -> EstimationService:

@@ -16,99 +16,42 @@ Hypothesis drives the shapes (non-slow: small pools, fork-cheap); the
 ``slow`` marker extends the PR 2 stress pattern with forced worker
 crashes mid-stream — a respawned worker replays the authoritative
 history and must land on the exact same models.
+
+The replay/equivalence machinery lives in :mod:`tests.chaos` (the
+ISSUE 7 fault-plan driver — this suite is its fault-free and
+crash-only client; full placement chaos lives in
+``tests/test_chaos_equivalence.py``) and :mod:`tests.helpers`.
 """
 
-from functools import partial
+import threading
 
-import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.errors import EstimationError
 from repro.common.rng import RngStream
-from repro.federation import (
-    FederationConfig,
-    FederationError,
-    ObserveRequest,
-    SubmitRequest,
-)
+from repro.federation import ObserveRequest, SubmitRequest
 from repro.midas import MEDICAL_QUERIES, MidasSystem
 from repro.serving import EstimationService, ShardedEstimationService
 from repro.serving.worker import dream_strategy
 
-from tests.test_serving import FEATURES, METRICS, observation_stream
-
-R2 = 0.8
-MAX_WINDOW = 20
-
-factory = partial(
-    dream_strategy, r2_required=R2, max_window=MAX_WINDOW, cache_capacity=64
+from tests.chaos import Fault, replay_script, run_chaos_script
+from tests.helpers import (
+    FEATURES,
+    GATEWAY_KEYS,
+    MAX_WINDOW,
+    METRICS,
+    R2,
+    assert_gateway_outcomes_equal,
+    assert_models_bitwise_equal,
+    build_gateway_traffic,
+    gateway_config,
+    observation_stream,
+    run_batched,
+    run_sequential,
+    sharded_factory,
 )
-
-PROBE = np.array([[25.0, 2.0], [55.0, 4.0], [95.0, 8.0], [110.0, 3.0]])
-
-
-def assert_models_bitwise_equal(key, sharded_model, threaded_model):
-    __tracebackhide__ = True
-    assert sharded_model.training_size == threaded_model.training_size, key
-    sharded_columns = sharded_model.predict_batch(PROBE)
-    threaded_columns = threaded_model.predict_batch(PROBE)
-    for metric in METRICS:
-        assert np.array_equal(
-            sharded_columns[metric], threaded_columns[metric]
-        ), (key, metric)
-
-
-def replay(script, keys, sharded, threaded):
-    """Drive both services through one interleaving, checking every fit."""
-    cursors = {key: 0 for key in keys}
-    streams = {key: observation_stream(key, 64, seed=23) for key in keys}
-    for index, op in script:
-        key = keys[index % len(keys)]
-        if op == "observe":
-            cursor = cursors[key]
-            if cursor >= len(streams[key]):
-                continue
-            tick, features, costs = streams[key][cursor]
-            cursors[key] = cursor + 1
-            sharded.record(key, tick, features, costs)
-            threaded.record(key, tick, features, costs)
-        elif op == "fit":
-            try:
-                threaded_model = threaded.model(key)
-            except EstimationError:
-                with pytest.raises(EstimationError):
-                    sharded.model(key)
-                continue
-            assert_models_bitwise_equal(key, sharded.model(key), threaded_model)
-        elif op == "batch":
-            # The coalesced path (one fit_many per shard) against the
-            # in-process base implementation of the same call.
-            sharded_result = sharded.refresh_batch()
-            threaded_result = threaded.refresh_batch()
-            assert sorted(sharded_result.models) == sorted(threaded_result.models)
-            assert sorted(sharded_result.errors) == sorted(threaded_result.errors)
-            assert sharded_result.fitted == threaded_result.fitted
-            for fitted_key, threaded_model in threaded_result.models.items():
-                assert_models_bitwise_equal(
-                    fitted_key, sharded_result.models[fitted_key], threaded_model
-                )
-        else:  # burst
-            sharded_models = sharded.refresh(parallel=True)
-            threaded_models = threaded.refresh(parallel=True)
-            assert sorted(sharded_models) == sorted(threaded_models)
-            for fitted_key, threaded_model in threaded_models.items():
-                assert_models_bitwise_equal(
-                    fitted_key, sharded_models[fitted_key], threaded_model
-                )
-    # Final sweep: every fittable tenant agrees after the whole script.
-    final_sharded = sharded.refresh(parallel=False)
-    final_threaded = threaded.refresh(parallel=False)
-    assert sorted(final_sharded) == sorted(final_threaded)
-    for key, threaded_model in final_threaded.items():
-        assert_models_bitwise_equal(key, final_sharded[key], threaded_model)
-
 
 ops = st.sampled_from(["observe", "observe", "observe", "fit", "burst"])
 scripts = st.lists(st.tuples(st.integers(min_value=0, max_value=7), ops), max_size=60)
@@ -129,34 +72,19 @@ class TestShardedEquivalenceProperties:
         n_templates=st.integers(min_value=1, max_value=4),
         script=scripts,
     )
-    @settings(
-        max_examples=12,
-        deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
+    @settings(max_examples=12)
     def test_any_interleaving_matches_in_process_service(
         self, workers, n_templates, script
     ):
         keys = [f"tenant-{i}" for i in range(n_templates)]
-        threaded = EstimationService(
-            strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
-        )
-        with ShardedEstimationService(factory, workers=workers) as sharded:
-            for key in keys:
-                sharded.register(key, feature_names=FEATURES, metrics=METRICS)
-                threaded.register(key, feature_names=FEATURES, metrics=METRICS)
-            replay(script, keys, sharded, threaded)
+        run_chaos_script(script, (), keys=keys, workers=workers)
 
     @given(
         workers=st.integers(min_value=1, max_value=3),
         n_templates=st.integers(min_value=1, max_value=4),
         script=batch_scripts,
     )
-    @settings(
-        max_examples=10,
-        deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
+    @settings(max_examples=10)
     def test_refresh_batch_interleavings_match_in_process_service(
         self, workers, n_templates, script
     ):
@@ -167,11 +95,11 @@ class TestShardedEquivalenceProperties:
         threaded = EstimationService(
             strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
         )
-        with ShardedEstimationService(factory, workers=workers) as sharded:
+        with ShardedEstimationService(sharded_factory, workers=workers) as sharded:
             for key in keys:
                 sharded.register(key, feature_names=FEATURES, metrics=METRICS)
                 threaded.register(key, feature_names=FEATURES, metrics=METRICS)
-            replay(script, keys, sharded, threaded)
+            replay_script(script, keys, sharded, threaded)
             assert sharded.stats.fits == threaded.stats.fits
             assert sharded.stats.batch_refreshes == threaded.stats.batch_refreshes
 
@@ -187,107 +115,23 @@ class TestShardedEquivalenceProperties:
         threaded = EstimationService(
             strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
         )
-        with ShardedEstimationService(factory, workers=2) as sharded:
+        with ShardedEstimationService(sharded_factory, workers=2) as sharded:
             for key in keys:
                 sharded.register(key, feature_names=FEATURES, metrics=METRICS)
                 threaded.register(key, feature_names=FEATURES, metrics=METRICS)
-            replay(script, keys, sharded, threaded)
+            replay_script(script, keys, sharded, threaded)
             for attribute in ("templates", "fits", "snapshot_hits", "observations"):
                 assert getattr(sharded.stats, attribute) == getattr(
                     threaded.stats, attribute
                 ), attribute
 
 
-GATEWAY_KEYS = ("medical-demographics", "medical-severe-cases")
 gateway_ops = st.sampled_from(["observe", "observe", "observe", "submit"])
 gateway_scripts = st.lists(
     st.tuples(st.integers(min_value=0, max_value=1), gateway_ops),
     min_size=1,
     max_size=24,
 )
-
-
-def build_gateway_traffic(script, seed):
-    """Materialise one request object per script entry (shared between
-    both systems, so parameter sampling cannot diverge)."""
-    rng = RngStream(seed, "gateway-property")
-    traffic = []
-    for index, op in script:
-        key = GATEWAY_KEYS[index]
-        params = MEDICAL_QUERIES[key].sample_params(rng)
-        if op == "submit":
-            traffic.append(("submit", SubmitRequest(key, params)))
-        else:
-            traffic.append(("observe", ObserveRequest(key, params)))
-    return traffic
-
-
-def gateway_config(backend):
-    return FederationConfig(
-        serving_backend=backend, shard_workers=2, max_window=24
-    )
-
-
-def run_sequential(traffic, backend, seed):
-    """Single-call replay: one outcome per item, plus the fit counter."""
-    midas = MidasSystem(patient_count=250, seed=seed, config=gateway_config(backend))
-    outcomes = []
-    try:
-        for op, request in traffic:
-            call = midas.gateway.submit if op == "submit" else midas.gateway.observe
-            try:
-                outcomes.append(("ok", call(request)))
-            except FederationError as error:
-                outcomes.append(("error", type(error).__name__))
-        fits = midas.gateway.serving_stats.fits
-        observations = midas.gateway.serving_stats.observations
-    finally:
-        midas.gateway.close()
-    return outcomes, fits, observations
-
-
-def run_batched(traffic, backend, seed):
-    """The same traffic through ingest() + drain()."""
-    midas = MidasSystem(patient_count=250, seed=seed, config=gateway_config(backend))
-    outcomes = []
-    try:
-        for _op, request in traffic:
-            midas.gateway.ingest(request)
-        batch = midas.gateway.drain()
-        for report, error in zip(batch.reports, batch.errors):
-            if error is None:
-                outcomes.append(("ok", report))
-            else:
-                outcomes.append(("error", type(error).__name__))
-        fits = midas.gateway.serving_stats.fits
-        observations = midas.gateway.serving_stats.observations
-    finally:
-        midas.gateway.close()
-    return outcomes, fits, observations
-
-
-def assert_gateway_outcomes_equal(sequential, batched):
-    __tracebackhide__ = True
-    seq_outcomes, seq_fits, seq_observations = sequential
-    bat_outcomes, bat_fits, bat_observations = batched
-    assert len(seq_outcomes) == len(bat_outcomes)
-    for position, (left, right) in enumerate(zip(seq_outcomes, bat_outcomes)):
-        assert left[0] == right[0], (position, left[0], right[0])
-        if left[0] == "error":
-            assert left[1] == right[1], position
-            continue
-        seq_report, bat_report = left[1], right[1]
-        assert type(seq_report) is type(bat_report), position
-        assert seq_report.tick == bat_report.tick, position
-        if hasattr(seq_report, "predicted_costs"):
-            assert seq_report.predicted_costs == bat_report.predicted_costs
-            assert seq_report.measured_costs == bat_report.measured_costs
-            assert seq_report.chosen.describe() == bat_report.chosen.describe()
-        else:
-            assert seq_report.measured == bat_report.measured
-            assert seq_report.candidate.describe() == bat_report.candidate.describe()
-    assert seq_fits == bat_fits
-    assert seq_observations == bat_observations
 
 
 class TestGatewayIngestEquivalenceProperties:
@@ -300,11 +144,7 @@ class TestGatewayIngestEquivalenceProperties:
     same items and still agree on every tick that follows."""
 
     @given(script=gateway_scripts, seed=st.integers(min_value=1, max_value=10_000))
-    @settings(
-        max_examples=8,
-        deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
+    @settings(max_examples=8)
     def test_threaded_ingest_matches_sequential_replay(self, script, seed):
         traffic = build_gateway_traffic(script, seed)
         assert_gateway_outcomes_equal(
@@ -313,11 +153,7 @@ class TestGatewayIngestEquivalenceProperties:
         )
 
     @given(script=gateway_scripts, seed=st.integers(min_value=1, max_value=10_000))
-    @settings(
-        max_examples=4,
-        deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
+    @settings(max_examples=4)
     def test_sharded_ingest_matches_sequential_replay(self, script, seed):
         traffic = build_gateway_traffic(script, seed)
         assert_gateway_outcomes_equal(
@@ -329,7 +165,8 @@ class TestGatewayIngestEquivalenceProperties:
 @pytest.mark.slow
 class TestShardedCrashStress:
     """Extends the PR 2 stress pattern: crashes mid-stream, then bitwise
-    equality — replay-on-respawn must be invisible in the numbers."""
+    equality — replay-on-respawn must be invisible in the numbers.
+    Thin client of the ISSUE 7 chaos driver (crash-only fault plans)."""
 
     TEMPLATES = 16
     BURSTS = 12
@@ -338,54 +175,38 @@ class TestShardedCrashStress:
     def test_crash_and_respawn_is_bitwise_invisible(self):
         rng = RngStream(97, "crash-stress")
         keys = [f"tenant-{i:02d}" for i in range(self.TEMPLATES)]
-        streams = {
-            key: observation_stream(key, self.WARMUP + self.BURSTS, seed=41)
-            for key in keys
-        }
-        threaded = EstimationService(
-            strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
+        script = []
+        for _ in range(self.WARMUP):
+            script += [(i, "observe") for i in range(self.TEMPLATES)]
+        faults = []
+        for burst in range(self.BURSTS):
+            script += [(i, "observe") for i in range(self.TEMPLATES)]
+            if burst in (3, 7):  # deterministic mid-run worker kills
+                faults.append(
+                    Fault(at=len(script), kind="crash", shard=int(rng.integers(0, 4)))
+                )
+            script.append((0, "burst"))
+        log = run_chaos_script(
+            script,
+            faults,
+            keys=keys,
+            workers=4,
+            seed=41,
+            stream_length=self.WARMUP + self.BURSTS,
         )
-        crashes = 0
-        with ShardedEstimationService(factory, workers=4) as sharded:
-            for key in keys:
-                sharded.register(key, feature_names=FEATURES, metrics=METRICS)
-                threaded.register(key, feature_names=FEATURES, metrics=METRICS)
-                for tick, features, costs in streams[key][: self.WARMUP]:
-                    sharded.record(key, tick, features, costs)
-                    threaded.record(key, tick, features, costs)
-            for burst in range(self.BURSTS):
-                for key in keys:
-                    tick, features, costs = streams[key][self.WARMUP + burst]
-                    sharded.record(key, tick, features, costs)
-                    threaded.record(key, tick, features, costs)
-                if burst in (3, 7):  # deterministic mid-run worker kills
-                    victim = int(rng.integers(0, sharded.workers))
-                    sharded.inject_worker_crash(victim)
-                    crashes += 1
-                sharded_models = sharded.refresh(parallel=True)
-                threaded_models = threaded.refresh(parallel=True)
-                assert sorted(sharded_models) == keys
-                assert sorted(threaded_models) == keys
-                for key in keys:
-                    assert_models_bitwise_equal(
-                        key, sharded_models[key], threaded_models[key]
-                    )
-            assert crashes == 2
-            # Every injected crash was detected and healed exactly once
-            # (a crashed worker with no subsequent traffic heals on the
-            # shard's next RPC, which the per-burst refresh guarantees).
-            assert sharded.respawns == crashes
-            assert sharded.stats.fits == threaded.stats.fits
+        assert log.crashes == 2
+        # Every injected crash was detected and healed exactly once
+        # (a crashed worker with no subsequent traffic heals on the
+        # shard's next RPC, which the per-burst refresh guarantees).
+        assert log.respawns == 2
 
     def test_threaded_interleaving_against_sharded_sequential_replay(self):
         """Concurrent parent threads on the sharded service vs a
         sequential in-process replay (the PR 2 stress invariant, now
         across the process boundary)."""
-        import threading
-
         keys = [f"tenant-{i:02d}" for i in range(8)]
         streams = {key: observation_stream(key, 30, seed=67) for key in keys}
-        with ShardedEstimationService(factory, workers=3) as sharded:
+        with ShardedEstimationService(sharded_factory, workers=3) as sharded:
             for key in keys:
                 sharded.register(key, feature_names=FEATURES, metrics=METRICS)
             barrier = threading.Barrier(len(keys))

@@ -9,8 +9,6 @@ in-process service).  Deep randomized equivalence lives in
 ``tests/test_sharded_properties.py``.
 """
 
-from functools import partial
-
 import numpy as np
 import pytest
 
@@ -19,14 +17,13 @@ from repro.serving import EstimationService, ShardedEstimationService, shard_of
 from repro.serving.sharded import ShardedServingError
 from repro.serving.worker import dream_strategy
 
-from tests.test_serving import FEATURES, METRICS, observation_stream
-
-R2 = 0.8
-MAX_WINDOW = 20
-
-#: Picklable worker strategy matching the threaded suite's DreamStrategy.
-factory = partial(
-    dream_strategy, r2_required=R2, max_window=MAX_WINDOW, cache_capacity=64
+from tests.helpers import (
+    FEATURES,
+    MAX_WINDOW,
+    METRICS,
+    R2,
+    observation_stream,
+    sharded_factory as factory,
 )
 
 
@@ -395,3 +392,369 @@ class TestGatewayIntegration:
         config = replace(DEFAULT_CONFIG, serving_backend="sharded")
         with pytest.raises(GatewayConfigError, match="threaded"):
             MidasSystem(patient_count=240, config=config, strategy=DreamStrategy())
+
+
+class TestLoadAccounting:
+    """ISSUE 7 satellite: ``shard_stats()`` backlog and ``rpc_counts()``
+    under partial-failure ``fit_many`` rounds — counters, never timing."""
+
+    def test_backlog_and_rpc_counters_through_a_partial_failure_batch(self):
+        with ShardedEstimationService(factory, workers=1) as sharded:
+            sharded.register("warm", feature_names=FEATURES, metrics=METRICS)
+            sharded.register("short", feature_names=FEATURES, metrics=METRICS)
+            feed(sharded, "warm", 12)
+            # One row: stale, but below the minimum window (L + 2 = 4).
+            tick, features, costs = observation_stream("short", 1)[0]
+            sharded.record("short", tick, features, costs)
+            row = sharded.shard_stats()[0]
+            assert row["backlog"] == 13  # 12 + 1 rows not yet shipped
+            assert row["routed"] == 2
+            assert row["queue_depth"] == 0  # nothing mid-RPC right now
+            before = sharded.rpc_counts()
+            result = sharded.refresh_batch()
+            after = sharded.rpc_counts()
+            # One coalesced fit_many for the whole round, zero fallback
+            # per-template fit RPCs.
+            assert after.get("fit_many", 0) - before.get("fit_many", 0) == 1
+            assert after.get("fit", 0) == before.get("fit", 0)
+            assert "warm" in result.models and "short" in result.errors
+            # The failed fit still shipped its rows (the replica stays
+            # in sync), so the backlog fully drains.
+            row = sharded.shard_stats()[0]
+            assert row["backlog"] == 0
+            assert row["fit_ewma_ms"] is not None and row["fit_ewma_ms"] > 0.0
+            # One more observation -> backlog is exactly that one row.
+            tick, features, costs = observation_stream("short", 2)[-1]
+            sharded.record("short", tick + 1, features, costs)
+            assert sharded.shard_stats()[0]["backlog"] == 1
+
+    def test_load_rows_mirror_shard_stats(self, sharded):
+        sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        feed(sharded, "q1", 12)
+        sharded.model("q1")
+        home = sharded.shard_of("q1")
+        loads = sharded.shard_loads()
+        assert [load.index for load in loads] == [0, 1]
+        assert loads[home].routed == ("q1",)
+        assert loads[home].backlog == 0
+        (template,) = sharded.template_loads()
+        assert template.key == "q1" and template.shard == home
+        assert template.fits == 1
+        assert template.fit_seconds_ewma is not None
+
+
+class TestElasticTopology:
+    """ISSUE 7 tentpole: routed placement, live migration, pool resize
+    and the rebalance control loop (unit level; equivalence-under-chaos
+    lives in ``tests/test_chaos_equivalence.py``)."""
+
+    def test_migrate_flips_route_and_is_invisible_to_the_model(self, sharded):
+        sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        feed(sharded, "q1", 14)
+        before = sharded.model("q1")
+        src = sharded.shard_of("q1")
+        dst = 1 - src
+        assert sharded.migrate("q1", dst) is True
+        assert sharded.shard_of("q1") == dst
+        assert sharded.migrations == 1 and sharded.route_version == 1
+        # The snapshot survives the move (placement is not staleness)...
+        assert sharded.model("q1") is before
+        # ...and the next refit on the destination walks the identical
+        # window schedule.
+        tick, features, costs = observation_stream("q1", 15)[-1]
+        sharded.record("q1", tick + 1, features, costs)
+        after = sharded.model("q1")
+        reference = EstimationService(
+            strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
+        )
+        reference.register("q1", feature_names=FEATURES, metrics=METRICS)
+        feed(reference, "q1", 14)
+        reference.record("q1", tick + 1, features, costs)
+        expected = reference.model("q1")
+        assert after.training_size == expected.training_size
+        probe = np.array([[40.0, 3.0], [90.0, 6.0]])
+        got, want = after.predict_batch(probe), expected.predict_batch(probe)
+        for metric in METRICS:
+            assert np.array_equal(got[metric], want[metric])
+
+    def test_migrate_to_home_shard_is_a_noop(self, sharded):
+        sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        assert sharded.migrate("q1", sharded.shard_of("q1")) is False
+        assert sharded.migrations == 0 and sharded.route_version == 0
+
+    def test_shard_of_uses_routes_then_falls_back_to_crc32(self, sharded):
+        sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        sharded.migrate("q1", 1 - sharded.shard_of("q1"))
+        assert sharded.shard_of("q1") != shard_of("q1", 2)
+        # Unregistered keys still resolve to their static placement.
+        assert sharded.shard_of("never-registered") == shard_of(
+            "never-registered", 2
+        )
+
+    def test_resize_grow_keeps_routes_and_adds_cold_shards(self, sharded):
+        sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+        feed(sharded, "q1", 12)
+        home = sharded.shard_of("q1")
+        assert sharded.resize(4) == 4
+        assert sharded.workers == 4 and len(sharded.worker_pids()) == 4
+        assert sharded.shard_of("q1") == home  # nothing refits on grow
+        assert sharded.route_version == 1
+        loads = sharded.shard_loads()
+        assert [load.routed for load in loads[2:]] == [(), ()]
+        assert sharded.model("q1") is not None
+
+    def test_resize_shrink_migrates_doomed_replicas_and_preserves_models(self):
+        keys = [f"q{i}" for i in range(6)]
+        with ShardedEstimationService(factory, workers=4) as sharded:
+            for key in keys:
+                sharded.register(key, feature_names=FEATURES, metrics=METRICS)
+                feed(sharded, key, 12, seed=7)
+            before = sharded.refresh(parallel=False)
+            assert sharded.resize(2) == 2
+            assert sharded.workers == 2
+            # Every tenant landed on its CRC32 placement in the smaller
+            # pool — a later restart at width 2 agrees with the live
+            # shrink.
+            for key in keys:
+                assert sharded.shard_of(key) == shard_of(key, 2)
+            # Models survive: nothing was stale, so nothing refits.
+            after = sharded.refresh(parallel=False)
+            for key in keys:
+                assert after[key] is before[key]
+
+    def test_rebalance_moves_the_hot_template_off_the_hot_shard(self):
+        from repro.serving import RebalanceConfig, RebalancePolicy
+
+        with ShardedEstimationService(factory, workers=2) as sharded:
+            # Colocate three tenants on one shard by their CRC32 homes.
+            colocated = [
+                key for key in (f"q{i}" for i in range(64))
+                if shard_of(key, 2) == 0
+            ][:3]
+            for key in colocated:
+                sharded.register(key, feature_names=FEATURES, metrics=METRICS)
+                feed(sharded, key, 12, seed=9)
+                sharded.model(key)  # fits + wall-time EWMAs = heat
+            policy = RebalancePolicy(RebalanceConfig(max_moves=2))
+            outcome = sharded.rebalance(policy)
+            assert outcome.moves, outcome.describe()
+            assert all(move.src == 0 and move.dst == 1 for move in outcome.moves)
+            assert sharded.migrations == len(outcome.moves)
+            moved = {move.key for move in outcome.moves}
+            for key in moved:
+                assert sharded.shard_of(key) == 1
+            # The move is bitwise invisible: fresh models still agree.
+            reference = EstimationService(
+                strategy=dream_strategy(r2_required=R2, max_window=MAX_WINDOW)
+            )
+            for key in colocated:
+                reference.register(key, feature_names=FEATURES, metrics=METRICS)
+                feed(reference, key, 12, seed=9)
+                assert (
+                    sharded.model(key).training_size
+                    == reference.model(key).training_size
+                )
+
+    def test_rebalance_grows_the_pool_under_backlog_pressure(self):
+        from repro.serving import RebalanceConfig, RebalancePolicy
+
+        with ShardedEstimationService(factory, workers=1) as sharded:
+            sharded.register("q1", feature_names=FEATURES, metrics=METRICS)
+            feed(sharded, "q1", 12)  # 12 pending rows, never fitted
+            policy = RebalancePolicy(
+                RebalanceConfig(grow_backlog=8, max_workers=2)
+            )
+            outcome = sharded.rebalance(policy)
+            assert outcome.grew_to == 2
+            assert sharded.workers == 2
+            assert "backlog" in outcome.reason
+
+    def test_rebalance_shrinks_idle_trailing_shards(self):
+        from repro.serving import RebalanceConfig, RebalancePolicy
+
+        with ShardedEstimationService(factory, workers=3) as sharded:
+            key = next(
+                key for key in (f"q{i}" for i in range(64))
+                if shard_of(key, 3) == 0
+            )
+            sharded.register(key, feature_names=FEATURES, metrics=METRICS)
+            feed(sharded, key, 12)
+            sharded.model(key)
+            policy = RebalancePolicy(RebalanceConfig(min_workers=1))
+            outcome = sharded.rebalance(policy)
+            assert outcome.shrank_to == 1
+            assert sharded.workers == 1
+            assert sharded.model(key) is not None
+
+
+class TestRebalancePolicyUnit:
+    """``RebalancePolicy.plan`` is pure — every decision rule is
+    checkable on hand-built load snapshots, no processes involved."""
+
+    @staticmethod
+    def shard_row(index, routed, backlog=0):
+        from repro.serving import ShardLoad
+
+        return ShardLoad(
+            index=index,
+            routed=tuple(routed),
+            backlog=backlog,
+            queue_depth=0,
+            fit_seconds_ewma=None,
+        )
+
+    @staticmethod
+    def template_row(key, shard, fits=1, ewma=1e-3, backlog=0):
+        from repro.serving import TemplateLoad
+
+        return TemplateLoad(
+            key=key, shard=shard, fits=fits, fit_seconds_ewma=ewma, backlog=backlog
+        )
+
+    def test_balanced_pool_is_a_noop(self):
+        from repro.serving import RebalancePolicy
+
+        policy = RebalancePolicy()
+        plan = policy.plan(
+            [self.shard_row(0, ["a"]), self.shard_row(1, ["b"])],
+            [self.template_row("a", 0), self.template_row("b", 1)],
+        )
+        assert plan.is_noop and plan.reason == "balanced"
+
+    def test_hot_shard_sheds_its_hottest_template(self):
+        from repro.serving import RebalancePolicy
+
+        policy = RebalancePolicy()
+        plan = policy.plan(
+            [self.shard_row(0, ["a", "b"]), self.shard_row(1, [])],
+            [
+                self.template_row("a", 0, fits=10, ewma=2e-3),
+                self.template_row("b", 0, fits=10, ewma=1e-3),
+            ],
+        )
+        assert [move.describe() for move in plan.moves] == ["a: shard 0 -> 1"]
+
+    def test_a_lone_template_is_never_moved(self):
+        from repro.serving import RebalancePolicy
+
+        policy = RebalancePolicy()
+        plan = policy.plan(
+            [self.shard_row(0, ["a"]), self.shard_row(1, [])],
+            [self.template_row("a", 0, fits=100, ewma=5e-2)],
+        )
+        # Moving the only template just relocates the hotspot, and the
+        # empty trailing shard is dropped instead.
+        assert not plan.moves
+        assert plan.shrink_to == 1
+
+    def test_stateful_heat_cools_templates_that_stop_fitting(self):
+        from repro.serving import RebalancePolicy
+
+        policy = RebalancePolicy()
+        shards = [self.shard_row(0, ["a", "b"]), self.shard_row(1, ["c"])]
+        hot_then_idle = [
+            self.template_row("a", 0, fits=50, ewma=1e-2),
+            self.template_row("b", 0, fits=1, ewma=1e-3),
+            self.template_row("c", 1, fits=1, ewma=1e-3),
+        ]
+        policy.plan(shards, hot_then_idle)
+        # Same snapshot again: zero fit deltas everywhere, heat halves
+        # each cycle (smoothing=0.5) until the plan goes quiet.
+        for _ in range(8):
+            plan = policy.plan(shards, hot_then_idle)
+        assert not plan.moves
+        assert policy.cycles == 9
+
+    def test_config_validation_is_eager(self):
+        from repro.serving import RebalanceConfig
+
+        with pytest.raises(ValidationError, match="hot_factor"):
+            RebalanceConfig(hot_factor=0.5)
+        with pytest.raises(ValidationError, match="cold_factor"):
+            RebalanceConfig(cold_factor=1.5)
+        with pytest.raises(ValidationError, match="max_workers"):
+            RebalanceConfig(min_workers=3, max_workers=2)
+        with pytest.raises(ValidationError, match="smoothing"):
+            RebalanceConfig(smoothing=0.0)
+        with pytest.raises(ValidationError, match="cadence"):
+            RebalanceConfig(cadence_flushes=0)
+
+
+class TestTopologyReportEnvelope:
+    def _midas(self, **overrides):
+        from repro.federation import FederationConfig
+        from repro.midas import MidasSystem
+
+        base = dict(serving_backend="sharded", shard_workers=2, max_window=24)
+        base.update(overrides)
+        return MidasSystem(
+            patient_count=240, seed=13, config=FederationConfig(**base)
+        )
+
+    def test_topology_report_carries_routes_and_loads(self):
+        midas = self._midas()
+        try:
+            report = midas.gateway.topology_report()
+            assert report.backend == "sharded" and report.workers == 2
+            assert report.route_version == 0 and report.migrations == 0
+            assert len(report.shards) == 2
+            routed = sum(len(shard.routed) for shard in report.shards)
+            assert routed == len(midas.gateway.templates())
+            assert "shard 0" in report.describe()
+        finally:
+            midas.gateway.close()
+
+    def test_threaded_backend_reports_an_empty_topology(self):
+        midas = self._midas(serving_backend="threaded", shard_workers=None)
+        try:
+            report = midas.gateway.topology_report()
+            assert report.workers == 0 and report.shards == ()
+            assert "in-process" in report.describe()
+        finally:
+            midas.gateway.close()
+
+    def test_gateway_rebalance_requires_the_sharded_backend(self):
+        from repro.federation import GatewayConfigError
+
+        midas = self._midas(serving_backend="threaded", shard_workers=None)
+        try:
+            with pytest.raises(GatewayConfigError, match="sharded"):
+                midas.gateway.rebalance()
+        finally:
+            midas.gateway.close()
+
+    def test_rebalance_config_rejected_without_sharded_backend(self):
+        from repro.federation import FederationConfig, GatewayConfigError
+        from repro.serving import RebalanceConfig
+
+        with pytest.raises(GatewayConfigError, match="sharded"):
+            FederationConfig(rebalance=RebalanceConfig())
+        with pytest.raises(GatewayConfigError, match="RebalanceConfig"):
+            FederationConfig(serving_backend="sharded", rebalance={"max_moves": 1})
+
+    def test_auto_rebalance_runs_on_the_flush_cadence(self):
+        from repro.common.rng import RngStream
+        from repro.federation import ObserveRequest
+        from repro.midas import MEDICAL_QUERIES
+        from repro.serving import RebalanceConfig
+
+        midas = self._midas(rebalance=RebalanceConfig(cadence_flushes=2))
+        gateway = midas.gateway
+        try:
+            rng = RngStream(27, "cadence")
+            key = "medical-demographics"
+
+            def observe():
+                gateway.ingest(
+                    ObserveRequest(key, MEDICAL_QUERIES[key].sample_params(rng))
+                )
+                gateway.drain()
+
+            observe()  # flush 1 of 2: below the cadence, no cycle yet
+            assert gateway.topology_report().last_cycle is None
+            observe()  # flush 2 of 2: one control cycle runs
+            report = gateway.topology_report()
+            assert report.last_cycle is not None
+            assert report.last_cycle.route_version == report.route_version
+        finally:
+            gateway.close()
