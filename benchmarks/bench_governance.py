@@ -1,0 +1,284 @@
+"""Governance-plane overhead and equivalence bench.
+
+The ISSUE 8 acceptance harness for the governance subsystem.  Three
+measured cases per serving backend (in-process ``threaded`` and
+cross-process ``sharded`` with 2 workers), each replaying the **same**
+pre-materialised traffic script (warm-up observes, then interleaved
+submits/observes over two medical templates):
+
+* ``none`` — no governance plane at all (the pre-ISSUE-8 gateway);
+* ``permissive`` — ``GovernanceConfig()``: identity/audit machinery on,
+  zero rules.  The **hard gate** is bitwise equality with ``none``:
+  identical predicted and measured cost vectors per submission,
+  identical model window sizes, identical fit counts;
+* ``restricted`` — ``restricted(patient @ cloud-a)`` with an identified
+  clinician: every returned Pareto plan must execute at cloud-a, and the
+  admissible QEP space must be strictly smaller.
+
+Reported and persisted to ``benchmarks/results/BENCH_governance.json``
+(a CI artifact, like ``BENCH_gateway.json``): per-case wall time, the
+permissive/none overhead ratio (the cost of auditing every envelope),
+the enforcement case's space reduction, and the audit-chain length +
+live verification result.  Overhead ratios are informational — the
+simulator pipeline dominates per-item cost on any host — the bitwise
+gates are what is asserted.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_governance.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.rng import RngStream
+from repro.federation import (
+    DataPolicy,
+    FederationConfig,
+    GovernanceConfig,
+    ObserveRequest,
+    Principal,
+    SubmitRequest,
+)
+from repro.midas import MEDICAL_QUERIES, MidasSystem
+
+RESULTS_DIR = Path(__file__).parent / "results"
+JSON_PATH = RESULTS_DIR / "BENCH_governance.json"
+
+PATIENTS = 250
+KEYS = ("medical-demographics", "medical-severe-cases")
+FULL_SUBMITS = 60
+QUICK_SUBMITS = 12
+WARM_RUNS = 10
+
+CLINICIAN = Principal("bench-clinician", "clinician", "cloud-a")
+
+RESTRICTED = GovernanceConfig(
+    policies=(DataPolicy("patient", "cloud-a", "restricted"),)
+)
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    backend: str
+    case: str
+    seconds: float
+    submits: int
+    fits: int
+    #: Per-submission (predicted, measured, window) digests, in order.
+    digests: tuple
+    #: Pareto execution sites seen across every submission.
+    pareto_sites: tuple[str, ...]
+    #: Mean enumerated-space size per submission.
+    mean_space: float
+    audit_records: int
+    audit_valid: bool
+
+
+@dataclass(frozen=True)
+class GovernanceReport:
+    cases: tuple[CaseResult, ...]
+
+    def case(self, backend: str, name: str) -> CaseResult:
+        for result in self.cases:
+            if result.backend == backend and result.case == name:
+                return result
+        raise KeyError((backend, name))
+
+    def overhead_ratio(self, backend: str) -> float:
+        """Permissive-vs-none wall time (the price of auditing)."""
+        return (
+            self.case(backend, "permissive").seconds
+            / self.case(backend, "none").seconds
+        )
+
+    def equivalent(self, backend: str) -> bool:
+        """Bitwise: permissive digests/fits == none digests/fits."""
+        none, permissive = self.case(backend, "none"), self.case(backend, "permissive")
+        return none.digests == permissive.digests and none.fits == permissive.fits
+
+
+def build_traffic(submits: int, seed: int) -> list:
+    """One shared request script (identical objects for every case)."""
+    rng = RngStream(seed, "bench-governance")
+    traffic: list = []
+    for _ in range(WARM_RUNS):
+        for key in KEYS:
+            traffic.append(("observe", key, MEDICAL_QUERIES[key].sample_params(rng)))
+    for index in range(submits):
+        key = KEYS[index % len(KEYS)]
+        traffic.append(("submit", key, MEDICAL_QUERIES[key].sample_params(rng)))
+        if index % 3 == 0:
+            traffic.append(
+                ("observe", key, MEDICAL_QUERIES[key].sample_params(rng))
+            )
+    return traffic
+
+
+def run_case(
+    backend: str,
+    case: str,
+    governance: GovernanceConfig | None,
+    principal: Principal | None,
+    traffic: list,
+    seed: int,
+) -> CaseResult:
+    config = FederationConfig(
+        max_window=24,
+        serving_backend=backend,
+        shard_workers=2 if backend == "sharded" else None,
+        governance=governance,
+    )
+    midas = MidasSystem(patient_count=PATIENTS, seed=seed, config=config)
+    gateway = midas.gateway
+    digests = []
+    sites: set[str] = set()
+    spaces = []
+    submits = 0
+    try:
+        started = time.perf_counter()
+        for op, key, params in traffic:
+            if op == "submit":
+                report = gateway.submit(
+                    SubmitRequest(key, params, principal=principal)
+                )
+                submits += 1
+                digests.append(
+                    (
+                        tuple(sorted(report.predicted_costs.items())),
+                        tuple(sorted(report.measured_costs.items())),
+                        report.cost_model.training_size,
+                    )
+                )
+                sites.update(
+                    c.payload.execution.site for c in report.pareto_set
+                )
+                spaces.append(report.candidate_count)
+            else:
+                gateway.observe(ObserveRequest(key, params, principal=principal))
+        seconds = time.perf_counter() - started
+        fits = gateway.serving_stats.fits
+        audit = gateway.audit_report(limit=0)
+    finally:
+        gateway.close()
+    return CaseResult(
+        backend=backend,
+        case=case,
+        seconds=seconds,
+        submits=submits,
+        fits=fits,
+        digests=tuple(digests),
+        pareto_sites=tuple(sorted(sites)),
+        mean_space=sum(spaces) / len(spaces),
+        audit_records=audit.length,
+        audit_valid=audit.chain_valid,
+    )
+
+
+def run_governance_bench(quick: bool = False) -> GovernanceReport:
+    submits = QUICK_SUBMITS if quick else FULL_SUBMITS
+    traffic = build_traffic(submits, seed=23)
+    cases = []
+    for backend in ("threaded", "sharded"):
+        cases.append(run_case(backend, "none", None, None, traffic, seed=23))
+        cases.append(
+            run_case(backend, "permissive", GovernanceConfig(), None, traffic, seed=23)
+        )
+        cases.append(
+            run_case(backend, "restricted", RESTRICTED, CLINICIAN, traffic, seed=23)
+        )
+    return GovernanceReport(cases=tuple(cases))
+
+
+def format_report(report: GovernanceReport) -> str:
+    lines = [
+        "Governance plane: overhead + bitwise equivalence",
+        "------------------------------------------------",
+    ]
+    for result in report.cases:
+        lines.append(
+            f"{result.backend:8s} {result.case:10s}: "
+            f"{result.seconds:7.2f} s, submits={result.submits}, "
+            f"fits={result.fits}, mean_space={result.mean_space:7.1f}, "
+            f"sites={','.join(result.pareto_sites)}, "
+            f"audit={result.audit_records} ({'ok' if result.audit_valid else 'BAD'})"
+        )
+    for backend in ("threaded", "sharded"):
+        none = report.case(backend, "none")
+        restricted = report.case(backend, "restricted")
+        lines.append(
+            f"{backend}: permissive bitwise-equal={report.equivalent(backend)}, "
+            f"audit overhead={report.overhead_ratio(backend):.3f}x, "
+            f"restricted space {none.mean_space:.0f} -> {restricted.mean_space:.0f}"
+        )
+    return "\n".join(lines)
+
+
+def write_json(report: GovernanceReport) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "governance",
+        "host_cpu_count": os.cpu_count(),
+        "warm_runs": WARM_RUNS,
+    }
+    for result in report.cases:
+        prefix = f"{result.backend}_{result.case}"
+        payload[f"{prefix}_seconds"] = round(result.seconds, 3)
+        payload[f"{prefix}_submits"] = result.submits
+        payload[f"{prefix}_fits"] = result.fits
+        payload[f"{prefix}_mean_space"] = round(result.mean_space, 1)
+        payload[f"{prefix}_pareto_sites"] = list(result.pareto_sites)
+        payload[f"{prefix}_audit_records"] = result.audit_records
+        payload[f"{prefix}_audit_valid"] = result.audit_valid
+    for backend in ("threaded", "sharded"):
+        payload[f"{backend}_permissive_bitwise_equal"] = report.equivalent(backend)
+        payload[f"{backend}_audit_overhead_ratio"] = round(
+            report.overhead_ratio(backend), 4
+        )
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def check_report(report: GovernanceReport) -> None:
+    for backend in ("threaded", "sharded"):
+        # Hard gate: a permissive governance plane changes nothing the
+        # pipeline computes — bitwise, on both backends.
+        assert report.equivalent(backend), backend
+        none = report.case(backend, "none")
+        permissive = report.case(backend, "permissive")
+        restricted = report.case(backend, "restricted")
+        # The ungoverned gateway keeps no audit log; the governed ones do.
+        assert none.audit_records == 0
+        assert permissive.audit_records > 0 and permissive.audit_valid
+        assert restricted.audit_records > 0 and restricted.audit_valid
+        # Enforcement: the restricted clinician's plans all execute at
+        # the restricted site, from a strictly smaller admissible space.
+        assert restricted.pareto_sites == ("cloud-a",), restricted.pareto_sites
+        assert restricted.mean_space < none.mean_space
+        assert len(none.pareto_sites) >= 1
+
+
+def test_governance_bench(benchmark):
+    from conftest import record_result
+
+    report = benchmark.pedantic(
+        run_governance_bench, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    record_result("governance", format_report(report))
+    write_json(report)
+    check_report(report)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller traffic script for CI smoke runs"
+    )
+    arguments = parser.parse_args()
+    final = run_governance_bench(quick=arguments.quick)
+    print(format_report(final))
+    write_json(final)
+    check_report(final)

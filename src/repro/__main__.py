@@ -7,6 +7,7 @@ without installing).  Usage::
                [--shard-workers N]       # drive the federation gateway
                [--ingest-batch N] [--ingest-flush-ms MS]  # batched front door
                [--rebalance]             # elastic shard topology walkthrough
+               [--policy]                # governance plane + audit walkthrough
     repro list                           # what can be reproduced
     repro table1                         # instance pricing (verbatim)
     repro table2                         # MLR R^2 vs window size
@@ -50,6 +51,7 @@ def run_demo(
     ingest_batch: int | None = None,
     ingest_flush_ms: float | None = None,
     rebalance: bool = False,
+    policy: bool = False,
 ) -> int:
     """Drive the federation gateway end to end on the MIDAS setup.
 
@@ -66,7 +68,10 @@ def run_demo(
     (implies the sharded backend) warms a second template into a skewed
     load, runs one elastic-topology control cycle and prints the typed
     ``TopologyReport`` — routing table version, per-shard load
-    accounting, applied migrations.
+    accounting, applied migrations.  ``--policy`` turns on the
+    governance plane: declarative site-level rules enforced inside QEP
+    enumeration, identity-scoped denials, and the hash-chained audit
+    log (with a live tamper-detection check).
     """
     from dataclasses import replace
 
@@ -78,6 +83,18 @@ def run_demo(
     runs = 12 if quick else 30
     key = "medical-demographics"
     overrides = {}
+    clinician = None
+    if policy:
+        from repro.federation import DataPolicy, GovernanceConfig, Principal
+
+        clinician = Principal("dr-adams", "clinician", "cloud-a")
+        overrides["governance"] = GovernanceConfig(
+            policies=(
+                DataPolicy("patient", "cloud-a", "restricted"),
+                DataPolicy("*", "cloud-b", "deny", roles=("researcher",)),
+            ),
+            require_identity=True,
+        )
     if rebalance:
         if serving_backend != "sharded":
             print("--rebalance requires the sharded backend; enabling it.")
@@ -107,10 +124,15 @@ def run_demo(
         )
 
     print(f"Profiling {runs} exploratory executions of Example 2.1...")
-    midas.warm_up(key, runs=runs)
+    midas.warm_up(key, runs=runs, principal=clinician)
 
     report = gateway.submit(
-        SubmitRequest(key, {"min_age": 40}, UserPolicy(weights=(0.6, 0.4)))
+        SubmitRequest(
+            key,
+            {"min_age": 40},
+            UserPolicy(weights=(0.6, 0.4)),
+            principal=clinician,
+        )
     )
     fallback = " (exact fell back: space > exact_limit)" if report.moqp_exact_fallback else ""
     print()
@@ -132,7 +154,9 @@ def run_demo(
     with gateway.session(key) as session:
         batch = session.submit_many(
             [
-                SubmitRequest(key, {"min_age": 40}, UserPolicy(weights=w))
+                SubmitRequest(
+                    key, {"min_age": 40}, UserPolicy(weights=w), principal=clinician
+                )
                 for w in weights
             ],
             execute=False,
@@ -155,7 +179,8 @@ def run_demo(
             f"envelopes (size watermark at {ingest_batch})..."
         )
         rows = tuple(
-            ObserveRequest(key, template.sample_params(rng)) for _ in range(burst)
+            ObserveRequest(key, template.sample_params(rng), principal=clinician)
+            for _ in range(burst)
         )
         for start in range(0, burst, 8):
             gateway.ingest(BatchObserveRequest(key, rows[start : start + 8]))
@@ -170,6 +195,85 @@ def run_demo(
                 f"  queue empty at drain: all {burst} items went out "
                 f"through {batch.seq} watermark flushes"
             )
+        istats = gateway.ingest_stats()
+        print(
+            f"  admission    : admitted={istats.admitted} "
+            f"(submits={istats.submits}, observes={istats.observes}), "
+            f"peak_depth={istats.peak_depth}, pending={istats.pending}"
+        )
+        print(
+            f"  backpressure : rejected={istats.rejected}, "
+            f"blocked={istats.blocked} "
+            f"(overflow={config.ingest_overflow!r}, "
+            f"queue_depth={config.ingest_queue_depth})"
+        )
+        print(
+            f"  flushes      : {istats.flushes} total "
+            f"(size={istats.size_flushes}, interval={istats.interval_flushes}, "
+            f"drain={istats.drain_flushes}), fit_rounds={istats.fit_rounds}, "
+            f"max_batch={istats.max_batch}"
+        )
+
+    if policy:
+        from dataclasses import replace as replace_record
+
+        from repro.federation import Principal, PolicyViolationError, verify_chain
+
+        researcher = Principal(
+            "lab-ext-7", "researcher", "cloud-b", purpose="research"
+        )
+        hot = "medical-severe-cases"  # spans patient@cloud-a + labresult@cloud-b
+        print()
+        print("Governance plane (site-level policies, enforced in enumeration):")
+        for rule in config.governance.policies:
+            print(f"  rule {rule.rule_id!r}: {rule.describe()}")
+        print(f"  require_identity={config.governance.require_identity}")
+
+        from repro.common.rng import RngStream
+        from repro.midas import MEDICAL_QUERIES
+
+        hot_params = MEDICAL_QUERIES[hot].sample_params(
+            RngStream(13, "demo-policy")
+        )
+        midas.warm_up(hot, runs=max(8, runs // 2), principal=clinician)
+        allowed = gateway.submit(
+            SubmitRequest(hot, hot_params, principal=clinician)
+        )
+        sites = sorted(
+            {c.payload.execution.site for c in allowed.pareto_set}
+        )
+        print(
+            f"  {clinician.describe()}\n"
+            f"    -> {allowed.candidate_count} admissible plans, Pareto "
+            f"execution sites: {', '.join(sites)} "
+            "(raw Patient rows never leave cloud-a)"
+        )
+        for denied_principal in (researcher, None):
+            who = "anonymous request" if denied_principal is None else denied_principal.describe()
+            try:
+                gateway.submit(
+                    SubmitRequest(hot, hot_params, principal=denied_principal)
+                )
+            except PolicyViolationError as error:
+                print(f"  {who}")
+                print(
+                    f"    -> DENIED [phase={error.phase}] "
+                    f"rules: {', '.join(error.rule_ids)}"
+                )
+
+        audit = gateway.audit_report()
+        print()
+        print(f"Audit log      : {audit.describe()}")
+        records = gateway.audit_log.records()
+        tampered = list(records)
+        tampered[len(records) // 2] = replace_record(
+            tampered[len(records) // 2], detail="(falsified after the fact)"
+        )
+        print(
+            "Tamper check   : verify_chain(records)="
+            f"{verify_chain(records)}, "
+            f"verify_chain(tampered)={verify_chain(tampered)}"
+        )
 
     if rebalance:
         hot = "medical-severe-cases"
@@ -178,7 +282,7 @@ def run_demo(
             f"Elastic topology: skewing load onto {hot!r} "
             "and running one rebalance cycle..."
         )
-        midas.warm_up(hot, runs=2 * runs)
+        midas.warm_up(hot, runs=2 * runs, principal=clinician)
         gateway.model(hot)
         report = gateway.rebalance()
         print(report.describe())
@@ -256,6 +360,13 @@ def main(argv: list[str] | None = None) -> int:
         help="demo only: run an elastic shard-topology control cycle and "
         "print the TopologyReport (implies --serving-backend sharded)",
     )
+    parser.add_argument(
+        "--policy",
+        action="store_true",
+        help="demo only: enable the governance plane (site-level "
+        "DataPolicy rules, identity-scoped denials, hash-chained audit "
+        "log with a tamper-detection check)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.artifact == "list":
@@ -270,6 +381,7 @@ def main(argv: list[str] | None = None) -> int:
             arguments.ingest_batch,
             arguments.ingest_flush_ms,
             arguments.rebalance,
+            arguments.policy,
         )
     if arguments.artifact == "table1":
         print(format_table1(run_table1()))

@@ -21,7 +21,14 @@ This package is the redesign that makes it **one** surface:
   :meth:`~repro.federation.session.GatewaySession.submit_many`;
 * a string-keyed estimation-backend registry
   (:func:`~repro.federation.registry.register_strategy`), so DREAM/BML/
-  future backends are selected by configuration, not imports.
+  future backends are selected by configuration, not imports;
+* a governance plane (:mod:`repro.governance`, configured through
+  ``FederationConfig(governance=GovernanceConfig(...))``): tenant
+  :class:`~repro.governance.identity.Principal` identities on the
+  request envelopes, site-level
+  :class:`~repro.governance.policy.DataPolicy` rules enforced inside
+  QEP enumeration, and a hash-chained audit log behind
+  :meth:`~repro.federation.gateway.FederationGateway.audit_report`.
 
 Quickstart::
 
@@ -44,6 +51,7 @@ from repro.federation.config import (
     FederationConfig,
 )
 from repro.federation.envelopes import (
+    AuditReport,
     BatchObserveRequest,
     BatchReport,
     IngestBatch,
@@ -62,6 +70,7 @@ from repro.federation.errors import (
     GatewayConfigError,
     IngestOverflowError,
     InsufficientHistoryError,
+    PolicyViolationError,
     SessionStateError,
     UnknownServingBackendError,
     UnknownStrategyError,
@@ -81,8 +90,10 @@ from repro.federation.registry import (
 )
 from repro.federation.session import GatewaySession
 
-# Re-exported for configuration ergonomics: the elastic-topology knobs
-# live in the serving layer but are set through FederationConfig.
+# Re-exported for configuration ergonomics: the elastic-topology and
+# governance knobs live in their own layers but are set through
+# FederationConfig (and principals ride on the request envelopes).
+from repro.governance import DataPolicy, GovernanceConfig, Principal, verify_chain
 from repro.serving.topology import RebalanceConfig
 
 __all__ = [
@@ -91,6 +102,7 @@ __all__ = [
     "DEFAULT_INGEST_BATCH_MAX",
     "DEFAULT_INGEST_QUEUE_DEPTH",
     "FederationConfig",
+    "AuditReport",
     "BatchObserveRequest",
     "BatchReport",
     "IngestBatch",
@@ -102,12 +114,17 @@ __all__ = [
     "SubmitRequest",
     "TopologyReport",
     "RebalanceConfig",
+    "DataPolicy",
+    "GovernanceConfig",
+    "Principal",
+    "verify_chain",
     "DuplicateTemplateError",
     "EnvelopeError",
     "FederationError",
     "GatewayConfigError",
     "IngestOverflowError",
     "InsufficientHistoryError",
+    "PolicyViolationError",
     "SessionStateError",
     "UnknownServingBackendError",
     "UnknownStrategyError",

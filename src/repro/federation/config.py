@@ -19,7 +19,8 @@ from typing import TYPE_CHECKING
 
 from repro.federation.errors import GatewayConfigError
 
-if TYPE_CHECKING:  # pragma: no cover - type-only import
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.governance.policy import GovernanceConfig
     from repro.serving.topology import RebalanceConfig
 
 #: Default bound on live per-template estimation engines (mirrors
@@ -111,6 +112,16 @@ class FederationConfig:
         default) leaves placement static.  Requires
         ``serving_backend="sharded"`` — the threaded service has no
         shards to balance.
+    governance:
+        The governance plane
+        (:class:`~repro.governance.policy.GovernanceConfig`): declarative
+        site-level :class:`~repro.governance.policy.DataPolicy` rules
+        enforced inside QEP enumeration, optional identity requirement,
+        and the hash-chained audit log behind
+        ``gateway.audit_report()``.  ``None`` (the default) runs without
+        a governance plane; a *permissive* config (no rules) is
+        bitwise-equivalent to ``None`` on the estimation/optimization
+        path — it only adds auditing.
     strategy_options:
         Backend-specific extras passed to the registry factory (e.g.
         ``{"window_multiple": 2}`` for the windowed BML baseline).
@@ -133,6 +144,7 @@ class FederationConfig:
     ingest_flush_ms: float | None = None
     ingest_overflow: str = "reject"
     rebalance: RebalanceConfig | None = None
+    governance: GovernanceConfig | None = None
     strategy_options: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -229,6 +241,17 @@ class FederationConfig:
                 )
             if self.serving_backend != "sharded":
                 raise GatewayConfigError(
-                    "rebalance requires serving_backend='sharded': the "
-                    f"{self.serving_backend!r} backend has no shards to balance"
+                    f"rebalance requires serving_backend='sharded', got "
+                    f"serving_backend={self.serving_backend!r} (no shards to "
+                    "balance); registered serving backends: "
+                    f"{', '.join(available_serving_backends())}"
+                )
+        if self.governance is not None:
+            # Deferred import, same reason as the registry lookup above.
+            from repro.governance.policy import GovernanceConfig
+
+            if not isinstance(self.governance, GovernanceConfig):
+                raise GatewayConfigError(
+                    "governance must be a GovernanceConfig (or None), got "
+                    f"{type(self.governance).__name__}"
                 )

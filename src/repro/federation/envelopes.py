@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 
 from repro.engines.simulate import QueryExecution
 from repro.federation.errors import EnvelopeError, FederationError
+from repro.governance.audit import AuditRecord
+from repro.governance.identity import Principal
 from repro.ires.enumerator import QepCandidate
 from repro.ires.modelling import FittedCostModel
 from repro.ires.platform import SubmissionResult
@@ -38,6 +40,15 @@ def _checked_template(template: str) -> None:
         )
 
 
+def _checked_principal(principal, template: str) -> None:
+    if principal is not None and not isinstance(principal, Principal):
+        raise EnvelopeError(
+            f"principal must be a Principal or None, got "
+            f"{type(principal).__name__}",
+            template=template,
+        )
+
+
 @dataclass(frozen=True)
 class SubmitRequest:
     """One query submission: template key, parameters, user policy.
@@ -50,6 +61,9 @@ class SubmitRequest:
     params: dict = field(default_factory=dict)
     policy: UserPolicy = field(default_factory=UserPolicy)
     tick: int | None = None
+    #: Tenant identity the submission runs on behalf of; ``None`` is an
+    #: anonymous request (denied when the gateway requires identity).
+    principal: Principal | None = None
 
     def __post_init__(self):
         _checked_template(self.template)
@@ -57,6 +71,7 @@ class SubmitRequest:
             raise EnvelopeError(
                 f"tick must be >= 0, got {self.tick}", template=self.template
             )
+        _checked_principal(self.principal, self.template)
 
 
 @dataclass(frozen=True)
@@ -72,6 +87,8 @@ class ObserveRequest:
     params: dict = field(default_factory=dict)
     candidate_index: int | None = None
     tick: int | None = None
+    #: Tenant identity the profiling run is performed on behalf of.
+    principal: Principal | None = None
 
     def __post_init__(self):
         _checked_template(self.template)
@@ -84,6 +101,7 @@ class ObserveRequest:
             raise EnvelopeError(
                 f"tick must be >= 0, got {self.tick}", template=self.template
             )
+        _checked_principal(self.principal, self.template)
 
 
 @dataclass(frozen=True)
@@ -357,6 +375,48 @@ class TopologyReport:
         if self.last_cycle is not None:
             lines.append(f"  last cycle: {self.last_cycle.describe()}")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Audit-log status: chain head, verification, traffic breakdown.
+
+    Produced by ``gateway.audit_report()``.  ``chain_valid`` is a live
+    end-to-end :func:`~repro.governance.audit.verify_chain` run, not a
+    cached flag; ``head_hash`` lets an external verifier anchor its own
+    copy of the chain.  When auditing is disabled
+    (``GovernanceConfig(audit=False)`` or no governance at all) the
+    report says so instead of pretending an empty log was verified.
+    """
+
+    #: Whether the gateway keeps an audit log at all.
+    enabled: bool
+    #: Records in the chain.
+    length: int
+    #: Hash of the newest record (genesis when empty or disabled).
+    head_hash: str
+    #: Result of verifying the whole chain now.
+    chain_valid: bool
+    #: Traffic breakdown by record kind.
+    submits: int
+    observes: int
+    flushes: int
+    rebalances: int
+    denials: int
+    #: The newest records (up to the ``limit`` passed to
+    #: ``audit_report``), oldest first; empty when auditing is off.
+    records: tuple[AuditRecord, ...] = ()
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "audit: disabled"
+        verdict = "intact" if self.chain_valid else "TAMPERED"
+        return (
+            f"audit: {self.length} records ({verdict}), "
+            f"submits={self.submits}, observes={self.observes}, "
+            f"flushes={self.flushes}, rebalances={self.rebalances}, "
+            f"denials={self.denials}, head={self.head_hash[:12]}…"
+        )
 
 
 @dataclass(frozen=True)

@@ -6,8 +6,8 @@ readable fields alongside the human message:
 * ``template`` — the query-template key the failure concerns (``None``
   for configuration-level failures that predate any template), and
 * ``phase`` — which stage of the Figure 1 pipeline rejected the call:
-  ``configure``, ``register``, ``validate``, ``estimate``, ``optimize``,
-  ``execute`` or ``session``.
+  ``configure``, ``register``, ``validate``, ``ingest``, ``govern``,
+  ``estimate``, ``optimize``, ``execute`` or ``session``.
 
 Callers that only know the old exception hierarchy keep working: the
 subtypes dual-inherit from the library-wide classes they replace
@@ -28,6 +28,7 @@ PHASES = (
     "register",
     "validate",
     "ingest",
+    "govern",
     "estimate",
     "optimize",
     "execute",
@@ -138,6 +139,34 @@ class EnvelopeError(FederationError, ValidationError):
     """A request envelope failed validation before entering the pipeline."""
 
     phase = "validate"
+
+
+class PolicyViolationError(FederationError, ValidationError):
+    """The governance plane rejected a request before planning.
+
+    Raised when a submission has zero admissible plans under the active
+    :class:`~repro.governance.policy.DataPolicy` rules (a denied dataset,
+    a restricted site the enumeration cannot satisfy, conflicting
+    restrictions) or when ``require_identity=True`` and the envelope
+    carries no :class:`~repro.governance.identity.Principal`.  Carries
+    the ids of the rules that caused the denial and the subject the
+    request ran on behalf of, so a denial is diagnosable (and auditable)
+    without parsing the message.
+    """
+
+    phase = "govern"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        template: str | None = None,
+        rule_ids: tuple[str, ...] = (),
+        subject: str | None = None,
+    ):
+        super().__init__(message, template=template)
+        self.rule_ids = tuple(rule_ids)
+        self.subject = subject
 
 
 class IngestOverflowError(FederationError, ValidationError):

@@ -382,6 +382,11 @@ class FrontDoor:
             raise
         finally:
             batch = self._finalize(items, trigger, reports, errors, fit_rounds)
+        # Governance hook: chain one audit record per non-empty flush
+        # (per-item submit/observe/denial records were appended as the
+        # items ran above).  Before the rebalance tick, so a cadence
+        # cycle's record lands after the flush that triggered it.
+        gateway._audit_flush(batch)
         # Elastic-topology control loop: a successful flush is the
         # cadence tick (a no-op unless the gateway was configured with
         # FederationConfig(rebalance=...)).  After _finalize, so the

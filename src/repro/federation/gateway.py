@@ -26,6 +26,7 @@ from dataclasses import replace
 from repro.engines.simulate import MultiEngineSimulator
 from repro.federation.config import FederationConfig
 from repro.federation.envelopes import (
+    AuditReport,
     BatchObserveRequest,
     BatchReport,
     IngestBatch,
@@ -42,9 +43,13 @@ from repro.federation.errors import (
     EnvelopeError,
     GatewayConfigError,
     InsufficientHistoryError,
+    PolicyViolationError,
     SessionStateError,
     UnknownTemplateError,
 )
+from repro.governance.audit import GENESIS_HASH, AuditLog, verify_chain
+from repro.governance.identity import Principal
+from repro.governance.policy import PlanConstraint, PolicyEngine
 from repro.federation.frontdoor import FrontDoor, IngestTicket
 from repro.federation.registry import create_serving, create_strategy
 from repro.federation.session import GatewaySession
@@ -144,6 +149,16 @@ class FederationGateway:
         )
         self._flushes_since_rebalance = 0
         self._last_rebalance = None
+        # Governance plane: the policy engine compiles DataPolicy rules
+        # into per-request plan constraints; the audit log chains every
+        # envelope the gateway acts on.  Both live parent-side only —
+        # they observe/filter the pipeline, they never alter what an
+        # admissible plan costs (permissive config == bitwise no-op).
+        governance = self.config.governance
+        self._policy = None if governance is None else PolicyEngine(governance)
+        self._audit = (
+            AuditLog() if governance is not None and governance.audit else None
+        )
 
     # Registration ---------------------------------------------------------
 
@@ -211,15 +226,199 @@ class FederationGateway:
             return nullcontext()
         return self.engine.serving.template_lock(key)
 
+    # Governance -----------------------------------------------------------
+
+    def _audit_note(
+        self,
+        kind: str,
+        *,
+        template: str | None = None,
+        principal: Principal | None = None,
+        tick: int | None = None,
+        outcome: str = "ok",
+        detail: str = "",
+    ) -> None:
+        """Append one audit record, when the gateway keeps a log."""
+        if self._audit is None:
+            return
+        self._audit.append(
+            kind,
+            template=template,
+            subject=None if principal is None else principal.subject,
+            tick=tick,
+            outcome=outcome,
+            detail=detail,
+        )
+
+    def _deny(
+        self,
+        key: str,
+        principal: Principal | None,
+        rule_ids: tuple[str, ...],
+        message: str,
+    ) -> None:
+        """Audit and raise one policy denial (always raises)."""
+        subject = None if principal is None else principal.subject
+        self._audit_note(
+            "denial",
+            template=key,
+            principal=principal,
+            outcome="denied",
+            detail=", ".join(rule_ids) or message,
+        )
+        raise PolicyViolationError(
+            message, template=key, rule_ids=rule_ids, subject=subject
+        )
+
+    def _constraint_for(
+        self, key: str, principal: Principal | None
+    ) -> PlanConstraint | None:
+        """The compiled governance constraint for one request.
+
+        ``None`` means nothing constrains this request — no governance
+        plane, no rules, or no rule in the caller's scope touches the
+        query's tables.  That is the permissive fast path: downstream
+        code takes exactly the historical (governance-free) branch, which
+        is what makes the bitwise-equivalence gate hold by construction.
+        Inadmissible requests (missing required identity, a denied
+        dataset, conflicting restrictions) are audited and raised here as
+        :class:`~repro.federation.errors.PolicyViolationError` before any
+        plan is built.
+        """
+        policy = self._policy
+        if policy is None:
+            return None
+        if policy.config.require_identity and principal is None:
+            self._deny(
+                key,
+                None,
+                ("identity-required",),
+                f"anonymous request for {key!r} rejected: this federation "
+                "requires every envelope to carry a Principal "
+                "(GovernanceConfig(require_identity=True))",
+            )
+        if not policy.has_rules:
+            return None
+        template = self.engine.template(key)
+        constraint = policy.constraint_for(
+            principal, template.tables, self.engine.deployment
+        )
+        if constraint.unrestricted:
+            return None
+        if constraint.impossible:
+            reasons = "; ".join(
+                rule.describe() for rule in (constraint.fatal or constraint.applied)
+            )
+            self._deny(
+                key,
+                principal,
+                constraint.rule_ids,
+                f"no admissible plan for {key!r}: {reasons}",
+            )
+        return constraint
+
+    def _checked_space(
+        self,
+        key: str,
+        principal: Principal | None,
+        constraint: PlanConstraint | None,
+        candidates: list[QepCandidate],
+    ) -> list[QepCandidate]:
+        """Deny (never return) an empty policy-filtered QEP space.
+
+        Unreachable for the rule shapes :class:`PolicyEngine` compiles
+        today (a site that is both needed and forbidden is already
+        *impossible* upstream) — kept as the last line of defence so a
+        future rule kind can never make the optimizer "choose" from
+        nothing.
+        """
+        if constraint is not None and not candidates:
+            self._deny(
+                key,
+                principal,
+                constraint.rule_ids,
+                f"no admissible plan for {key!r}: every execution site was "
+                "excluded by policy",
+            )
+        return candidates
+
+    def audit_report(self, limit: int | None = None) -> AuditReport:
+        """Typed audit-log report: chain head, live end-to-end
+        verification, traffic breakdown by record kind, and (up to
+        ``limit``, newest) the records themselves, oldest first.
+        ``limit=0`` reports counters only; ``None`` includes the whole
+        chain."""
+        log = self._audit
+        if log is None:
+            return AuditReport(
+                enabled=False,
+                length=0,
+                head_hash=GENESIS_HASH,
+                chain_valid=True,
+                submits=0,
+                observes=0,
+                flushes=0,
+                rebalances=0,
+                denials=0,
+            )
+        records = log.records()
+        kinds = [record.kind for record in records]
+        kept = records if limit is None else records[len(records) - limit :]
+        if limit == 0:
+            kept = ()
+        return AuditReport(
+            enabled=True,
+            length=len(records),
+            head_hash=log.head_hash,
+            chain_valid=verify_chain(records),
+            submits=kinds.count("submit"),
+            observes=kinds.count("observe"),
+            flushes=kinds.count("batch_flush"),
+            rebalances=kinds.count("rebalance"),
+            denials=kinds.count("denial"),
+            records=tuple(kept),
+        )
+
+    @property
+    def audit_log(self) -> AuditLog | None:
+        """The live audit log (``None`` when auditing is off)."""
+        return self._audit
+
+    def _audit_flush(self, batch: IngestBatch) -> None:
+        """Front-door hook: chain one record per non-empty flush."""
+        if len(batch) == 0:
+            return
+        self._audit_note(
+            "batch_flush",
+            detail=(
+                f"trigger={batch.trigger} items={len(batch)} "
+                f"submits={batch.submits} observes={batch.observes} "
+                f"failed={batch.failed}"
+            ),
+        )
+
     # Profiling ------------------------------------------------------------
 
     def candidates(
-        self, key: str, params: dict, stats: dict[str, TableStats] | None = None
+        self,
+        key: str,
+        params: dict,
+        stats: dict[str, TableStats] | None = None,
+        principal: Principal | None = None,
     ) -> list[QepCandidate]:
-        """The enumerated QEP space of one query instance."""
+        """The enumerated QEP space of one query instance.
+
+        With a governance plane, ``principal`` scopes the active policy
+        rules: the returned space contains only plans the caller may
+        execute (an inadmissible query raises
+        :class:`~repro.federation.errors.PolicyViolationError`).
+        """
         self._require_template(key)
-        _request, candidates = self.engine.candidates_for(key, params, stats=stats)
-        return candidates
+        constraint = self._constraint_for(key, principal)
+        _request, candidates = self.engine.candidates_for(
+            key, params, stats=stats, constraint=constraint
+        )
+        return self._checked_space(key, principal, constraint, candidates)
 
     def observe(
         self,
@@ -237,10 +436,28 @@ class FederationGateway:
         """
         key = request.template
         self._require_template(key)
+        constraint = self._constraint_for(key, request.principal)
+        if (
+            constraint is not None
+            and candidate is not None
+            and not constraint.permits(candidate.execution.site)
+        ):
+            # An explicitly supplied QEP bypasses the filtered
+            # enumeration, so it is checked here instead.
+            self._deny(
+                key,
+                request.principal,
+                constraint.rule_ids,
+                f"candidate executes at {candidate.execution.site!r}, which "
+                f"policy forbids for this principal",
+            )
         with self._tick_scope(key, request.tick):
             tick = self._resolve_tick(request.tick)
             if candidate is None:
-                space = self.candidates(key, request.params, stats=stats)
+                _request, space = self.engine.candidates_for(
+                    key, request.params, stats=stats, constraint=constraint
+                )
+                self._checked_space(key, request.principal, constraint, space)
                 if request.candidate_index is not None:
                     if request.candidate_index >= len(space):
                         raise EnvelopeError(
@@ -260,6 +477,15 @@ class FederationGateway:
             history = self.engine.history(key)
             size, version = history.size, history.version
         costs = Executor.costs_of(execution.metrics)
+        self._audit_note(
+            "observe",
+            template=key,
+            principal=request.principal,
+            tick=tick,
+            detail=(
+                f"ran {candidate.execution.engine}/{candidate.execution.site}"
+            ),
+        )
         return ObservationReport(
             template=key,
             tick=tick,
@@ -393,23 +619,45 @@ class FederationGateway:
     ) -> SubmissionReport:
         key = request.template
         self._require_template(key)
+        constraint = self._constraint_for(key, request.principal)
         engine = self.engine
         template = engine.template(key)
         sql = template.render(request.params)
         candidates = features_matrix = None
         if enumerations is None:
             query_request = engine.interface.receive(sql, request.policy)
+            if constraint is not None:
+                # Constrained requests pre-enumerate here (the engine room
+                # stays governance-blind); the permissive path leaves
+                # enumeration to submit_request, exactly as before.
+                candidates = engine.enumerator.enumerate(
+                    key,
+                    query_request.plan,
+                    engine.stats,
+                    template.tables,
+                    constraint=constraint,
+                )
+                self._checked_space(key, request.principal, constraint, candidates)
         else:
-            cached = enumerations.get(sql)
+            # Cache key carries the constraint signature: one pinned
+            # session can serve principals with different admissible
+            # spaces without ever leaking a filtered space between them.
+            cache_key = (sql, None if constraint is None else constraint.signature)
+            cached = enumerations.get(cache_key)
             if cached is None:
                 query_request = engine.interface.receive(sql, request.policy)
                 candidates = engine.enumerator.enumerate(
-                    key, query_request.plan, engine.stats, template.tables
+                    key,
+                    query_request.plan,
+                    engine.stats,
+                    template.tables,
+                    constraint=constraint,
                 )
+                self._checked_space(key, request.principal, constraint, candidates)
                 features_matrix = MultiObjectiveOptimizer.candidate_matrix(
                     candidates, cost_model
                 )
-                enumerations[sql] = (query_request, candidates, features_matrix)
+                enumerations[cache_key] = (query_request, candidates, features_matrix)
             else:
                 base_request, candidates, features_matrix = cached
                 query_request = replace(base_request, policy=request.policy)
@@ -442,6 +690,17 @@ class FederationGateway:
             costs = Executor.costs_of(result.execution.metrics)
             measured = {metric: costs[metric] for metric in metrics}
             errors = result.prediction_error(metrics)
+        chosen = result.chosen_candidate
+        self._audit_note(
+            "submit",
+            template=key,
+            principal=request.principal,
+            tick=tick,
+            detail=(
+                f"chose {chosen.execution.engine}/{chosen.execution.site}"
+                + ("" if execute else " [plan-only]")
+            ),
+        )
         return SubmissionReport(
             template=key,
             tick=tick,
@@ -549,6 +808,7 @@ class FederationGateway:
                 self._rebalance_policy = RebalancePolicy()
             policy = self._rebalance_policy
         self._last_rebalance = serving.rebalance(policy)
+        self._audit_note("rebalance", detail=self._last_rebalance.describe())
         return self.topology_report()
 
     def _auto_rebalance(self) -> None:
@@ -570,6 +830,7 @@ class FederationGateway:
             # close() raced the cycle; the final flush already ran, so
             # losing one advisory rebalance is harmless.
             return
+        self._audit_note("rebalance", detail=self._last_rebalance.describe())
 
     # Lifecycle ------------------------------------------------------------
 

@@ -54,11 +54,16 @@ class GatewaySession:
         self._closed = False
         self._model: FittedCostModel | None = None
         self._pinned_version: int | None = None
-        #: rendered SQL -> (request, candidates, features matrix); the
-        #: per-batch enumeration cache (the pinned model fixes the
-        #: feature order, so the matrix is reusable too).
+        #: (rendered SQL, governance-constraint signature) -> (request,
+        #: candidates, features matrix); the per-batch enumeration cache
+        #: (the pinned model fixes the feature order, so the matrix is
+        #: reusable too).  The constraint signature keys the cache
+        #: because principals may differ across one batch: two callers
+        #: with different admissible spaces never share an entry (the
+        #: signature is None for unconstrained requests).
         self._enumerations: dict[
-            str, tuple[QueryRequest, list[QepCandidate], np.ndarray]
+            tuple[str, tuple | None],
+            tuple[QueryRequest, list[QepCandidate], np.ndarray],
         ] = {}
         self.repin()
 

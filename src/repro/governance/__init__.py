@@ -1,0 +1,47 @@
+"""Governance plane for the medical cloud federation.
+
+Three pieces, mirroring the regulatory layer every deployed medical
+federation carries in front of its query engine:
+
+* :mod:`repro.governance.identity` — :class:`Principal`, the typed
+  tenant identity (role, site affiliation, purpose-of-use) a request
+  runs on behalf of;
+* :mod:`repro.governance.policy` — declarative :class:`DataPolicy`
+  rules per ``(dataset, site)`` compiled by the :class:`PolicyEngine`
+  into :class:`PlanConstraint` objects the QEP enumerator applies while
+  building the candidate space;
+* :mod:`repro.governance.audit` — the hash-chained append-only
+  :class:`AuditLog` of every envelope the gateway acts on, verifiable
+  with :func:`verify_chain`.
+
+The package is self-contained (it imports only ``repro.common``): the
+federation gateway consumes it, never the other way round.
+"""
+
+from repro.governance.audit import (
+    GENESIS_HASH,
+    AuditLog,
+    AuditRecord,
+    record_hash,
+    verify_chain,
+)
+from repro.governance.identity import Principal
+from repro.governance.policy import (
+    DataPolicy,
+    GovernanceConfig,
+    PlanConstraint,
+    PolicyEngine,
+)
+
+__all__ = [
+    "GENESIS_HASH",
+    "AuditLog",
+    "AuditRecord",
+    "DataPolicy",
+    "GovernanceConfig",
+    "PlanConstraint",
+    "PolicyEngine",
+    "Principal",
+    "record_hash",
+    "verify_chain",
+]

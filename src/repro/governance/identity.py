@@ -1,0 +1,73 @@
+"""Tenant identity: who a request runs on behalf of.
+
+The source paper manages *medical* data across a cloud federation, and
+every related system (federated-identity PHR/EHR sharing, HERON's
+regulatory gate in front of i2b2) attaches a typed identity to each
+request before any data moves.  :class:`Principal` is that identity for
+the gateway: a stable subject id plus the three attributes the policy
+engine dispatches on — role, site affiliation, and purpose-of-use.
+
+A ``Principal`` rides on the request envelopes
+(``SubmitRequest(principal=...)``, ``ObserveRequest(principal=...)``)
+and is validated eagerly at construction like every other config value:
+garbage fails here, not deep inside a flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+
+
+def _checked_attribute(name: str, value: str) -> str:
+    if not value or not isinstance(value, str):
+        raise ValidationError(
+            f"Principal.{name} must be a non-empty string, got {value!r}"
+        )
+    return value.strip().lower()
+
+
+@dataclass(frozen=True)
+class Principal:
+    """One authenticated tenant identity with typed attributes.
+
+    Parameters
+    ----------
+    subject:
+        Stable identifier of the caller (a user id, a service account).
+        Kept verbatim; it names the actor in audit records.
+    role:
+        Functional role (``"clinician"``, ``"researcher"``, ``"admin"``,
+        ...).  Policy rules may scope themselves to roles.
+    site:
+        Home site affiliation within the federation (e.g.
+        ``"cloud-a"``).  Normalised to lower case like every site name
+        in the deployment.
+    purpose:
+        Purpose-of-use the request is made under (``"treatment"``,
+        ``"research"``, ``"billing"``, ...) — the attribute medical
+        data-sharing regulation keys on.
+    """
+
+    subject: str
+    role: str
+    site: str
+    purpose: str = "treatment"
+
+    def __post_init__(self):
+        if not self.subject or not isinstance(self.subject, str):
+            raise ValidationError(
+                f"Principal.subject must be a non-empty string, got {self.subject!r}"
+            )
+        object.__setattr__(self, "role", _checked_attribute("role", self.role))
+        object.__setattr__(self, "site", _checked_attribute("site", self.site))
+        object.__setattr__(
+            self, "purpose", _checked_attribute("purpose", self.purpose)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.subject} (role={self.role}, site={self.site}, "
+            f"purpose={self.purpose})"
+        )

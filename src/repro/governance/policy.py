@@ -1,0 +1,332 @@
+"""Site-level data-access policy: declarative rules, compiled constraints.
+
+The unit of governance is a :class:`DataPolicy` rule per
+``(dataset, site)`` pair, optionally scoped to principal roles and
+purposes-of-use.  Two effects exist:
+
+* ``"restricted"`` — raw rows of the dataset may not *leave* the site:
+  any admissible QEP must execute **at** that site, so the only edge
+  crossing out of it carries the (aggregate) result set, never base
+  rows.  Data may still ship *into* the restricted site from elsewhere.
+* ``"deny"`` — the pair is excluded outright.  A deny on a dataset at
+  its storage site makes every query over that dataset inadmissible for
+  the matched principals; a wildcard-dataset deny on a site excludes the
+  site from plans entirely (no execution there, nothing read from it).
+
+Rules are *compiled* per request into a :class:`PlanConstraint` —
+a required-site set, an excluded-site set, and any fatal rules — which
+the QEP enumerator applies while building the candidate space, so the
+optimizer never even costs a forbidden plan.  The default is
+**allow**: a :class:`GovernanceConfig` with no rules constrains nothing
+(and is bitwise-equivalent to running without a governance plane, which
+is the subsystem's equivalence gate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ValidationError
+from repro.governance.identity import Principal
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.ires.deployment import Deployment
+
+#: Rule effects, in increasing severity.
+EFFECTS = ("restricted", "deny")
+
+#: Wildcard matching any dataset or any site in a rule.
+WILDCARD = "*"
+
+
+def _checked_name(label: str, value: str) -> str:
+    if not value or not isinstance(value, str):
+        raise ValidationError(
+            f"DataPolicy.{label} must be a non-empty name or '*', got {value!r}"
+        )
+    return value.strip().lower()
+
+
+def _checked_scope(label: str, values) -> tuple[str, ...] | None:
+    if values is None:
+        return None
+    out = tuple(str(v).strip().lower() for v in values)
+    if not out or any(not v for v in out):
+        raise ValidationError(
+            f"DataPolicy.{label} must be None or a non-empty tuple of "
+            f"non-empty names, got {values!r}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class DataPolicy:
+    """One declarative rule over a ``(dataset, site)`` pair.
+
+    Parameters
+    ----------
+    dataset:
+        Table name the rule governs, or ``"*"`` for every dataset.
+    site:
+        Federation site the rule anchors to, or ``"*"`` for every site.
+    effect:
+        ``"restricted"`` (raw rows may not leave the site) or ``"deny"``
+        (the pair is excluded from planning entirely).
+    roles / purposes:
+        Principal scope: the rule applies only to principals whose role
+        / purpose-of-use is listed.  ``None`` (the default) applies to
+        every principal, including anonymous requests.  A scoped rule
+        never matches an anonymous request — scoping expresses "this
+        class of identified callers", not "everyone".
+    rule_id:
+        Stable identifier carried into policy-violation errors and audit
+        records.  Auto-derived from the rule when left empty; must be
+        unique within one :class:`GovernanceConfig`.
+    """
+
+    dataset: str
+    site: str
+    effect: str
+    roles: tuple[str, ...] | None = None
+    purposes: tuple[str, ...] | None = None
+    rule_id: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "dataset", _checked_name("dataset", self.dataset))
+        object.__setattr__(self, "site", _checked_name("site", self.site))
+        if self.effect not in EFFECTS:
+            raise ValidationError(
+                f"DataPolicy.effect must be one of {EFFECTS}, got {self.effect!r}"
+            )
+        object.__setattr__(self, "roles", _checked_scope("roles", self.roles))
+        object.__setattr__(self, "purposes", _checked_scope("purposes", self.purposes))
+        if self.site == WILDCARD and self.effect == "restricted":
+            raise ValidationError(
+                "DataPolicy: effect='restricted' needs a concrete site — "
+                "'raw rows may not leave every site at once' admits no plan; "
+                "use effect='deny' to exclude a dataset outright"
+            )
+        if not self.rule_id:
+            scope = ""
+            if self.roles is not None:
+                scope += f"|roles={','.join(self.roles)}"
+            if self.purposes is not None:
+                scope += f"|purposes={','.join(self.purposes)}"
+            object.__setattr__(
+                self, "rule_id", f"{self.effect}:{self.dataset}@{self.site}{scope}"
+            )
+        elif not isinstance(self.rule_id, str):
+            raise ValidationError(
+                f"DataPolicy.rule_id must be a string, got {self.rule_id!r}"
+            )
+
+    def applies_to(self, principal: Principal | None) -> bool:
+        """Whether the rule's principal scope matches the caller."""
+        if self.roles is None and self.purposes is None:
+            return True
+        if principal is None:
+            # A scoped rule names a class of *identified* callers.
+            return False
+        if self.roles is not None and principal.role not in self.roles:
+            return False
+        if self.purposes is not None and principal.purpose not in self.purposes:
+            return False
+        return True
+
+    def matches(self, dataset: str, site: str) -> bool:
+        """Whether the rule governs this concrete ``(dataset, site)``."""
+        return (self.dataset in (WILDCARD, dataset.lower())) and (
+            self.site in (WILDCARD, site.lower())
+        )
+
+    def describe(self) -> str:
+        scope = ""
+        if self.roles is not None:
+            scope += f" roles={','.join(self.roles)}"
+        if self.purposes is not None:
+            scope += f" purposes={','.join(self.purposes)}"
+        return f"{self.effect}({self.dataset} @ {self.site}){scope}"
+
+
+@dataclass(frozen=True)
+class GovernanceConfig:
+    """Everything the gateway's governance plane needs, validated eagerly.
+
+    Parameters
+    ----------
+    policies:
+        The active :class:`DataPolicy` rules.  Empty (the default) means
+        a *permissive* plane: identity and audit machinery run, nothing
+        is constrained — and the pipeline output is bitwise-identical to
+        running with no governance at all.
+    require_identity:
+        When True, every submit/observe envelope must carry a
+        :class:`~repro.governance.identity.Principal`; anonymous
+        requests are denied with a typed
+        :class:`~repro.federation.errors.PolicyViolationError`
+        (rule id ``"identity-required"``).
+    audit:
+        Whether the gateway keeps the hash-chained append-only
+        :class:`~repro.governance.audit.AuditLog` of envelope traffic.
+    """
+
+    policies: tuple[DataPolicy, ...] = ()
+    require_identity: bool = False
+    audit: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "policies", tuple(self.policies))
+        seen: set[str] = set()
+        for rule in self.policies:
+            if not isinstance(rule, DataPolicy):
+                raise ValidationError(
+                    f"GovernanceConfig.policies must contain DataPolicy rules, "
+                    f"got {type(rule).__name__}"
+                )
+            if rule.rule_id in seen:
+                raise ValidationError(
+                    f"GovernanceConfig: duplicate rule_id {rule.rule_id!r}; "
+                    "give one of the rules an explicit distinct rule_id"
+                )
+            seen.add(rule.rule_id)
+
+    @property
+    def permissive(self) -> bool:
+        """True when no rule can ever constrain a plan."""
+        return not self.policies and not self.require_identity
+
+
+@dataclass(frozen=True)
+class PlanConstraint:
+    """A compiled, per-request view of the active rules.
+
+    Produced by :meth:`PolicyEngine.constraint_for` for one
+    ``(principal, query tables)`` pair; consumed by the QEP enumerator
+    (``permits`` per candidate execution site) and by the gateway's
+    zero-admissible-plan diagnostics (``rule_ids``).
+    """
+
+    #: Sites the execution *must* run at (restricted datasets pin their
+    #: storage site).  More than one required site means no plan exists.
+    required_sites: frozenset[str] = frozenset()
+    #: Sites the execution may *not* run at (wildcard-dataset denials).
+    excluded_sites: frozenset[str] = frozenset()
+    #: Rules that make the whole query inadmissible regardless of the
+    #: execution site (a denied dataset at its storage site).
+    fatal: tuple[DataPolicy, ...] = ()
+    #: Every rule that shaped this constraint (fatal ones included).
+    applied: tuple[DataPolicy, ...] = ()
+
+    @property
+    def unrestricted(self) -> bool:
+        return not (
+            self.required_sites or self.excluded_sites or self.fatal
+        )
+
+    @property
+    def impossible(self) -> bool:
+        """No execution site can satisfy the constraint."""
+        return (
+            bool(self.fatal)
+            or len(self.required_sites) > 1
+            or bool(self.required_sites & self.excluded_sites)
+        )
+
+    def permits(self, site: str) -> bool:
+        """Whether a QEP executing at ``site`` is admissible."""
+        if self.impossible:
+            return False
+        site = site.lower()
+        if self.required_sites and site not in self.required_sites:
+            return False
+        return site not in self.excluded_sites
+
+    @property
+    def rule_ids(self) -> tuple[str, ...]:
+        return tuple(rule.rule_id for rule in self.applied)
+
+    @property
+    def signature(self) -> tuple:
+        """Stable cache key component: two constraints with the same
+        signature admit exactly the same plans (used to key per-session
+        enumeration caches when principals differ across a batch)."""
+        return (
+            tuple(sorted(self.required_sites)),
+            tuple(sorted(self.excluded_sites)),
+            bool(self.fatal),
+        )
+
+
+class PolicyEngine:
+    """Compiles the active rules into per-request plan constraints."""
+
+    def __init__(self, config: GovernanceConfig):
+        self.config = config
+
+    @property
+    def has_rules(self) -> bool:
+        return bool(self.config.policies)
+
+    def constraint_for(
+        self,
+        principal: Principal | None,
+        tables: tuple[str, ...],
+        deployment: "Deployment",
+    ) -> PlanConstraint:
+        """The compiled constraint for one query over ``tables``.
+
+        Walks each participating table's *storage* site against every
+        rule in the caller's scope:
+
+        * ``deny`` matching a table at its storage site → fatal (the
+          dataset cannot be read at all for this principal);
+        * ``deny`` with a wildcard dataset on a site → that site joins
+          the excluded-execution set (and any table stored there is
+          fatal, caught by the match above);
+        * ``restricted`` matching a table at its storage site → that
+          site joins the required-execution set (raw rows stay put; the
+          join runs where the data lives).
+        """
+        applicable = [
+            rule for rule in self.config.policies if rule.applies_to(principal)
+        ]
+        if not applicable:
+            return PlanConstraint()
+        required: dict[str, DataPolicy] = {}
+        excluded: dict[str, DataPolicy] = {}
+        fatal: list[DataPolicy] = []
+        applied: list[DataPolicy] = []
+
+        def note(rule: DataPolicy) -> None:
+            if rule not in applied:
+                applied.append(rule)
+
+        storage_sites = {table: deployment.site_of(table).lower() for table in tables}
+        for rule in applicable:
+            if rule.effect == "deny" and rule.dataset == WILDCARD:
+                # Site-wide exclusion: nothing executes there.
+                for site in (
+                    set(storage_sites.values())
+                    if rule.site == WILDCARD
+                    else {rule.site}
+                ):
+                    excluded.setdefault(site, rule)
+                note(rule)
+        for table, site in storage_sites.items():
+            for rule in applicable:
+                if not rule.matches(table, site):
+                    continue
+                if rule.effect == "deny":
+                    if rule not in fatal:
+                        fatal.append(rule)
+                    note(rule)
+                else:  # restricted: execution pinned to the storage site
+                    required.setdefault(site, rule)
+                    note(rule)
+        return PlanConstraint(
+            required_sites=frozenset(required),
+            excluded_sites=frozenset(excluded),
+            fatal=tuple(fatal),
+            applied=tuple(applied),
+        )

@@ -132,8 +132,21 @@ class QepEnumerator:
         plan: LogicalPlan,
         stats: dict[str, TableStats],
         tables: tuple[str, ...],
+        constraint=None,
     ) -> list[QepCandidate]:
-        """The QEP space of one query instance."""
+        """The QEP space of one query instance.
+
+        ``constraint`` is an optional governance
+        :class:`~repro.governance.policy.PlanConstraint`: execution
+        options whose site it does not permit are dropped *before* any
+        candidate is built, so the optimizer never costs a forbidden
+        plan.  The feature layout (k-1 execution indicators over the
+        *unconstrained* option set) is deliberately not filtered — it is
+        fixed at template registration and shared with the fitted
+        models; a constrained request simply sets fewer indicators.
+        ``None`` (the default, and the permissive-governance path) is
+        byte-for-byte the historical behavior.
+        """
         sites = self._sites(tables)
         per_site_options = []
         for site in sites:
@@ -144,7 +157,10 @@ class QepEnumerator:
 
         candidates: list[QepCandidate] = []
         indicator_options = self._execution_indicator_options(tables)
-        for execution in self._execution_options(tables):
+        executions = self._execution_options(tables)
+        if constraint is not None:
+            executions = [e for e in executions if constraint.permits(e.site)]
+        for execution in executions:
             placement = self.deployment.placement_for(execution)
             # Sizes do not depend on node counts: profile once per placement.
             profile = profile_plan(plan, stats, placement)

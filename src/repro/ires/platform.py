@@ -163,17 +163,29 @@ class IReSPlatform:
     # Pipeline ---------------------------------------------------------------
 
     def candidates_for(
-        self, key: str, params: dict, stats: dict[str, TableStats] | None = None
+        self,
+        key: str,
+        params: dict,
+        stats: dict[str, TableStats] | None = None,
+        constraint=None,
     ) -> tuple[QueryRequest, list[QepCandidate]]:
         """Steps 1 + 3a: validate and enumerate (no model needed).
 
         ``stats`` overrides the platform's table statistics for this call
-        (IReS-style profiling runs enumerate over sampled inputs).
+        (IReS-style profiling runs enumerate over sampled inputs);
+        ``constraint`` is an optional governance
+        :class:`~repro.governance.policy.PlanConstraint` the enumerator
+        applies while building the space (forbidden execution sites are
+        never materialized, let alone costed).
         """
         template = self.template(key)
         request = self.interface.receive(template.render(params))
         candidates = self.enumerator.enumerate(
-            key, request.plan, self.stats if stats is None else stats, template.tables
+            key,
+            request.plan,
+            self.stats if stats is None else stats,
+            template.tables,
+            constraint=constraint,
         )
         return request, candidates
 

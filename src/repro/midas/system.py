@@ -18,6 +18,7 @@ from repro.federation import (
     FederationConfig,
     FederationGateway,
     ObserveRequest,
+    Principal,
     SubmissionReport,
     SubmitRequest,
 )
@@ -100,20 +101,28 @@ class MidasSystem:
     def next_tick(self) -> int:
         return self.gateway.next_tick()
 
-    def warm_up(self, query_key: str, runs: int = 12) -> None:
+    def warm_up(
+        self, query_key: str, runs: int = 12, principal: Principal | None = None
+    ) -> None:
         """Populate the query's history with exploratory executions.
 
         Rotates through the QEP space so the Modelling module sees varied
         (features -> cost) observations, as a production IReS would after
-        profiling runs.
+        profiling runs.  ``principal`` is the tenant identity the
+        profiling runs are performed on behalf of (needed when the
+        gateway's governance plane requires identity or scopes rules by
+        role/purpose).
         """
         template = MEDICAL_QUERIES[query_key]
         for _run in range(runs):
             params = template.sample_params(self._rng)
-            candidates = self.gateway.candidates(query_key, params)
+            candidates = self.gateway.candidates(
+                query_key, params, principal=principal
+            )
             candidate = candidates[int(self._rng.integers(0, len(candidates)))]
             self.gateway.observe(
-                ObserveRequest(query_key, params), candidate=candidate
+                ObserveRequest(query_key, params, principal=principal),
+                candidate=candidate,
             )
 
     def query(
@@ -121,13 +130,16 @@ class MidasSystem:
         query_key: str,
         params: dict | None = None,
         policy: UserPolicy | None = None,
+        principal: Principal | None = None,
     ) -> SubmissionReport:
         """Submit one medical query through the full IReS pipeline."""
         template = MEDICAL_QUERIES[query_key]
         if params is None:
             params = template.sample_params(self._rng)
         return self.gateway.submit(
-            SubmitRequest(query_key, params, policy or UserPolicy())
+            SubmitRequest(
+                query_key, params, policy or UserPolicy(), principal=principal
+            )
         )
 
     def execute_locally(self, query_key: str, params: dict | None = None):

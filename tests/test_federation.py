@@ -42,11 +42,18 @@ from repro.federation import (
     register_strategy,
     unregister_strategy,
 )
+from repro.federation import GovernanceConfig, RebalanceConfig
 from repro.ires.modelling import BmlStrategy, DreamStrategy
 from repro.ires.policy import UserPolicy
 from repro.midas import MEDICAL_QUERIES, MidasSystem
 
 KEY = "medical-demographics"
+
+
+def _rejection_id(field, value):
+    # RebalanceConfig()'s repr spans every knob; keep parametrize ids short.
+    text = repr(value)
+    return f"{field}={text[:32] + '...' if len(text) > 32 else text}"
 
 
 def make_midas(
@@ -100,12 +107,16 @@ class TestFederationConfig:
         ("ingest_flush_ms", -25.0, "ingest_flush_ms"),
         ("ingest_overflow", "drop", "ingest_overflow"),
         ("ingest_overflow", "", "ingest_overflow"),
+        ("rebalance", RebalanceConfig(), "rebalance requires"),
+        ("rebalance", "every-tick", "rebalance must be"),
+        ("governance", "audit-everything", "governance must be"),
+        ("governance", 7, "governance must be"),
     ]
 
     @pytest.mark.parametrize(
         "field,value,pattern",
         REJECTED_FIELDS,
-        ids=[f"{f}={v!r}" for f, v, _ in REJECTED_FIELDS],
+        ids=[_rejection_id(f, v) for f, v, _ in REJECTED_FIELDS],
     )
     def test_rejection_paths(self, field, value, pattern):
         with pytest.raises(GatewayConfigError, match=pattern):
@@ -119,6 +130,23 @@ class TestFederationConfig:
         assert info.value.name == "fleet-of-zeppelins"
         assert "threaded" in info.value.available
         assert "sharded" in info.value.available
+
+    def test_rebalance_on_threaded_names_field_and_backends(self):
+        # Satellite guarantee: the rejection tells the user *which*
+        # field clashed and what serving backends exist, in the same
+        # style as UnknownServingBackendError.
+        with pytest.raises(GatewayConfigError) as info:
+            FederationConfig(rebalance=RebalanceConfig())
+        message = str(info.value)
+        assert "serving_backend='sharded'" in message
+        assert "serving_backend='threaded'" in message
+        assert "threaded" in message and "sharded" in message
+        assert info.value.phase == "configure"
+
+    def test_governance_field_accepts_config_and_none(self):
+        assert FederationConfig().governance is None
+        config = FederationConfig(governance=GovernanceConfig())
+        assert config.governance.permissive
 
     def test_bad_thresholds_rejected(self):
         with pytest.raises(GatewayConfigError, match="r2_required"):

@@ -1,0 +1,227 @@
+"""Governance property suite: equivalence, admissibility, audit integrity.
+
+Three hypothesis-driven guarantees over the ISSUE 8 governance plane:
+
+1. **Permissive equivalence** (the subsystem's hard gate) — for ANY
+   interleaving of submits/observes, a gateway configured with a
+   permissive ``GovernanceConfig()`` produces bitwise-identical
+   outcomes (reports, error types, ticks, fit/observation counters) to
+   a gateway with no governance plane at all, on both serving backends
+   and through both the sequential and the batched front-door paths.
+2. **Admissibility** — for ANY set of policy rules and any principal,
+   no candidate the gateway enumerates (and therefore no plan in any
+   Pareto front, a subset of that space) executes at a site the
+   compiled constraint forbids; zero-admissible spaces surface as
+   ``PolicyViolationError``, never as a silently empty plan set.
+3. **Audit integrity** — after ANY traffic mix, the audit chain
+   verifies end to end and its per-kind counts reconcile with the
+   outcomes the caller saw.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import RngStream
+from repro.federation import (
+    DataPolicy,
+    FederationError,
+    GovernanceConfig,
+    PolicyViolationError,
+    Principal,
+)
+from repro.governance.policy import PolicyEngine
+from repro.midas import MEDICAL_QUERIES, MidasSystem
+
+from tests.helpers import (
+    GATEWAY_KEYS,
+    assert_gateway_outcomes_equal,
+    build_gateway_traffic,
+    gateway_config,
+    run_batched,
+    run_sequential,
+)
+
+gateway_ops = st.sampled_from(["submit", "observe", "observe"])
+gateway_scripts = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1), gateway_ops),
+    min_size=1,
+    max_size=24,
+)
+
+PRINCIPALS = (
+    None,
+    Principal("dr-adams", "clinician", "cloud-a"),
+    Principal("lab-ext-7", "researcher", "cloud-b", purpose="research"),
+    Principal("ops-1", "admin", "cloud-a", purpose="billing"),
+)
+
+policies = st.builds(
+    DataPolicy,
+    dataset=st.sampled_from(
+        ["patient", "generalinfo", "labresult", "imagingstudy", "*"]
+    ),
+    site=st.sampled_from(["cloud-a", "cloud-b"]),
+    effect=st.sampled_from(["restricted", "deny"]),
+    roles=st.sampled_from([None, ("clinician",), ("researcher",)]),
+    purposes=st.sampled_from([None, ("research",)]),
+)
+rule_sets = st.lists(policies, max_size=4, unique_by=lambda rule: rule.rule_id)
+
+
+class TestPermissiveEquivalenceProperties:
+    """GovernanceConfig() with zero rules must be a bitwise no-op."""
+
+    @given(script=gateway_scripts, seed=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=8)
+    def test_threaded_sequential(self, script, seed):
+        traffic = build_gateway_traffic(script, seed)
+        assert_gateway_outcomes_equal(
+            run_sequential(traffic, "threaded", seed),
+            run_sequential(
+                traffic,
+                "threaded",
+                seed,
+                config=gateway_config("threaded", governance=GovernanceConfig()),
+            ),
+        )
+
+    @given(script=gateway_scripts, seed=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=6)
+    def test_threaded_batched_front_door(self, script, seed):
+        traffic = build_gateway_traffic(script, seed)
+        assert_gateway_outcomes_equal(
+            run_batched(traffic, "threaded", seed),
+            run_batched(
+                traffic,
+                "threaded",
+                seed,
+                config=gateway_config("threaded", governance=GovernanceConfig()),
+            ),
+        )
+
+    @pytest.mark.slow
+    @given(script=gateway_scripts, seed=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=4)
+    def test_sharded_sequential(self, script, seed):
+        traffic = build_gateway_traffic(script, seed)
+        assert_gateway_outcomes_equal(
+            run_sequential(traffic, "sharded", seed),
+            run_sequential(
+                traffic,
+                "sharded",
+                seed,
+                config=gateway_config("sharded", governance=GovernanceConfig()),
+            ),
+        )
+
+
+class TestAdmissibilityProperties:
+    """No enumerated candidate ever violates the compiled constraint."""
+
+    @given(
+        rules=rule_sets,
+        principal=st.sampled_from(PRINCIPALS),
+        seed=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=15)
+    def test_candidate_space_respects_any_rule_set(self, rules, principal, seed):
+        governance = GovernanceConfig(policies=tuple(rules))
+        midas = MidasSystem(
+            patient_count=250,
+            seed=seed,
+            config=gateway_config("threaded", governance=governance),
+        )
+        engine = PolicyEngine(governance)
+        rng = RngStream(seed, "governance-admissibility")
+        try:
+            for key in GATEWAY_KEYS:
+                template = MEDICAL_QUERIES[key]
+                constraint = engine.constraint_for(
+                    principal, template.tables, midas.deployment
+                )
+                params = template.sample_params(rng)
+                try:
+                    candidates = midas.gateway.candidates(
+                        key, params, principal=principal
+                    )
+                except PolicyViolationError as error:
+                    # A denial is only legitimate when the constraint
+                    # admits no execution site at all.
+                    assert constraint.impossible, (key, error.rule_ids)
+                    assert error.rule_ids
+                    continue
+                assert candidates, key
+                assert all(
+                    constraint.permits(candidate.execution.site)
+                    for candidate in candidates
+                ), key
+        finally:
+            midas.gateway.close()
+
+
+@pytest.fixture(scope="module")
+def restricted_midas() -> MidasSystem:
+    config = gateway_config(
+        "threaded",
+        governance=GovernanceConfig(
+            policies=(DataPolicy("patient", "cloud-a", "restricted"),)
+        ),
+    )
+    midas = MidasSystem(patient_count=250, seed=29, config=config)
+    clinician = PRINCIPALS[1]
+    for key in GATEWAY_KEYS:
+        midas.warm_up(key, runs=10, principal=clinician)
+    yield midas
+    midas.gateway.close()
+
+
+class TestParetoFrontProperties:
+    @given(
+        key=st.sampled_from(GATEWAY_KEYS),
+        seed=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=10)
+    def test_no_pareto_plan_leaves_the_restricted_site(
+        self, restricted_midas, key, seed
+    ):
+        # Both templates read `patient`, so the unscoped restricted rule
+        # pins every admissible plan (and hence the whole Pareto front,
+        # for any caller) to cloud-a.
+        params = MEDICAL_QUERIES[key].sample_params(RngStream(seed, "pareto"))
+        report = restricted_midas.query(key, params, principal=PRINCIPALS[1])
+        assert {c.payload.execution.site for c in report.pareto_set} == {"cloud-a"}
+        assert report.chosen.execution.site == "cloud-a"
+
+
+class TestAuditIntegrityProperties:
+    @given(script=gateway_scripts, seed=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=8)
+    def test_chain_verifies_after_any_traffic(self, script, seed):
+        traffic = build_gateway_traffic(script, seed)
+        midas = MidasSystem(
+            patient_count=250,
+            seed=seed,
+            config=gateway_config("threaded", governance=GovernanceConfig()),
+        )
+        succeeded = 0
+        try:
+            for op, request in traffic:
+                call = (
+                    midas.gateway.submit if op == "submit" else midas.gateway.observe
+                )
+                try:
+                    call(request)
+                    succeeded += 1
+                except FederationError:
+                    pass  # e.g. InsufficientHistoryError early in the run
+            report = midas.gateway.audit_report()
+            assert report.enabled and report.chain_valid
+            # Permissive plane, sequential path: exactly one submit or
+            # observe record per successful envelope, nothing else.
+            assert report.length == succeeded
+            assert report.submits + report.observes == succeeded
+            assert report.denials == 0 and report.flushes == 0
+            assert midas.gateway.audit_log.verify()
+        finally:
+            midas.gateway.close()
