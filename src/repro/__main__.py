@@ -275,6 +275,27 @@ def run_demo(
             f"verify_chain(tampered)={verify_chain(tampered)}"
         )
 
+        # Same demo against stable storage: export the chain to a JSON
+        # lines file, verify it offline, then flip one byte and watch
+        # the verification fail — the audit trail survives the process.
+        import tempfile
+        from pathlib import Path
+
+        from repro.governance import verify_chain_file
+
+        with tempfile.TemporaryDirectory() as tmp:
+            chain_path = Path(tmp) / "audit-chain.jsonl"
+            exported = gateway.audit_log.export(chain_path)
+            intact = verify_chain_file(chain_path)
+            raw = bytearray(chain_path.read_bytes())
+            raw[len(raw) // 2] ^= 0x01
+            chain_path.write_bytes(bytes(raw))
+            print(
+                f"On-disk chain  : exported {exported} records, "
+                f"verify_chain_file(intact)={intact}, "
+                f"verify_chain_file(bit-flipped)={verify_chain_file(chain_path)}"
+            )
+
     if rebalance:
         hot = "medical-severe-cases"
         print()

@@ -95,6 +95,17 @@ class ExecutionHistory:
             raise EstimationError("history is empty")
         return self._observations[-1].tick
 
+    def export_rows(self) -> list[list]:
+        """Every observation as a ``[tick, features, costs]`` triple of
+        plain JSON-serialisable values.  Feeding the rows back through
+        :meth:`append` rebuilds a bitwise-identical history (floats
+        survive a JSON round trip exactly), which is what the WAL
+        checkpoint in :mod:`repro.federation.durability` relies on."""
+        return [
+            [obs.tick, dict(obs.features), dict(obs.costs)]
+            for obs in self._observations
+        ]
+
     # Dataset views -----------------------------------------------------------
 
     def feature_matrix(self) -> np.ndarray:

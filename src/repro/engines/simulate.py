@@ -57,6 +57,18 @@ class MultiEngineSimulator:
 
     # ------------------------------------------------------------------
 
+    def rng_state(self) -> dict:
+        """The noise stream's PCG64 state — a small JSON-serialisable
+        dict.  Journaled per observation by the durability subsystem so
+        a recovered simulator resumes the *same* noise sequence (the
+        restart-equivalence oracle needs measured costs, not just
+        histories, to line up bitwise)."""
+        return self._noise_rng.generator.bit_generator.state
+
+    def restore_rng_state(self, state: dict) -> None:
+        """Restore a state previously captured by :meth:`rng_state`."""
+        self._noise_rng.generator.bit_generator.state = state
+
     def execute(
         self,
         plan: LogicalPlan,

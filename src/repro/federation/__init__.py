@@ -50,6 +50,7 @@ from repro.federation.config import (
     DEFAULT_INGEST_QUEUE_DEPTH,
     FederationConfig,
 )
+from repro.federation.durability import DurabilityConfig
 from repro.federation.envelopes import (
     AuditReport,
     BatchObserveRequest,
@@ -58,6 +59,7 @@ from repro.federation.envelopes import (
     IngestStats,
     ObservationReport,
     ObserveRequest,
+    RecoveryReport,
     ServingReport,
     SubmissionReport,
     SubmitRequest,
@@ -65,6 +67,7 @@ from repro.federation.envelopes import (
 )
 from repro.federation.errors import (
     DuplicateTemplateError,
+    DurabilityError,
     EnvelopeError,
     FederationError,
     GatewayConfigError,
@@ -105,10 +108,12 @@ __all__ = [
     "AuditReport",
     "BatchObserveRequest",
     "BatchReport",
+    "DurabilityConfig",
     "IngestBatch",
     "IngestStats",
     "ObservationReport",
     "ObserveRequest",
+    "RecoveryReport",
     "ServingReport",
     "SubmissionReport",
     "SubmitRequest",
@@ -119,6 +124,7 @@ __all__ = [
     "Principal",
     "verify_chain",
     "DuplicateTemplateError",
+    "DurabilityError",
     "EnvelopeError",
     "FederationError",
     "GatewayConfigError",

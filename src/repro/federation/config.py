@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 from repro.federation.errors import GatewayConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.federation.durability import DurabilityConfig
     from repro.governance.policy import GovernanceConfig
     from repro.serving.topology import RebalanceConfig
 
@@ -122,6 +123,14 @@ class FederationConfig:
         a governance plane; a *permissive* config (no rules) is
         bitwise-equivalent to ``None`` on the estimation/optimization
         path — it only adds auditing.
+    durability:
+        The durability plane
+        (:class:`~repro.federation.durability.DurabilityConfig`): every
+        state-changing event is write-ahead-logged to ``dir`` under the
+        chosen ``fsync`` policy with periodic compacting checkpoints,
+        and ``gateway.recover()`` replays a crashed gateway's journal
+        into a bitwise-equal state.  ``None`` (the default) keeps all
+        state in memory, exactly as before.
     strategy_options:
         Backend-specific extras passed to the registry factory (e.g.
         ``{"window_multiple": 2}`` for the windowed BML baseline).
@@ -145,6 +154,7 @@ class FederationConfig:
     ingest_overflow: str = "reject"
     rebalance: RebalanceConfig | None = None
     governance: GovernanceConfig | None = None
+    durability: DurabilityConfig | None = None
     strategy_options: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -254,4 +264,13 @@ class FederationConfig:
                 raise GatewayConfigError(
                     "governance must be a GovernanceConfig (or None), got "
                     f"{type(self.governance).__name__}"
+                )
+        if self.durability is not None:
+            # Deferred import, same reason as the registry lookup above.
+            from repro.federation.durability import DurabilityConfig
+
+            if not isinstance(self.durability, DurabilityConfig):
+                raise GatewayConfigError(
+                    "durability must be a DurabilityConfig (or None), got "
+                    f"{type(self.durability).__name__}"
                 )

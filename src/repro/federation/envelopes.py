@@ -420,6 +420,55 @@ class AuditReport:
 
 
 @dataclass(frozen=True)
+class RecoveryReport:
+    """Outcome of one ``gateway.recover()`` replay.
+
+    ``recovered`` is False when the durability directory held no prior
+    state (a fresh journal — nothing to replay).  ``torn_bytes`` counts
+    WAL tail bytes dropped as crash artifacts (a partial final write);
+    anything worse than a torn tail raises
+    :class:`~repro.federation.errors.DurabilityError` instead of
+    appearing here.  ``warmed_fits`` counts templates re-fitted because
+    their snapshot was fresh at the crash — replaying them keeps
+    post-recovery fit/snapshot-hit behaviour identical to a gateway
+    that never crashed.
+    """
+
+    recovered: bool
+    #: LSN the checkpoint had compacted through (0 without a checkpoint).
+    checkpoint_lsn: int = 0
+    #: WAL segments scanned past the checkpoint.
+    segments: int = 0
+    #: WAL records replayed (all types).
+    records: int = 0
+    #: History rows restored across all templates.
+    rows: int = 0
+    #: Template registrations validated against the live gateway.
+    registrations: int = 0
+    #: Audit records restored into the hash chain.
+    audit_records: int = 0
+    #: Torn-tail bytes truncated as crash artifacts.
+    torn_bytes: int = 0
+    #: Shard routes restored (0 for the threaded backend).
+    routes: int = 0
+    #: Snapshots re-fitted because they were fresh at the crash.
+    warmed_fits: int = 0
+    #: Gateway tick counter after recovery.
+    tick: int = 0
+
+    def describe(self) -> str:
+        if not self.recovered:
+            return "recovery: fresh journal, nothing to replay"
+        return (
+            f"recovery: {self.rows} rows across {self.registrations} "
+            f"templates, {self.audit_records} audit records, "
+            f"{self.routes} routes, tick={self.tick}, "
+            f"warmed {self.warmed_fits} snapshots, "
+            f"truncated {self.torn_bytes} torn bytes"
+        )
+
+
+@dataclass(frozen=True)
 class BatchReport:
     """Outcome of a pinned-session :meth:`submit_many` batch.
 

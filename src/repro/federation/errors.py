@@ -33,6 +33,7 @@ PHASES = (
     "optimize",
     "execute",
     "session",
+    "durability",
 )
 
 
@@ -133,6 +134,18 @@ class SessionStateError(FederationError):
     otherwise in the wrong lifecycle state for the call)."""
 
     phase = "session"
+
+
+class DurabilityError(FederationError):
+    """The durability subsystem refused to proceed: a corrupted (not
+    merely torn) WAL or checkpoint record, a journal that does not match
+    the live gateway (wrong registrations, wrong backend), or traffic
+    offered to a gateway whose existing journal has not been
+    :meth:`~repro.federation.gateway.FederationGateway.recover`-ed yet.
+    Never raised for a clean torn tail — those are crash artifacts and
+    recovery truncates them silently (reporting the dropped bytes)."""
+
+    phase = "durability"
 
 
 class EnvelopeError(FederationError, ValidationError):

@@ -393,6 +393,11 @@ class FrontDoor:
         # flush flag is already released and tickets are resolved —
         # rebalancing never extends the batch's latency window.
         gateway._auto_rebalance()
+        # Durability batch boundary: under fsync="batch" the flush's
+        # journaled records reach stable storage here, once per batch
+        # instead of once per append.  Last, so the flush-audit and any
+        # rebalance topology record make the same sync.
+        gateway._durability_sync()
         return batch
 
     @staticmethod

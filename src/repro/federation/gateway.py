@@ -25,6 +25,7 @@ from dataclasses import replace
 
 from repro.engines.simulate import MultiEngineSimulator
 from repro.federation.config import FederationConfig
+from repro.federation.durability import DurabilityConfig, DurabilityManager
 from repro.federation.envelopes import (
     AuditReport,
     BatchObserveRequest,
@@ -33,6 +34,7 @@ from repro.federation.envelopes import (
     IngestStats,
     ObservationReport,
     ObserveRequest,
+    RecoveryReport,
     ServingReport,
     SubmissionReport,
     SubmitRequest,
@@ -159,6 +161,49 @@ class FederationGateway:
         self._audit = (
             AuditLog() if governance is not None and governance.audit else None
         )
+        # Durability plane: journal every state-changing event to a WAL
+        # and replay it on recover().  A directory with existing state
+        # puts the gateway in recovery-pending mode — traffic raises
+        # DurabilityError until recover() runs.
+        self._durability = (
+            None
+            if self.config.durability is None
+            else DurabilityManager(self, self.config.durability)
+        )
+        self._wire_durability()
+        # Background rebalance ticker (ROADMAP 2a): without it an idle
+        # gateway never rebalances, because cycles ride the front-door
+        # flush cadence.  Clean shutdown slots into close()'s ordering —
+        # the ticker stops after the door's final flush, before the
+        # serving layer dies.
+        self._rebalance_stop = threading.Event()
+        self._rebalance_thread: threading.Thread | None = None
+        cadence = (
+            None
+            if self.config.rebalance is None
+            else self.config.rebalance.cadence_seconds
+        )
+        if cadence is not None and hasattr(self.engine.serving, "rebalance"):
+            self._rebalance_thread = threading.Thread(
+                target=self._rebalance_ticker,
+                args=(cadence,),
+                name="gateway-rebalance-ticker",
+                daemon=True,
+            )
+            self._rebalance_thread.start()
+
+    def _wire_durability(self) -> None:
+        """Point the event sources at the journal: audit appends, model
+        fits, and (sharded only) route flips."""
+        manager = self._durability
+        if manager is None:
+            return
+        if self._audit is not None:
+            self._audit.sink = manager.note_audit
+        serving = self.engine.serving
+        serving.on_fit = manager.note_fit
+        if hasattr(serving, "migrate"):
+            serving.on_route_change = manager.note_topology
 
     # Registration ---------------------------------------------------------
 
@@ -176,6 +221,12 @@ class FederationGateway:
                 template, metrics or self.config.metrics
             )
             self._keys.add(template.key)
+        if self._durability is not None:
+            # Outside the gateway mutex: the journal append can trigger
+            # a checkpoint, and checkpoints must never nest inside it.
+            self._durability.note_register(
+                template.key, history.feature_names, history.metric_names
+            )
         return history
 
     def templates(self) -> tuple[str, ...]:
@@ -225,6 +276,75 @@ class FederationGateway:
         if tick is not None:
             return nullcontext()
         return self.engine.serving.template_lock(key)
+
+    # Durability -----------------------------------------------------------
+
+    def _journal_row(self, key: str, tick: int, history, rotation: int | None):
+        """Journal the history append that just committed: the row, the
+        rotation counter it consumed, the gateway tick counter, and the
+        simulator's post-draw RNG position (so a recovered gateway
+        resumes the same noise sequence)."""
+        row = history.observations[-1]
+        simulator = getattr(self.engine.executor, "simulator", None)
+        self._durability.note_row(
+            key,
+            tick,
+            dict(row.features),
+            dict(row.costs),
+            size=history.size,
+            rotation=rotation,
+            gw=self._tick,
+            rng=(
+                simulator.rng_state()
+                if hasattr(simulator, "rng_state")
+                else None
+            ),
+        )
+
+    def _journal_tick(self) -> None:
+        """Journal a tick consumed without a history append (plan-only
+        submissions, or a submission failing after tick assignment)."""
+        if self._durability is not None:
+            self._durability.note_tick(self._tick)
+
+    def _durability_sync(self) -> None:
+        """Front-door flush boundary: under ``fsync="batch"`` this is
+        where journaled records reach stable storage."""
+        if self._durability is not None:
+            self._durability.sync()
+
+    def recover(self, path=None) -> RecoveryReport:
+        """Replay a WAL directory into this (freshly built) gateway.
+
+        With no ``path``, replays the configured durability directory
+        (``FederationConfig(durability=DurabilityConfig(dir=...))``).
+        An explicit ``path`` re-points the journal there first — also
+        usable on a gateway configured without durability, e.g. to
+        resurrect state salvaged from another host.  The gateway must
+        have the same templates registered (a fresh ``MidasSystem``
+        does this at construction) and no traffic served yet; see
+        :meth:`~repro.federation.durability.DurabilityManager.recover`
+        for exactly what is validated and restored.  Returns a
+        :class:`~repro.federation.envelopes.RecoveryReport`; corruption
+        (anything beyond a clean torn tail) raises
+        :class:`~repro.federation.errors.DurabilityError`.
+        """
+        if path is not None:
+            config = (
+                DurabilityConfig(dir=path)
+                if self.config.durability is None
+                else replace(self.config.durability, dir=path)
+            )
+            if self._durability is not None:
+                self._durability.close()
+            self._durability = DurabilityManager(self, config)
+            self._wire_durability()
+        if self._durability is None:
+            raise GatewayConfigError(
+                "recover() needs FederationConfig(durability=...) or an "
+                "explicit path to a WAL directory"
+            )
+        return self._durability.recover()
 
     # Governance -----------------------------------------------------------
 
@@ -436,6 +556,8 @@ class FederationGateway:
         """
         key = request.template
         self._require_template(key)
+        if self._durability is not None:
+            self._durability.ensure_ready()
         constraint = self._constraint_for(key, request.principal)
         if (
             constraint is not None
@@ -451,6 +573,7 @@ class FederationGateway:
                 f"candidate executes at {candidate.execution.site!r}, which "
                 f"policy forbids for this principal",
             )
+        rotation = None
         with self._tick_scope(key, request.tick):
             tick = self._resolve_tick(request.tick)
             if candidate is None:
@@ -469,13 +592,15 @@ class FederationGateway:
                 else:
                     with self._lock:
                         index = self._rotation.get(key, 0)
-                        self._rotation[key] = index + 1
+                        rotation = self._rotation[key] = index + 1
                     candidate = space[index % len(space)]
             execution = self.engine.observe(
                 key, request.params, candidate, tick, stats=stats
             )
             history = self.engine.history(key)
             size, version = history.size, history.version
+            if self._durability is not None:
+                self._journal_row(key, tick, history, rotation)
         costs = Executor.costs_of(execution.metrics)
         self._audit_note(
             "observe",
@@ -565,6 +690,8 @@ class FederationGateway:
                     "gateway is closed; no further requests can be admitted",
                     phase="ingest",
                 )
+            if self._durability is not None:
+                self._durability.ensure_ready()
             if self._front_door is None:
                 self._front_door = FrontDoor(self)
             return self._front_door
@@ -619,6 +746,8 @@ class FederationGateway:
     ) -> SubmissionReport:
         key = request.template
         self._require_template(key)
+        if self._durability is not None:
+            self._durability.ensure_ready()
         constraint = self._constraint_for(key, request.principal)
         engine = self.engine
         template = engine.template(key)
@@ -663,26 +792,38 @@ class FederationGateway:
                 query_request = replace(base_request, policy=request.policy)
         with self._tick_scope(key, request.tick):
             tick = self._resolve_tick(request.tick)
-            if cost_model is None:
-                if engine.history(key).size == 0:
-                    raise InsufficientHistoryError(
-                        f"no execution history for {key!r}; run observe() a "
-                        "few times first",
-                        template=key,
-                    )
-                # Fetch the serving snapshot here (not inside the engine)
-                # so a too-short history surfaces as the typed
-                # InsufficientHistoryError; same model, same locks.
-                cost_model, _version = self._pin(key)
-            result = engine.submit_request(
-                key,
-                query_request,
-                tick,
-                cost_model=cost_model,
-                candidates=candidates,
-                features_matrix=features_matrix,
-                execute=execute,
-            )
+            try:
+                if cost_model is None:
+                    if engine.history(key).size == 0:
+                        raise InsufficientHistoryError(
+                            f"no execution history for {key!r}; run observe() a "
+                            "few times first",
+                            template=key,
+                        )
+                    # Fetch the serving snapshot here (not inside the engine)
+                    # so a too-short history surfaces as the typed
+                    # InsufficientHistoryError; same model, same locks.
+                    cost_model, _version = self._pin(key)
+                result = engine.submit_request(
+                    key,
+                    query_request,
+                    tick,
+                    cost_model=cost_model,
+                    candidates=candidates,
+                    features_matrix=features_matrix,
+                    execute=execute,
+                )
+            except Exception:
+                # The tick was already consumed; journal that, or a
+                # recovered gateway's counter would drift from the
+                # uninterrupted one's.
+                self._journal_tick()
+                raise
+            if self._durability is not None:
+                if result.execution is not None:
+                    self._journal_row(key, tick, engine.history(key), None)
+                else:
+                    self._journal_tick()
         metrics = request.policy.metrics
         predicted = dict(zip(metrics, result.chosen.objectives))
         measured = errors = None
@@ -811,6 +952,24 @@ class FederationGateway:
         self._audit_note("rebalance", detail=self._last_rebalance.describe())
         return self.topology_report()
 
+    def _rebalance_ticker(self, cadence: float) -> None:
+        """Daemon control loop: one policy cycle every
+        ``cadence_seconds`` of wall time, flush traffic or not (ROADMAP
+        2a — an idle gateway must still shed a hot shard).  Exits when
+        close() sets the stop event; a cycle racing shutdown surfaces as
+        ShardedServingError and ends the loop the same way."""
+        policy = self._rebalance_policy
+        while not self._rebalance_stop.wait(cadence):
+            with self._lock:
+                if self._closed:
+                    return
+            try:
+                outcome = self.engine.serving.rebalance(policy)
+            except ShardedServingError:
+                return
+            self._last_rebalance = outcome
+            self._audit_note("rebalance", detail=outcome.describe())
+
     def _auto_rebalance(self) -> None:
         """Front-door hook: one policy cycle every ``cadence_flushes``
         flushes, when a rebalance config is present (no-op otherwise)."""
@@ -856,7 +1015,19 @@ class FederationGateway:
                 door = self._front_door
             if door is not None:
                 door.close()
+            # The ticker stops after the door's final flush (so that
+            # flush still rebalances if it crossed the cadence) and
+            # before the serving layer dies under a mid-cycle move.
+            self._rebalance_stop.set()
+            if self._rebalance_thread is not None:
+                self._rebalance_thread.join(timeout=5.0)
+                self._rebalance_thread = None
             self.engine.serving.close()
+            if self._durability is not None:
+                # Last: every event the shutdown emitted (final flush
+                # audit, rebalance outcome) is already journaled; the
+                # close is one final sync.
+                self._durability.close()
 
     def __enter__(self) -> "FederationGateway":
         return self

@@ -22,8 +22,10 @@ from repro.governance.audit import (
     GENESIS_HASH,
     AuditLog,
     AuditRecord,
+    export_chain,
     record_hash,
     verify_chain,
+    verify_chain_file,
 )
 from repro.governance.identity import Principal
 from repro.governance.policy import (
@@ -42,6 +44,8 @@ __all__ = [
     "PlanConstraint",
     "PolicyEngine",
     "Principal",
+    "export_chain",
     "record_hash",
     "verify_chain",
+    "verify_chain_file",
 ]

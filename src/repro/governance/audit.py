@@ -20,9 +20,11 @@ it in tests for deterministic records; same idiom as
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
 
 #: Wall-clock source for record timestamps (monkeypatchable).
 time_fn = time.time
@@ -118,17 +120,80 @@ def verify_chain(records) -> bool:
     return True
 
 
+def export_chain(records, path) -> int:
+    """Write a record sequence as JSON lines (one record per line).
+
+    The on-disk form is self-contained: :func:`verify_chain_file` (or
+    any external verifier re-implementing :func:`record_hash`) can check
+    it with no access to the process that wrote it.  Returns the number
+    of records written.
+    """
+    lines = [
+        json.dumps(asdict(record), separators=(",", ":"), sort_keys=True)
+        for record in records
+    ]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def verify_chain_file(path, expected_head: str | None = None) -> bool:
+    """Offline verification of an exported chain file.
+
+    Returns False for *any* defect — unparseable lines, missing fields,
+    a broken chain, or (when ``expected_head`` is given) a head hash
+    that does not match the anchor — rather than raising: a tampered
+    file must never crash the verifier that is judging it.
+    """
+    records = []
+    try:
+        text = Path(path).read_text()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            records.append(AuditRecord(**json.loads(line)))
+    except (OSError, TypeError, ValueError):
+        return False
+    if not verify_chain(records):
+        return False
+    if expected_head is not None:
+        head = records[-1].hash if records else GENESIS_HASH
+        if head != expected_head:
+            return False
+    return True
+
+
 class AuditLog:
     """Thread-safe append-only log building the hash chain.
 
     There is no delete, truncate or update surface — by construction.
-    ``records()`` returns an immutable snapshot tuple.
+    ``records()`` returns an immutable snapshot tuple.  ``sink``, when
+    given, is called with each record *after* its append commits and
+    outside the log's lock (the durability subsystem journals records
+    to the WAL this way; calling out under the lock would invert its
+    order against the WAL manager's checkpoint reads).
     """
 
-    def __init__(self):
+    def __init__(self, sink=None):
         self._lock = threading.Lock()
         self._records: list[AuditRecord] = []
         self._head = GENESIS_HASH
+        self.sink = sink
+
+    @classmethod
+    def restore(cls, records, sink=None) -> "AuditLog":
+        """Rebuild a log from previously exported/journaled records.
+
+        The chain is verified before a single record is accepted — a
+        tampered journal can never masquerade as a live log.
+        """
+        records = list(records)
+        if not verify_chain(records):
+            raise ValueError("cannot restore: records are not an intact chain")
+        log = cls(sink=sink)
+        log._records = records
+        if records:
+            log._head = records[-1].hash
+        return log
 
     def append(
         self,
@@ -163,7 +228,14 @@ class AuditLog:
             )
             self._records.append(record)
             self._head = digest
-            return record
+        if self.sink is not None:
+            self.sink(record)
+        return record
+
+    def export(self, path) -> int:
+        """Export the live chain to a JSON-lines file; see
+        :func:`export_chain`."""
+        return export_chain(self.records(), path)
 
     def records(self) -> tuple[AuditRecord, ...]:
         with self._lock:

@@ -34,6 +34,7 @@ import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -155,6 +156,11 @@ class BaseEstimationService(ABC):
         self._burst_fits = 0
         self._batch_refreshes = 0
         self._batch_fits = 0
+        #: Optional observer ``(key, history_version)`` invoked after
+        #: every successful strategy fit (any backend, any fit path) —
+        #: the durability plane journals fit freshness through it so
+        #: recovery can re-warm exactly the snapshots that were fresh.
+        self.on_fit: Callable[[str, int], None] | None = None
 
     # Subclass hooks -------------------------------------------------------
 
@@ -180,6 +186,10 @@ class BaseEstimationService(ABC):
                     LOAD_EWMA_ALPHA * seconds
                     + (1.0 - LOAD_EWMA_ALPHA) * state.fit_seconds_ewma
                 )
+        # Observer fires outside the stats lock (it may take the
+        # durability manager's lock; keep the leaf lock a leaf).
+        if self.on_fit is not None:
+            self.on_fit(state.key, state.history.version)
 
     def _on_register(self, state: _Template) -> None:
         """Wire a freshly registered template into the backend."""

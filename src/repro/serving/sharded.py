@@ -204,6 +204,11 @@ class ShardedEstimationService(BaseEstimationService):
         self._routes: dict[str, int] = {}
         self._route_version = 0
         self._migrations = 0
+        #: Optional observer ``(routes, workers)`` invoked with a
+        #: routing-table copy after every route flip (migrate/resize) —
+        #: the durability plane journals placement through it so
+        #: recovery replays decisions instead of re-deriving them.
+        self.on_route_change = None
         # Serialises control-plane operations (resize, rebalance cycles)
         # against each other; the data plane never takes it.
         self._topology_lock = threading.RLock()
@@ -760,6 +765,9 @@ class ShardedEstimationService(BaseEstimationService):
                     # A dead source forgets by dying: its respawn replay
                     # covers src.keys, which no longer includes this key.
                     self._respawn_locked(src)
+        # Outside every lock: the observer may take the durability
+        # manager's lock, which must stay below template/shard locks.
+        self._notify_route_change()
         return True
 
     def resize(self, workers: int) -> int:
@@ -786,6 +794,7 @@ class ShardedEstimationService(BaseEstimationService):
                 self.workers = workers
                 with self._stats_lock:
                     self._route_version += 1
+                self._notify_route_change()
                 return workers
             for doomed in self._shards[workers:]:
                 for key in sorted(doomed.keys):
@@ -797,6 +806,7 @@ class ShardedEstimationService(BaseEstimationService):
                 self._route_version += 1
             for shard in victims:
                 self._shutdown_shard(shard, timeout=5.0)
+            self._notify_route_change()
             return workers
 
     def rebalance(self, policy: RebalancePolicy) -> RebalanceOutcome:
@@ -813,8 +823,13 @@ class ShardedEstimationService(BaseEstimationService):
             grew = None
             if plan.grow_to is not None and plan.grow_to > self.workers:
                 grew = self.resize(plan.grow_to)
+            # Apply-time migration throttle: moves beyond the cap are
+            # deferred (the policy's heat state re-plans them next
+            # cycle), bounding replay churn per cycle.
+            cap = policy.config.max_migrations_per_cycle
+            moves = plan.moves if cap is None else plan.moves[:cap]
             applied = []
-            for move in plan.moves:
+            for move in moves:
                 if 0 <= move.dst < self.workers and self.migrate(move.key, move.dst):
                     applied.append(move)
             shrank = None
@@ -826,7 +841,19 @@ class ShardedEstimationService(BaseEstimationService):
                 shrank_to=shrank,
                 route_version=self.route_version,
                 reason=plan.reason,
+                migration_cap=cap,
             )
+
+    def route_table(self) -> dict[str, int]:
+        """Copy of the explicit routing table (key -> shard index)."""
+        return dict(self._routes)
+
+    def _notify_route_change(self) -> None:
+        """Publish the post-flip routing table to the observer (caller
+        must not hold template or shard locks — the observer may take
+        the durability manager's lock)."""
+        if self.on_route_change is not None:
+            self.on_route_change(dict(self._routes), self.workers)
 
     @property
     def route_version(self) -> int:

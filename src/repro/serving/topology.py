@@ -115,6 +115,10 @@ class RebalanceOutcome:
     shrank_to: int | None
     route_version: int
     reason: str
+    #: The ``max_migrations_per_cycle`` throttle in force when the cycle
+    #: ran (``None`` = unthrottled); planned moves beyond the cap were
+    #: deferred to later cycles, not dropped from the policy's heat state.
+    migration_cap: int | None = None
 
     def describe(self) -> str:
         parts = []
@@ -126,7 +130,10 @@ class RebalanceOutcome:
             parts.append(f"shrank pool to {self.shrank_to}")
         if not parts:
             parts.append("no-op")
-        return f"[route v{self.route_version}] " + "; ".join(parts) + f" ({self.reason})"
+        text = f"[route v{self.route_version}] " + "; ".join(parts)
+        if self.migration_cap is not None:
+            text += f" [cap {self.migration_cap}]"
+        return text + f" ({self.reason})"
 
 
 @dataclass(frozen=True)
@@ -162,6 +169,16 @@ class RebalanceConfig:
     cadence_flushes:
         For the gateway's automatic control loop: run one policy cycle
         every N front-door flushes.
+    cadence_seconds:
+        For the gateway's *background* control loop: a daemon ticker
+        runs one policy cycle every this many seconds, so an idle
+        gateway (no front-door traffic) still rebalances.  ``None``
+        (default) disables the ticker; flush-driven cycles still run.
+    max_migrations_per_cycle:
+        Hard cap on migrations *applied* per control cycle, enforced at
+        apply time on top of the planner's ``max_moves`` budget (``0``
+        plans but applies nothing; ``None`` = unthrottled).  The cap in
+        force is recorded on ``RebalanceOutcome.migration_cap``.
     """
 
     hot_factor: float = 1.25
@@ -173,6 +190,8 @@ class RebalanceConfig:
     backlog_weight: float = 0.0
     smoothing: float = 0.5
     cadence_flushes: int = 1
+    cadence_seconds: float | None = None
+    max_migrations_per_cycle: int | None = None
 
     def __post_init__(self):
         if not self.hot_factor >= 1.0:
@@ -209,6 +228,18 @@ class RebalanceConfig:
         if self.cadence_flushes < 1:
             raise ValidationError(
                 f"cadence_flushes must be >= 1, got {self.cadence_flushes}"
+            )
+        if self.cadence_seconds is not None and not self.cadence_seconds > 0:
+            raise ValidationError(
+                f"cadence_seconds must be > 0 (or None), got {self.cadence_seconds}"
+            )
+        if (
+            self.max_migrations_per_cycle is not None
+            and self.max_migrations_per_cycle < 0
+        ):
+            raise ValidationError(
+                "max_migrations_per_cycle must be >= 0 (or None), got "
+                f"{self.max_migrations_per_cycle}"
             )
 
 

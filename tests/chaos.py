@@ -18,15 +18,28 @@ fault plans without knowing how earlier resizes reshaped the pool.
 Suites stay thin clients — they describe a script and a fault plan and
 assert on the returned :class:`ChaosLog`; every equivalence check lives
 here, once.
+
+ISSUE 9 extends the harness from *worker* chaos to *parent* chaos: the
+gateway process itself dies.  :func:`run_recovery_chaos` kills a durable
+gateway at a scripted traffic offset, optionally tears or corrupts the
+WAL tail the way a mid-``write(2)`` crash (or bit rot) would, recovers
+into a fresh gateway and holds the stitched run to the same oracle bar:
+every report, the fit/observation counters and the audit head must be
+bitwise-identical to a gateway that never crashed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import pytest
 
+import repro.governance.audit as audit_module
 from repro.common.errors import EstimationError
+from repro.core import wal
+from repro.federation import FederationError
+from repro.federation.durability import DurabilityConfig
 from repro.midas import MidasSystem
 from repro.serving import EstimationService, ShardedEstimationService
 from repro.serving.worker import dream_strategy
@@ -259,3 +272,181 @@ def run_gateway_chaos(script, faults, *, seed) -> ChaosLog:
         midas.gateway.close()
     assert_gateway_outcomes_equal(sequential, (outcomes, fits, observations))
     return log
+
+
+# --- Durability chaos: torn writes, bit rot, kill-at-offset recovery --------
+
+#: Pinned audit timestamp: the chain hashes over ``at``, so comparing a
+#: recovered chain's head against the oracle's needs a frozen clock.
+FROZEN_AUDIT_CLOCK = 1_700_000_000.0
+
+
+def _final_segment(directory) -> Path:
+    segments = wal.list_segments(Path(directory))
+    assert segments, f"no WAL segments in {directory}"
+    return segments[-1]
+
+
+def inject_torn_tail(directory, *, keep_bytes=11) -> int:
+    """Append a partial record to the final WAL segment — the classic
+    crash artifact: a ``write(2)`` the kill interrupted mid-frame.
+    Returns how many dangling bytes were planted (``keep_bytes`` capped
+    to strictly less than the full frame, so the tail is always torn)."""
+    record = wal.encode_record({"t": "row", "key": "torn-victim", "lsn": 10**9})
+    keep = min(max(1, keep_bytes), len(record) - 1)
+    with open(_final_segment(directory), "ab") as handle:
+        handle.write(record[:keep])
+    return keep
+
+
+def shear_final_record(directory) -> int:
+    """Cut the final segment mid-way through its *last real* record (no
+    planted bytes — the journaled event itself is the casualty).
+    Returns the number of dangling bytes left behind."""
+    path = _final_segment(directory)
+    data = path.read_bytes()
+    offsets = []
+    offset = 0
+    while offset + wal.HEADER.size <= len(data):
+        length, _crc = wal.HEADER.unpack_from(data, offset)
+        offsets.append(offset)
+        offset += wal.HEADER.size + length
+    assert offsets, f"{path.name} holds no records to shear"
+    last = offsets[-1]
+    cut = last + wal.HEADER.size + 2  # header plus two payload bytes survive
+    with open(path, "r+b") as handle:
+        handle.truncate(cut)
+    return cut - last
+
+
+def inject_bit_flip(directory, *, record_index=0) -> int:
+    """Flip one payload bit of a *fully present* record in the final
+    segment — bit rot, not a torn write: recovery must refuse loudly.
+    Returns the absolute byte offset that was flipped."""
+    path = _final_segment(directory)
+    data = bytearray(path.read_bytes())
+    offsets = []
+    offset = 0
+    while offset + wal.HEADER.size <= len(data):
+        length, _crc = wal.HEADER.unpack_from(data, offset)
+        if offset + wal.HEADER.size + length > len(data):
+            break
+        offsets.append(offset)
+        offset += wal.HEADER.size + length
+    assert offsets, f"{path.name} holds no complete records to corrupt"
+    target = offsets[record_index % len(offsets)]
+    flip = target + wal.HEADER.size  # first payload byte
+    data[flip] ^= 0x01
+    path.write_bytes(bytes(data))
+    return flip
+
+
+@dataclass
+class RecoveryLog:
+    """One kill-and-recover run: the report plus both halves' counters."""
+
+    report: object = None
+    outcomes_before: int = 0
+    outcomes_after: int = 0
+    fits_before: int = 0
+    fits_total: int = 0
+    audit_head: str | None = None
+    oracle_audit_head: str | None = None
+
+
+def _drive(gateway, traffic, outcomes) -> None:
+    """run_sequential's per-item handling, against a live gateway."""
+    for op, request in traffic:
+        call = gateway.submit if op == "submit" else gateway.observe
+        try:
+            outcomes.append(("ok", call(request)))
+        except FederationError as error:
+            outcomes.append(("error", type(error).__name__))
+
+
+def run_recovery_chaos(
+    script,
+    crash_at,
+    *,
+    backend,
+    seed,
+    durability_dir,
+    fsync="batch",
+    checkpoint_every=None,
+    governance=None,
+    mutate_wal=None,
+) -> RecoveryLog:
+    """Kill a durable gateway at traffic offset ``crash_at``, recover a
+    fresh one over the same directory, and assert the stitched run is
+    bitwise-equal to a never-crashed oracle.
+
+    ``mutate_wal(directory)``, fired between the kill and the recovery,
+    plants crash artifacts (:func:`inject_torn_tail`) — anything it adds
+    must be truncated away without disturbing equivalence.  The audit
+    clock is pinned for the duration so chain heads are comparable.
+    """
+    traffic = build_gateway_traffic(script, seed)
+    crash_at = max(0, min(crash_at, len(traffic)))
+    overrides = {} if governance is None else {"governance": governance}
+    base = gateway_config(backend, **overrides)
+    durable = replace(
+        base,
+        durability=DurabilityConfig(
+            dir=durability_dir, fsync=fsync, checkpoint_every=checkpoint_every
+        ),
+    )
+    saved_clock = audit_module.time_fn
+    audit_module.time_fn = lambda: FROZEN_AUDIT_CLOCK
+    try:
+        log = RecoveryLog()
+        # The never-crashed oracle (run_sequential plus its audit head).
+        oracle_midas = MidasSystem(patient_count=250, seed=seed, config=base)
+        oracle_outcomes = []
+        try:
+            _drive(oracle_midas.gateway, traffic, oracle_outcomes)
+            oracle_fits = oracle_midas.gateway.serving_stats.fits
+            oracle_observations = oracle_midas.gateway.serving_stats.observations
+            if oracle_midas.gateway.audit_log is not None:
+                log.oracle_audit_head = oracle_midas.gateway.audit_log.head_hash
+        finally:
+            oracle_midas.gateway.close()
+        oracle = (oracle_outcomes, oracle_fits, oracle_observations)
+        outcomes = []
+
+        crashed = MidasSystem(patient_count=250, seed=seed, config=durable)
+        try:
+            _drive(crashed.gateway, traffic[:crash_at], outcomes)
+            log.fits_before = crashed.gateway.serving_stats.fits
+        finally:
+            # The "kill": tear down processes without the checkpoint a
+            # graceful shutdown would have cut — recovery must work
+            # from the raw journal.
+            crashed.gateway.close()
+        log.outcomes_before = len(outcomes)
+        if mutate_wal is not None:
+            mutate_wal(Path(durability_dir))
+
+        revived = MidasSystem(patient_count=250, seed=seed, config=durable)
+        try:
+            log.report = revived.gateway.recover()
+            _drive(revived.gateway, traffic[crash_at:], outcomes)
+            fits = revived.gateway.serving_stats.fits
+            observations = revived.gateway.serving_stats.observations
+            if revived.gateway.audit_log is not None:
+                log.audit_head = revived.gateway.audit_log.head_hash
+        finally:
+            revived.gateway.close()
+        log.outcomes_after = len(outcomes) - log.outcomes_before
+        log.fits_total = log.fits_before + fits
+
+        # Restart equivalence: the crash must be invisible.  Warm-up
+        # fits (snapshots re-fitted at recovery because they were fresh
+        # at the kill) are the one legitimate double-count.
+        stitched_fits = log.fits_before + fits - log.report.warmed_fits
+        assert_gateway_outcomes_equal(
+            oracle, (outcomes, stitched_fits, observations)
+        )
+        assert log.audit_head == log.oracle_audit_head
+        return log
+    finally:
+        audit_module.time_fn = saved_clock
