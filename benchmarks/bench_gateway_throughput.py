@@ -17,9 +17,18 @@ runs while keeping the tenant count at 100.  Reported and persisted to
 * end-to-end ingest throughput (QPS over admission + every flush);
 * admission latency — p50 is the lock-and-enqueue cost; the tail
   (p99/max) is an admission that paid for an inline watermark flush;
+* time-to-first-report — the front door runs in pipelined streaming
+  mode (``ingest_pipeline=True``, ``ingest_segment_max=64``), so a
+  flush's early segments resolve their tickets while later segments
+  still execute; per flush, the gap between the flush-tripping
+  admission and the *first* resolved ticket versus the *last* one
+  (p50/p99 of both).  Streaming must put the first report strictly
+  ahead of the full flush — that pair is the ISSUE 10 acceptance
+  number;
 * a sequential single-call baseline (same traffic shape, own gateway)
   for the throughput ratio;
-* the front door's own counters (flushes, fit rounds, peak depth).
+* the front door's own counters (flushes, segments, fit rounds, peak
+  depth).
 
 Correctness is the hard gate: zero failed items, zero rejections, and
 the admission ledger must balance (admitted == requests == flushed).
@@ -36,6 +45,7 @@ import argparse
 import json
 import os
 import time
+from collections import defaultdict
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -58,6 +68,7 @@ TENANTS = 100
 PATIENTS = 300
 BATCH_ROWS = 8
 INGEST_BATCH_MAX = 256
+INGEST_SEGMENT_MAX = 64
 FULL_REQUESTS = 100_000
 QUICK_REQUESTS = 2_880
 FULL_BASELINE = 4_000
@@ -77,6 +88,11 @@ class GatewayReport:
     admission_max_ms: float
     baseline_p50_ms: float
     baseline_p99_ms: float
+    first_report_p50_ms: float
+    first_report_p99_ms: float
+    full_flush_p50_ms: float
+    full_flush_p99_ms: float
+    streamed_flushes: int
     submits: int
     failed: int
     fits: int
@@ -102,6 +118,10 @@ def build_system() -> tuple[MidasSystem, list[str]]:
         max_window=24,
         ingest_batch_max=INGEST_BATCH_MAX,
         ingest_queue_depth=4 * INGEST_BATCH_MAX,
+        # Pipelined streaming mode: tickets resolve per 64-item segment
+        # and the next segment's safe prefits overlap with execution.
+        ingest_pipeline=True,
+        ingest_segment_max=INGEST_SEGMENT_MAX,
     )
     midas = MidasSystem(patient_count=PATIENTS, seed=11, config=config)
     bases = list(MEDICAL_QUERIES.values())
@@ -190,6 +210,26 @@ def run_gateway_throughput(quick: bool = False) -> GatewayReport:
     finally:
         midas.gateway.close()
 
+    # Time-to-first-report: per flush, the gap between the admission
+    # that tripped it (the latest admitted_at in the flush — flushes run
+    # inline on that caller) and the first/last resolved ticket.
+    # Streaming pays off exactly when first << full.
+    by_flush: dict[int, list] = defaultdict(list)
+    for ticket in tickets:
+        by_flush[ticket.batch_seq].append(ticket)
+    first_ms: list[float] = []
+    full_ms: list[float] = []
+    for flush_tickets in by_flush.values():
+        if len(flush_tickets) < 2:
+            continue
+        flush_start = max(t.admitted_at for t in flush_tickets)
+        first = min(t.resolved_at for t in flush_tickets)
+        last = max(t.resolved_at for t in flush_tickets)
+        first_ms.append((first - flush_start) * 1e3)
+        full_ms.append((last - flush_start) * 1e3)
+    first_p50, first_p99 = np.percentile(np.array(first_ms), [50, 99])
+    full_p50, full_p99 = np.percentile(np.array(full_ms), [50, 99])
+
     # Sequential baseline: the same traffic shape, single calls on a
     # fresh gateway (identical environment, no front door).
     baseline, keys = build_system()
@@ -230,6 +270,11 @@ def run_gateway_throughput(quick: bool = False) -> GatewayReport:
         admission_max_ms=admission_max,
         baseline_p50_ms=float(baseline_p50),
         baseline_p99_ms=float(baseline_p99),
+        first_report_p50_ms=float(first_p50),
+        first_report_p99_ms=float(first_p99),
+        full_flush_p50_ms=float(full_p50),
+        full_flush_p99_ms=float(full_p99),
+        streamed_flushes=len(first_ms),
         submits=submits,
         failed=failed,
         fits=fits,
@@ -251,9 +296,16 @@ def format_report(report: GatewayReport) -> str:
         f"{report.baseline_qps:8.1f} req/s, "
         f"p50/p99 {report.baseline_p50_ms:.3f} / {report.baseline_p99_ms:.3f} ms",
         f"ingest vs baseline            : {report.throughput_ratio:8.2f}x",
+        f"first report p50/p99          : {report.first_report_p50_ms:.1f} / "
+        f"{report.first_report_p99_ms:.1f} ms "
+        f"(over {report.streamed_flushes} flushes)",
+        f"full flush p50/p99            : {report.full_flush_p50_ms:.1f} / "
+        f"{report.full_flush_p99_ms:.1f} ms",
         f"flushes (size/interval/drain) : {report.ingest.flushes} "
         f"({report.ingest.size_flushes}/{report.ingest.interval_flushes}"
         f"/{report.ingest.drain_flushes})",
+        f"segments / streamed items     : {report.ingest.segments} / "
+        f"{report.ingest.streamed_items}",
         f"fit rounds -> model fits      : {report.ingest.fit_rounds} -> {report.fits}",
         f"peak queue depth              : {report.ingest.peak_depth}",
         f"failed / rejected / blocked   : {report.failed} / "
@@ -270,6 +322,8 @@ def write_json(report: GatewayReport) -> None:
         "requests": report.requests,
         "envelopes": report.envelopes,
         "ingest_batch_max": INGEST_BATCH_MAX,
+        "ingest_segment_max": INGEST_SEGMENT_MAX,
+        "ingest_pipeline": True,
         "host_cpu_count": os.cpu_count(),
         "ingest_seconds": round(report.ingest_seconds, 3),
         "ingest_qps": round(report.ingest_qps, 1),
@@ -282,6 +336,11 @@ def write_json(report: GatewayReport) -> None:
         "baseline_p50_ms": round(report.baseline_p50_ms, 4),
         "baseline_p99_ms": round(report.baseline_p99_ms, 4),
         "throughput_ratio": round(report.throughput_ratio, 3),
+        "first_report_p50_ms": round(report.first_report_p50_ms, 3),
+        "first_report_p99_ms": round(report.first_report_p99_ms, 3),
+        "full_flush_p50_ms": round(report.full_flush_p50_ms, 3),
+        "full_flush_p99_ms": round(report.full_flush_p99_ms, 3),
+        "streamed_flushes": report.streamed_flushes,
         "submits": report.submits,
         "failed": report.failed,
         "fits": report.fits,
@@ -289,6 +348,8 @@ def write_json(report: GatewayReport) -> None:
         "size_flushes": report.ingest.size_flushes,
         "drain_flushes": report.ingest.drain_flushes,
         "fit_rounds": report.ingest.fit_rounds,
+        "segments": report.ingest.segments,
+        "streamed_items": report.ingest.streamed_items,
         "items_flushed": report.ingest.items_flushed,
         "max_batch": report.ingest.max_batch,
         "peak_depth": report.ingest.peak_depth,
@@ -313,6 +374,18 @@ def check_report(report: GatewayReport) -> None:
     # Submissions found history (warm phase ordering held) and fitted.
     assert report.submits > 0 and report.fits > 0
     assert report.ingest.fit_rounds > 0
+    # Streaming actually subdivided the flushes and resolved early
+    # segments before flush end...
+    assert report.ingest.segments > report.ingest.flushes
+    assert report.ingest.streamed_items > 0
+    assert report.streamed_flushes > 0
+    # ...which is the acceptance gate: the first report of a flush must
+    # land strictly before the flush completes, at the median and tail.
+    assert report.first_report_p50_ms < report.full_flush_p50_ms, (
+        report.first_report_p50_ms,
+        report.full_flush_p50_ms,
+    )
+    assert report.first_report_p99_ms < report.full_flush_p99_ms
     # Throughput floors are sanity-only: the simulator dominates
     # per-item cost, so real numbers live in BENCH_gateway.json.
     assert report.ingest_qps > 10, report.ingest_qps

@@ -63,8 +63,10 @@ def run_demo(
     pool instead of the in-process service (identical predictions, no
     GIL contention between tenants).  ``--ingest-batch N`` adds a
     batched front-door burst — coalesced ``ingest()`` + ``drain()``
-    with the size watermark at ``N`` — and prints the admission and
-    backpressure counters from the serving report.  ``--rebalance``
+    with the size watermark at ``N``, streaming per-segment ticket
+    resolution, a done-callback consumer, and an awaited
+    ``ingest_async``/``drain_async`` round — and prints the admission,
+    backpressure and streaming counters from the serving report.  ``--rebalance``
     (implies the sharded backend) warms a second template into a skewed
     load, runs one elastic-topology control cycle and prints the typed
     ``TopologyReport`` — routing table version, per-shard load
@@ -104,6 +106,10 @@ def run_demo(
         overrides["rebalance"] = RebalanceConfig(max_moves=2)
     if ingest_batch is not None:
         overrides["ingest_batch_max"] = ingest_batch
+        # Streaming demo mode: tickets resolve in quarter-watermark
+        # segments, with the next segment's safe prefits overlapped.
+        overrides["ingest_segment_max"] = max(1, ingest_batch // 4)
+        overrides["ingest_pipeline"] = True
     if ingest_flush_ms is not None:
         overrides["ingest_flush_ms"] = ingest_flush_ms
     config = replace(
@@ -166,6 +172,8 @@ def run_demo(
     print(f"  enumerations performed: {batch.enumerations} (batch of {len(batch)})")
 
     if ingest_batch is not None:
+        import asyncio
+
         from repro.common.rng import RngStream
         from repro.federation import BatchObserveRequest, ObserveRequest
         from repro.midas import MEDICAL_QUERIES
@@ -176,14 +184,29 @@ def run_demo(
         print()
         print(
             f"Front-door ingest burst: {burst} observes in 8-row batch "
-            f"envelopes (size watermark at {ingest_batch})..."
+            f"envelopes (size watermark at {ingest_batch}, streaming "
+            f"segments of {config.ingest_segment_max})..."
         )
         rows = tuple(
             ObserveRequest(key, template.sample_params(rng), principal=clinician)
             for _ in range(burst)
         )
+        tickets = []
         for start in range(0, burst, 8):
-            gateway.ingest(BatchObserveRequest(key, rows[start : start + 8]))
+            tickets.extend(
+                gateway.ingest(BatchObserveRequest(key, rows[start : start + 8]))
+            )
+        # Streaming consumption: a done-callback on the first pending
+        # ticket records how much of the flush was still outstanding
+        # when its segment resolved.
+        stream_note = {}
+        pending = [t for t in tickets if not t.done]
+        if pending:
+            pending[0].add_done_callback(
+                lambda _t: stream_note.setdefault(
+                    "left", sum(1 for t in tickets if not t.done)
+                )
+            )
         batch = gateway.drain()
         if len(batch):
             print(
@@ -203,7 +226,8 @@ def run_demo(
         )
         print(
             f"  backpressure : rejected={istats.rejected}, "
-            f"blocked={istats.blocked} "
+            f"blocked={istats.blocked}, "
+            f"self-help flushes={istats.backpressure_flushes} "
             f"(overflow={config.ingest_overflow!r}, "
             f"queue_depth={config.ingest_queue_depth})"
         )
@@ -212,6 +236,35 @@ def run_demo(
             f"(size={istats.size_flushes}, interval={istats.interval_flushes}, "
             f"drain={istats.drain_flushes}), fit_rounds={istats.fit_rounds}, "
             f"max_batch={istats.max_batch}"
+        )
+        print(
+            f"  streaming    : {istats.segments} segments, "
+            f"{istats.streamed_items} items resolved mid-flush"
+        )
+        if "left" in stream_note:
+            print(
+                f"  streaming    : first pending ticket resolved with "
+                f"{stream_note['left']} items still in flight"
+            )
+
+        async def async_burst():
+            tasks = [
+                asyncio.ensure_future(
+                    gateway.ingest_async(
+                        ObserveRequest(
+                            key, template.sample_params(rng), principal=clinician
+                        )
+                    )
+                )
+                for _ in range(8)
+            ]
+            await gateway.drain_async()
+            return await asyncio.gather(*tasks)
+
+        reports = asyncio.run(async_burst())
+        print(
+            f"  asyncio      : awaited {len(reports)} ingest_async reports "
+            f"(ticks {reports[0].tick}..{reports[-1].tick})"
         )
 
     if policy:

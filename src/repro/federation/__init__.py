@@ -71,6 +71,7 @@ from repro.federation.errors import (
     EnvelopeError,
     FederationError,
     GatewayConfigError,
+    IngestAbortedError,
     IngestOverflowError,
     InsufficientHistoryError,
     PolicyViolationError,
@@ -128,6 +129,7 @@ __all__ = [
     "EnvelopeError",
     "FederationError",
     "GatewayConfigError",
+    "IngestAbortedError",
     "IngestOverflowError",
     "InsufficientHistoryError",
     "PolicyViolationError",

@@ -236,7 +236,12 @@ class IngestStats:
     counts items turned away by the overflow policy and ``blocked``
     counts admissions that had to wait (or flush) for queue space.
     Flushes are broken down by what triggered them — the size watermark,
-    the staleness watermark, or an explicit ``drain()``/``close()``.
+    the staleness watermark, an explicit ``drain()``/``close()``, or a
+    blocked admission flushing its own way out of a full queue
+    (``backpressure_flushes``).  ``segments`` counts executed flush
+    segments and ``streamed_items`` the items whose tickets resolved
+    *before* their flush finished (per-segment streaming; items in a
+    flush's final segment resolve at flush end and are not counted).
     """
 
     admitted: int
@@ -257,6 +262,11 @@ class IngestStats:
     #: High-water mark and current size of the pending queue.
     peak_depth: int
     pending: int
+    #: Self-help flushes run by a blocked admission at a full queue.
+    backpressure_flushes: int = 0
+    #: Executed flush segments, and items streamed out mid-flush.
+    segments: int = 0
+    streamed_items: int = 0
 
     def describe(self) -> str:
         return (
@@ -264,7 +274,10 @@ class IngestStats:
             f"observes={self.observes}), rejected={self.rejected}, "
             f"blocked={self.blocked}, flushes={self.flushes} "
             f"(size={self.size_flushes}, interval={self.interval_flushes}, "
-            f"drain={self.drain_flushes}), fit_rounds={self.fit_rounds}, "
+            f"drain={self.drain_flushes}, "
+            f"backpressure={self.backpressure_flushes}), "
+            f"segments={self.segments}, streamed={self.streamed_items}, "
+            f"fit_rounds={self.fit_rounds}, "
             f"max_batch={self.max_batch}, peak_depth={self.peak_depth}, "
             f"pending={self.pending}"
         )
@@ -283,7 +296,8 @@ class IngestBatch:
     """
 
     seq: int
-    #: What started the flush: "size", "interval" or "drain".
+    #: What started the flush: "size", "interval", "drain" or
+    #: "backpressure" (a blocked admission flushing a full queue).
     trigger: str
     #: Template keys the batch touched, sorted.
     templates: tuple[str, ...]
@@ -295,6 +309,9 @@ class IngestBatch:
     fit_rounds: int
     reports: tuple[SubmissionReport | ObservationReport | None, ...]
     errors: tuple[FederationError | None, ...]
+    #: Executed segments (each resolved its tickets as it finished —
+    #: streaming granularity, bounded by ``ingest_segment_max``).
+    segments: int = 0
 
     def __len__(self) -> int:
         return len(self.reports)

@@ -182,6 +182,20 @@ class PolicyViolationError(FederationError, ValidationError):
         self.subject = subject
 
 
+class IngestAbortedError(FederationError):
+    """An infrastructure failure aborted a front-door flush mid-run.
+
+    Resolved onto every ticket that was admitted into the flush but had
+    not executed when the failure struck (items that already ran keep
+    their reports — streaming resolution is per segment, so earlier
+    segments' outcomes survive the abort).  The underlying failure is
+    chained as ``__cause__``; the flush's caller sees that original
+    exception re-raised, while ticket waiters see this typed error.
+    """
+
+    phase = "ingest"
+
+
 class IngestOverflowError(FederationError, ValidationError):
     """The front door's bounded ingest queue rejected an admission.
 

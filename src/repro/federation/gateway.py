@@ -19,7 +19,9 @@ directly.
 
 from __future__ import annotations
 
+import asyncio
 import threading
+from collections import deque
 from contextlib import nullcontext
 from dataclasses import replace
 
@@ -664,6 +666,67 @@ class FederationGateway:
         :mod:`repro.federation.frontdoor`).
         """
         return self._door().ingest(request)
+
+    def ingest_iter(self, requests):
+        """Admit an iterable of envelopes, yielding reports as they land.
+
+        Reports come back in admission order, but *streamed*: a report
+        yields as soon as its flush segment executes — under watermark
+        flushes (or ``ingest_segment_max``) early results arrive while
+        later requests are still being admitted.  After the last
+        admission a :meth:`drain` flushes the tail.  A failed item
+        raises its typed error from the generator at its position,
+        exactly where the sequential single-call surface would have
+        raised it.
+        """
+        door = self._door()
+        pending: deque[IngestTicket] = deque()
+        for request in requests:
+            admitted = door.ingest(request)
+            if isinstance(admitted, list):
+                pending.extend(admitted)
+            else:
+                pending.append(admitted)
+            while pending and pending[0].done:
+                yield pending.popleft().result()
+        if pending:
+            door.drain()
+        while pending:
+            ticket = pending.popleft()
+            ticket.wait()
+            yield ticket.result()
+
+    async def ingest_async(self, request):
+        """Admit one envelope from a coroutine and await its report.
+
+        The awaitable counterpart of :meth:`ingest` + ``ticket.result()``:
+        admission runs on the front door's single admission thread (it
+        may block on backpressure or inline-run a flush, never on the
+        event loop) and resolution is bridged back with a
+        ``call_soon_threadsafe`` done-callback — one waiter task, not
+        one blocked thread, per pending request.  Returns the report (a
+        list for a :class:`BatchObserveRequest`) or raises the item's
+        typed error.  Pair ``asyncio.create_task``-ed calls with
+        :meth:`drain_async` to flush them (see
+        :mod:`repro.federation.frontdoor`).
+        """
+        return await self._door().ingest_async(request)
+
+    async def drain_async(self) -> IngestBatch:
+        """Awaitable :meth:`drain`: flushes everything already admitted
+        (including by ``ingest_async`` tasks created just before this
+        call) without blocking the event loop."""
+        # Yield once before looking for the door: ``create_task``-ed
+        # ingest_async calls made just before this call take their
+        # first step here — which is what lazily *creates* the door and
+        # hands their admissions to the admission thread.  Checking
+        # first would see no door, drain nothing, and leave those tasks
+        # waiting on a flush that never comes.
+        await asyncio.sleep(0)
+        door = self._front_door
+        if door is None:
+            return self.drain()
+        return await door.drain_async()
 
     def drain(self) -> IngestBatch:
         """Flush every admitted-but-pending request and return the

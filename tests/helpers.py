@@ -13,6 +13,7 @@ Two sections:
 
 from __future__ import annotations
 
+import asyncio
 import datetime
 from functools import partial
 
@@ -234,6 +235,78 @@ def run_batched(traffic, backend, seed, config=None):
                 outcomes.append(("ok", report))
             else:
                 outcomes.append(("error", type(error).__name__))
+        fits = midas.gateway.serving_stats.fits
+        observations = midas.gateway.serving_stats.observations
+    finally:
+        midas.gateway.close()
+    return outcomes, fits, observations
+
+
+def run_streamed(traffic, backend, seed, config=None, before_drain=None):
+    """The same traffic consumed through streaming tickets: outcomes are
+    read per-ticket (in admission order) rather than from the drained
+    batch, and done-callback firing order is checked against admission
+    order.  ``before_drain`` (if given) runs after every admission and
+    before the flush — chaos hooks inject worker crashes there."""
+    midas = MidasSystem(
+        patient_count=250, seed=seed, config=config or gateway_config(backend)
+    )
+    outcomes = []
+    resolved_order = []
+    try:
+        tickets = []
+        for _op, request in traffic:
+            admitted = midas.gateway.ingest(request)
+            for ticket in admitted if isinstance(admitted, list) else [admitted]:
+                ticket.add_done_callback(lambda t: resolved_order.append(t.seq))
+                tickets.append(ticket)
+        if before_drain is not None:
+            before_drain(midas.gateway)
+        midas.gateway.drain()
+        for ticket in tickets:
+            assert ticket.done
+            if ticket.error is None:
+                outcomes.append(("ok", ticket.report))
+            else:
+                outcomes.append(("error", type(ticket.error).__name__))
+        assert resolved_order == sorted(resolved_order)
+        fits = midas.gateway.serving_stats.fits
+        observations = midas.gateway.serving_stats.observations
+    finally:
+        midas.gateway.close()
+    return outcomes, fits, observations
+
+
+def run_async(traffic, backend, seed, config=None, before_drain=None):
+    """The same traffic through the asyncio surface: one task per
+    request via ``ingest_async``, flushed with ``drain_async``, then
+    each awaited in admission order."""
+    midas = MidasSystem(
+        patient_count=250, seed=seed, config=config or gateway_config(backend)
+    )
+
+    async def drive():
+        gateway = midas.gateway
+        tasks = [
+            asyncio.ensure_future(gateway.ingest_async(request))
+            for _op, request in traffic
+        ]
+        # Step every task once so the admissions reach the admission
+        # thread (in task-creation order) before any chaos hook runs.
+        await asyncio.sleep(0)
+        if before_drain is not None:
+            before_drain(gateway)
+        await gateway.drain_async()
+        collected = []
+        for task in tasks:
+            try:
+                collected.append(("ok", await task))
+            except FederationError as error:
+                collected.append(("error", type(error).__name__))
+        return collected
+
+    try:
+        outcomes = asyncio.run(drive())
         fits = midas.gateway.serving_stats.fits
         observations = midas.gateway.serving_stats.observations
     finally:

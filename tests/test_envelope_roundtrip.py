@@ -129,6 +129,9 @@ def make_serving_report() -> ServingReport:
             fit_rounds=5,
             peak_depth=17,
             pending=0,
+            backpressure_flushes=1,
+            segments=9,
+            streamed_items=12,
         ),
     )
 

@@ -107,6 +107,10 @@ class TestFederationConfig:
         ("ingest_flush_ms", -25.0, "ingest_flush_ms"),
         ("ingest_overflow", "drop", "ingest_overflow"),
         ("ingest_overflow", "", "ingest_overflow"),
+        ("ingest_segment_max", 0, "ingest_segment_max"),
+        ("ingest_segment_max", -3, "ingest_segment_max"),
+        ("ingest_pipeline", "yes", "ingest_pipeline"),
+        ("ingest_pipeline", 1, "ingest_pipeline"),
         ("rebalance", RebalanceConfig(), "rebalance requires"),
         ("rebalance", "every-tick", "rebalance must be"),
         ("governance", "audit-everything", "governance must be"),
@@ -666,8 +670,10 @@ class TestCliDemo:
         assert main(["demo", "--quick", "--ingest-batch", "16"]) == 0
         out = capsys.readouterr().out
         assert "Front-door ingest burst" in out
-        assert "Ingest counters: admitted=32" in out
-        assert "rejected=0" in out and "flushes=2 (size=2" in out
+        # 32 streamed-burst rows + 8 awaited ingest_async rows.
+        assert "Ingest counters: admitted=40" in out
+        assert "rejected=0" in out and "flushes=3 (size=2" in out
+        assert "streaming    :" in out and "asyncio      : awaited 8" in out
 
 
 @pytest.mark.slow

@@ -20,6 +20,7 @@ Four layers of guarantees:
 """
 
 import threading
+import time
 
 import pytest
 
@@ -28,9 +29,11 @@ from repro.common.errors import EstimationError
 from repro.common.rng import RngStream
 from repro.federation import (
     BatchObserveRequest,
+    DurabilityConfig,
     EnvelopeError,
     FederationConfig,
     FederationError,
+    IngestAbortedError,
     IngestOverflowError,
     IngestStats,
     ObserveRequest,
@@ -126,6 +129,16 @@ class TestAdmission:
         with pytest.raises(EnvelopeError, match="ingest\\(\\) takes"):
             midas.gateway.ingest({"template": KEY})
 
+    def test_empty_batch_admission_raises_typed_error(self, midas):
+        # Defence in depth: construction already rejects zero rows, but
+        # a hollow batch smuggled past __post_init__ must still surface
+        # as the typed envelope error at admission, never an IndexError.
+        hollow = object.__new__(BatchObserveRequest)
+        object.__setattr__(hollow, "template", KEY)
+        object.__setattr__(hollow, "requests", ())
+        with pytest.raises(EnvelopeError, match="empty batch"):
+            midas.gateway.ingest(hollow)
+
     def test_per_item_error_isolation(self):
         # A submission on an empty history fails with the same typed
         # error the sequential path raises — and its batch-mates all
@@ -197,6 +210,10 @@ class TestBackpressure:
         stats = gateway.ingest_stats()
         assert stats.blocked >= 1
         assert stats.flushes >= 1 and stats.pending < 4
+        # Overflow self-help is its own trigger, never conflated with
+        # the size watermark (suppressed above, so it must stay zero).
+        assert stats.backpressure_flushes >= 1
+        assert stats.size_flushes == 0
         gateway.close()
 
     def test_drain_idempotent_after_close(self):
@@ -328,6 +345,52 @@ class TestBlockingStall:
         stats = gateway.ingest_stats()
         assert stats.admitted == 7 and stats.items_flushed == 7
         gateway.observe = original
+        gateway.close()
+
+
+class TestNotifyDrivenWakeups:
+    def test_drain_waiter_wakes_on_flush_end_not_poll(self, monkeypatch):
+        """A waiter parked behind an in-flight flush must wake on the
+        ``notify_all`` at ``_finalize``, not on the bounded poll — with
+        the poll inflated to 5s, returning promptly proves it."""
+        monkeypatch.setattr(frontdoor_module, "_BLOCK_POLL_SECONDS", 5.0)
+        midas = make_midas(seed=37)
+        gateway = midas.gateway
+        rng = RngStream(20, "wake")
+        release = threading.Event()
+        entered = threading.Event()
+        original = gateway.observe
+
+        def stalling_observe(request, **kwargs):
+            entered.set()
+            release.wait(timeout=10)
+            return original(request, **kwargs)
+
+        gateway.observe = stalling_observe
+        gateway.ingest(observe_request(rng))
+        flusher = threading.Thread(target=gateway.drain, daemon=True)
+        flusher.start()
+        assert entered.wait(timeout=10)
+
+        woke_at = {}
+
+        def waiter():
+            gateway.drain()  # waits out the in-flight flush
+            woke_at["t"] = time.perf_counter()
+
+        watcher = threading.Thread(target=waiter, daemon=True)
+        watcher.start()
+        time.sleep(0.2)  # let the waiter park inside wait_for
+        released_at = time.perf_counter()
+        release.set()
+        watcher.join(timeout=10)
+        flusher.join(timeout=10)
+        gateway.observe = original
+        assert "t" in woke_at, "drain waiter never woke"
+        latency = woke_at["t"] - released_at
+        # Bounded by the released observe's own execution time — far
+        # below the patched 5s poll (and the old 50ms quantum).
+        assert latency < 2.0, f"waiter woke by poll, not notify ({latency:.3f}s)"
         gateway.close()
 
 
@@ -518,12 +581,62 @@ class TestInfrastructureFailure:
         # No waiter hangs: every ticket resolved with the typed wrapper.
         for ticket in tickets:
             assert ticket.done
-            assert isinstance(ticket.error, FederationError)
+            assert isinstance(ticket.error, IngestAbortedError)
             assert ticket.error.phase == "ingest"
+            assert isinstance(ticket.error.__cause__, RuntimeError)
         # The door recovered: the next cycle works.
         ticket = gateway.ingest(observe_request(rng))
         batch = gateway.drain()
         assert batch.failed == 0 and ticket.done
+        gateway.close()
+
+    def test_aborted_flush_still_syncs_durability(self, tmp_path):
+        """Kill-mid-flush chaos: records journaled by the partial flush
+        must reach stable storage even though the flush aborted — under
+        ``fsync="batch"`` only the flush-boundary sync fsyncs, so the
+        abort path has to hit it too."""
+        def build_config():
+            return FederationConfig(
+                max_window=24,
+                durability=DurabilityConfig(dir=tmp_path, fsync="batch"),
+            )
+
+        midas = MidasSystem(patient_count=300, seed=73, config=build_config())
+        gateway = midas.gateway
+        rng = RngStream(19, "abort-sync")
+        for _ in range(3):
+            gateway.ingest(observe_request(rng))
+        calls = {"n": 0}
+        original = gateway.observe
+
+        def kill_second_observe(request, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("shard pool lost power")
+            return original(request, **kwargs)
+
+        gateway.observe = kill_second_observe
+        synced = {"n": 0}
+        manager = gateway._durability
+        manager_sync = manager.sync
+
+        def counting_sync():
+            synced["n"] += 1
+            return manager_sync()
+
+        manager.sync = counting_sync
+        with pytest.raises(RuntimeError, match="lost power"):
+            gateway.drain()
+        manager.sync = manager_sync
+        gateway.observe = original
+        assert synced["n"] >= 1, "aborted flush skipped the durability sync"
+        # Crash simulation: abandon the gateway without close().  The
+        # acknowledged pre-abort row must already be recoverable.
+        revived = MidasSystem(patient_count=300, seed=73, config=build_config())
+        report = revived.gateway.recover()
+        assert report.recovered and report.rows == 1
+        assert revived.gateway.engine.history(KEY).size == 1
+        revived.gateway.close()
         gateway.close()
 
     def test_estimation_error_wrapped_into_taxonomy(self):

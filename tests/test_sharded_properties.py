@@ -48,8 +48,10 @@ from tests.helpers import (
     build_gateway_traffic,
     gateway_config,
     observation_stream,
+    run_async,
     run_batched,
     run_sequential,
+    run_streamed,
     sharded_factory,
 )
 
@@ -159,6 +161,137 @@ class TestGatewayIngestEquivalenceProperties:
         assert_gateway_outcomes_equal(
             run_sequential(traffic, "sharded", seed),
             run_batched(traffic, "sharded", seed),
+        )
+
+
+class TestStreamingEquivalenceProperties:
+    """ISSUE 10 satellite: the streaming surfaces — per-segment ticket
+    resolution (with done-callbacks), the asyncio client, and the
+    pipelined flush — are all bitwise-identical to the sequential
+    single-call replay: reports, error types, ticks, fit and
+    observation counters.  Segment size and pipelining are drawn by
+    hypothesis so subdivided and overlapped flushes get the same
+    scrutiny as the default cut."""
+
+    @given(
+        script=gateway_scripts,
+        seed=st.integers(min_value=1, max_value=10_000),
+        segment_max=st.integers(min_value=1, max_value=4),
+        pipeline=st.booleans(),
+    )
+    @settings(max_examples=8)
+    def test_threaded_streamed_matches_sequential_replay(
+        self, script, seed, segment_max, pipeline
+    ):
+        traffic = build_gateway_traffic(script, seed)
+        config = gateway_config(
+            "threaded", ingest_segment_max=segment_max, ingest_pipeline=pipeline
+        )
+        assert_gateway_outcomes_equal(
+            run_sequential(traffic, "threaded", seed),
+            run_streamed(traffic, "threaded", seed, config=config),
+        )
+
+    @given(
+        script=gateway_scripts,
+        seed=st.integers(min_value=1, max_value=10_000),
+        segment_max=st.integers(min_value=1, max_value=4),
+        pipeline=st.booleans(),
+    )
+    @settings(max_examples=4)
+    def test_sharded_streamed_matches_sequential_replay(
+        self, script, seed, segment_max, pipeline
+    ):
+        traffic = build_gateway_traffic(script, seed)
+        config = gateway_config(
+            "sharded", ingest_segment_max=segment_max, ingest_pipeline=pipeline
+        )
+        assert_gateway_outcomes_equal(
+            run_sequential(traffic, "sharded", seed),
+            run_streamed(traffic, "sharded", seed, config=config),
+        )
+
+    @given(script=gateway_scripts, seed=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=6)
+    def test_threaded_async_matches_sequential_replay(self, script, seed):
+        traffic = build_gateway_traffic(script, seed)
+        assert_gateway_outcomes_equal(
+            run_sequential(traffic, "threaded", seed),
+            run_async(traffic, "threaded", seed),
+        )
+
+    @given(script=gateway_scripts, seed=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=3)
+    def test_sharded_async_matches_sequential_replay(self, script, seed):
+        traffic = build_gateway_traffic(script, seed)
+        assert_gateway_outcomes_equal(
+            run_sequential(traffic, "sharded", seed),
+            run_async(traffic, "sharded", seed),
+        )
+
+
+@pytest.mark.slow
+class TestStreamedCrashEquivalence:
+    """ISSUE 10 satellite: a worker crash *mid-segment* — injected while
+    the flush is several segments deep — must stay bitwise invisible on
+    the streamed and async paths, exactly as it is on the plain drain
+    (respawn + authoritative-history replay)."""
+
+    SEED = 83
+
+    def _traffic(self):
+        script = []
+        for _ in range(14):  # history for both templates, via the flush
+            script += [(0, "observe"), (1, "observe")]
+        script += [
+            (0, "submit"), (1, "submit"), (0, "observe"),
+            (0, "submit"), (1, "observe"), (1, "submit"),
+        ]
+        return build_gateway_traffic(script, self.SEED)
+
+    @staticmethod
+    def _crash_mid_flush(gateway):
+        """Arm the 10th executed observe to kill GATEWAY_KEYS[0]'s home
+        worker — a few segments into the flush, with earlier segments
+        already streamed and plenty of traffic (including submits on the
+        victim shard) still pending behind the crash."""
+        serving = gateway.engine.serving
+        victim = serving.shard_of(GATEWAY_KEYS[0])
+        original = gateway.observe
+        calls = {"n": 0}
+
+        def crashing_observe(request):
+            calls["n"] += 1
+            if calls["n"] == 10:
+                serving.inject_worker_crash(victim)
+            return original(request)
+
+        gateway.observe = crashing_observe
+
+    def test_streamed_worker_crash_mid_segment_is_bitwise_invisible(self):
+        traffic = self._traffic()
+        config = gateway_config(
+            "sharded", ingest_segment_max=3, ingest_pipeline=True
+        )
+        assert_gateway_outcomes_equal(
+            run_sequential(traffic, "sharded", self.SEED),
+            run_streamed(
+                traffic, "sharded", self.SEED,
+                config=config, before_drain=self._crash_mid_flush,
+            ),
+        )
+
+    def test_async_worker_crash_mid_segment_is_bitwise_invisible(self):
+        traffic = self._traffic()
+        config = gateway_config(
+            "sharded", ingest_segment_max=3, ingest_pipeline=True
+        )
+        assert_gateway_outcomes_equal(
+            run_sequential(traffic, "sharded", self.SEED),
+            run_async(
+                traffic, "sharded", self.SEED,
+                config=config, before_drain=self._crash_mid_flush,
+            ),
         )
 
 
